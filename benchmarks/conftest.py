@@ -1,0 +1,30 @@
+"""Benchmark harness conventions.
+
+Every paper table/figure has one benchmark module. Each benchmark runs the
+corresponding experiment driver once under ``pytest-benchmark`` (pedantic
+mode, 1 round — the drivers are deterministic end-to-end pipelines, not
+microseconds-scale functions) and prints the reproduced rows so
+``pytest benchmarks/ --benchmark-only`` regenerates every result of the
+paper's evaluation section in one command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+def show(result) -> None:
+    """Print an ExperimentResult table beneath the benchmark output."""
+    print()
+    print(result.name)
+    print(result.table())

@@ -1,0 +1,19 @@
+"""Ablation bench: each design choice must not hurt (and some must help)."""
+
+from conftest import show
+
+from repro.experiments import ablation
+from repro.gpu.specs import A100
+
+
+def test_ablation_design_choices(run_once):
+    result = run_once(ablation.run, A100, quick=False)
+    show(result)
+    rows = result.meta["ablations"]
+    # No ablated variant may select a *faster* kernel than the full system
+    # by more than noise; at least one workload must show each ablation cost.
+    for row in rows:
+        for variant in (row.no_flat, row.no_dag_opt, row.movement_model, row.random_model):
+            assert variant >= 0.94 * row.full, row.chain  # search noise tolerance
+    # The movement-only objective (Chimera's) must hurt somewhere.
+    assert any(r.movement_model > 1.1 * r.full for r in rows)

@@ -1,0 +1,17 @@
+"""Fig. 2 — MatMul compute->memory-bound transition under a K/M sweep."""
+
+from conftest import show
+
+from repro.experiments import fig2_roofline
+from repro.gpu.specs import A100
+
+
+def test_fig2_roofline(run_once):
+    result = run_once(fig2_roofline.run, A100)
+    show(result)
+    points = result.meta
+    ridge = float(points["ridge_ops_per_byte(P/W)"])
+    assert 195 < ridge < 205
+    # Shape: throughput at the compute-bound end dwarfs the deep memory-bound tail.
+    rows = result.rows
+    assert float(rows[0][4]) > 3 * float(rows[-1][4])

@@ -1,0 +1,14 @@
+"""Fig. 7 — pruning funnel on the paper's GEMM-chain example."""
+
+from conftest import show
+
+from repro.experiments import fig7_pruning
+
+
+def test_fig7_pruning_funnel(run_once):
+    result = run_once(fig7_pruning.run)
+    show(result)
+    counts = [r[1] for r in result.rows]
+    assert counts[0] == 109_051_904  # the paper's raw-space size
+    assert counts[-1] < 10_000  # "reduced from 1e8 to 1e4"
+    assert counts == sorted(counts, reverse=True)

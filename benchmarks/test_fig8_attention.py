@@ -1,0 +1,38 @@
+"""Fig. 8(c)/(d) — self-attention module performance on A100 and RTX 3080."""
+
+import math
+
+from conftest import show
+
+from repro.experiments import fig8_subgraph
+from repro.gpu.specs import A100, RTX3080
+
+ANSOR_TRIALS = 256
+
+
+def _check_panel(result, min_avg):
+    panel = result.meta["panel"]
+    averages = {b: panel.average(b) for b in panel.baselines}
+    best = max(v for v in averages.values() if not math.isnan(v))
+    assert averages["MCFuser"] == best
+    assert averages["MCFuser"] > min_avg
+    # FlashAttention supports every Table III module (K == H throughout)...
+    assert all(row["FlashAttention"] is not None for row in panel.speedups.values())
+    # ...but MCFuser outperforms it on average (paper: ~3x).
+    assert averages["MCFuser"] > 1.5 * averages["FlashAttention"]
+
+
+def test_fig8c_attention_a100(run_once):
+    result = run_once(
+        fig8_subgraph.run, A100, "attention", quick=False, ansor_trials=ANSOR_TRIALS
+    )
+    show(result)
+    _check_panel(result, min_avg=3.0)
+
+
+def test_fig8d_attention_rtx3080(run_once):
+    result = run_once(
+        fig8_subgraph.run, RTX3080, "attention", quick=False, ansor_trials=ANSOR_TRIALS
+    )
+    show(result)
+    _check_panel(result, min_avg=2.0)

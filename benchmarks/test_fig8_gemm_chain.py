@@ -1,0 +1,42 @@
+"""Fig. 8(a)/(b) — batch GEMM chain performance on A100 and RTX 3080.
+
+The full panel (G1-G12, all baselines, 1000 Ansor trials) runs in a few
+minutes; the benchmark uses a reduced Ansor budget to stay snappy while
+preserving every workload row.
+"""
+
+import math
+
+from conftest import show
+
+from repro.experiments import fig8_subgraph
+from repro.gpu.specs import A100, RTX3080
+
+ANSOR_TRIALS = 256  # reduced budget for the benchmark harness
+
+
+def _check_panel(result):
+    panel = result.meta["panel"]
+    averages = {b: panel.average(b) for b in panel.baselines}
+    best = max(v for v in averages.values() if not math.isnan(v))
+    assert averages["MCFuser"] == best
+    assert averages["MCFuser"] > 1.5
+
+
+def test_fig8a_gemm_chain_a100(run_once):
+    result = run_once(
+        fig8_subgraph.run, A100, "gemm", quick=False, ansor_trials=ANSOR_TRIALS
+    )
+    show(result)
+    _check_panel(result)
+
+
+def test_fig8b_gemm_chain_rtx3080(run_once):
+    result = run_once(
+        fig8_subgraph.run, RTX3080, "gemm", quick=False, ansor_trials=ANSOR_TRIALS
+    )
+    show(result)
+    panel = result.meta["panel"]
+    # BOLT does not build for sm86 — its column must be empty (paper §VI-B1).
+    assert all(row["BOLT"] is None for row in panel.speedups.values())
+    _check_panel(result)

@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the library itself (true pytest-benchmark timing):
+search-space generation, schedule expansion, analytical-model evaluation,
+simulator throughput and the NumPy interpreter."""
+
+from repro.codegen.interpreter import execute_schedule
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.search.perf_model import AnalyticalModel
+from repro.search.space import generate_space
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+CHAIN = gemm_chain(1, 512, 512, 128, 128, name="micro")
+TILES = {"m": 64, "n": 64, "k": 32, "h": 32}
+
+
+def test_bench_space_generation(benchmark):
+    space = benchmark(generate_space, CHAIN, A100)
+    assert len(space) > 100
+
+
+def test_bench_schedule_expansion(benchmark):
+    expr = TilingExpr.parse("mhnk")
+    sched = benchmark(build_schedule, CHAIN, expr, TILES)
+    assert sched.grid_size > 1
+
+
+def test_bench_analytical_model(benchmark):
+    sched = build_schedule(CHAIN, TilingExpr.parse("mhnk"), TILES)
+    model = AnalyticalModel(A100)
+    t = benchmark(model, sched)
+    assert t > 0
+
+
+def test_bench_simulator(benchmark):
+    sched = build_schedule(CHAIN, TilingExpr.parse("mhnk"), TILES)
+    kernel = sched.kernel_launch(A100)
+    sim = GPUSimulator(A100, seed=0)
+    t = benchmark(sim.run, kernel)
+    assert t > 0
+
+
+def test_bench_interpreter(benchmark):
+    small = gemm_chain(1, 128, 128, 64, 64, name="micro-int")
+    sched = build_schedule(small, TilingExpr.parse("mhnk"), {"m": 64, "n": 64, "k": 64, "h": 64})
+    inputs = small.random_inputs(0)
+    out = benchmark(execute_schedule, sched, inputs)
+    assert "E" in out

@@ -1,0 +1,15 @@
+"""Table I — derived capability comparison of the implemented systems."""
+
+from conftest import show
+
+from repro.experiments import table1_comparison
+
+
+def test_table1_capability_matrix(run_once):
+    result = run_once(table1_comparison.run)
+    show(result)
+    checks = result.meta["probe_checks"]
+    assert checks["bolt_fuses_gemm_chain"] and not checks["bolt_fuses_attention"]
+    assert checks["fa_supports_attention"] and not checks["fa_supports_k_neq_h"]
+    ours = [r for r in result.rows if "MCFuser (ours)" in r[0]][0]
+    assert ours[1] == "Yes" and ours[4] == "short"

@@ -1,0 +1,56 @@
+"""End-to-end BERT compilation (the paper's Fig. 9 workflow).
+
+Builds the BERT-Small encoder, partitions out the MBCI attention
+sub-graphs, compiles under every strategy, and reports execution +
+tuning-time trade-offs. MCFuser+Relay should beat even fully-tuned Ansor
+while tuning in minutes instead of hours.
+
+Run:  python examples/end_to_end_bert.py
+"""
+
+from repro import A100, bert_encoder, compile_model, partition_graph
+from repro.frontend.executor import STRATEGIES
+from repro.utils import fmt_time, format_table
+
+
+def main() -> None:
+    graph = bert_encoder("Bert-Small", seq_len=512)
+    print(f"model: {graph.name} — {len(graph.nodes)} operators, "
+          f"{graph.total_flops() / 1e9:.1f} GFLOPs\n")
+
+    # --- what does the partitioner find? -----------------------------------
+    partition = partition_graph(graph, A100)
+    print(f"MBCI sub-graphs found: {len(partition.subgraphs)}")
+    sg = partition.subgraphs[0]
+    print(f"  each: {sg.kind}, loops {sg.chain.loops}, "
+          f"heads folded into batch={sg.chain.batch}")
+    print(f"  absorbed graph nodes: {', '.join(sg.nodes)}\n")
+
+    # --- compile under every strategy ---------------------------------------
+    rows = []
+    results = {}
+    for strategy in STRATEGIES:
+        r = compile_model(graph, A100, strategy, seed=0)
+        results[strategy] = r
+        rows.append(
+            [
+                strategy,
+                fmt_time(r.time),
+                f"{r.kernel_count}",
+                f"{r.mbci_subgraphs}",
+                fmt_time(r.tuning_seconds),
+            ]
+        )
+    print(format_table(["strategy", "exec time", "kernels", "fused MBCI", "tuning"], rows))
+
+    relay = results["relay"]
+    mc_relay = results["mcfuser+relay"]
+    ansor = results["ansor"]
+    print(f"\nMCFuser+Relay vs Relay:  {relay.time / mc_relay.time:.2f}x faster, "
+          f"+{fmt_time(mc_relay.tuning_seconds - relay.tuning_seconds)} tuning")
+    print(f"MCFuser+Relay vs Ansor:  {ansor.time / mc_relay.time:.2f}x faster, "
+          f"{ansor.tuning_seconds / mc_relay.tuning_seconds:.0f}x less tuning")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Roofline analysis: when does a compute-intensive operator become MBCI?
+
+Reproduces the paper's Fig. 2 sweep interactively and classifies a few
+user-specified shapes, showing the ``phi < P/W`` criterion in action.
+
+Run:  python examples/roofline_analysis.py
+"""
+
+from repro import A100, RTX3080, attention_chain, gemm_chain
+from repro.experiments.fig2_roofline import matmul_points, phi
+from repro.utils import format_table
+
+
+def main() -> None:
+    print(f"A100 ridge point:    {A100.flops_per_byte:.0f} flops/byte")
+    print(f"RTX 3080 ridge point: {RTX3080.flops_per_byte:.0f} flops/byte\n")
+
+    # --- the Fig. 2 sweep -----------------------------------------------------
+    print("MatMul at constant work (M*N*K = 1024^3), shrinking K/M:")
+    rows = []
+    for p in matmul_points(A100, num_points=8):
+        rows.append([f"{p.k_over_m:.4f}", p.m, p.k, f"{p.phi_ops_per_byte:.1f}",
+                     f"{p.tflops:.1f}", p.bound])
+    print(format_table(["K/M", "M=N", "K", "phi (ops/B)", "TFLOPS", "bound"], rows))
+    print()
+
+    # --- the paper's K=1024 -> K=1 anecdote ------------------------------------
+    for k in (1024, 64, 1):
+        ratio = phi(256, 1024, 1024, k) / 2.0
+        print(f"GEMM 1024x1024x{k:<5d}: phi = {ratio:7.1f} ops/byte "
+              f"-> {'compute' if ratio > A100.flops_per_byte else 'memory'}-bound on A100")
+    print()
+
+    # --- classify real chains ---------------------------------------------------
+    chains = [
+        gemm_chain(1, 512, 256, 64, 64, name="G1"),
+        gemm_chain(1, 512, 512, 1024, 256, name="G6"),
+        gemm_chain(1, 4096, 4096, 4096, 4096, name="big-square"),
+        attention_chain(12, 512, 512, 64, 64, name="S2"),
+        attention_chain(16, 2048, 2048, 64, 64, name="long-seq"),
+    ]
+    rows = []
+    for chain in chains:
+        unfused_phi = chain.total_flops() / chain.unfused_dram_bytes()
+        rows.append([
+            chain.name,
+            f"{unfused_phi:.0f}",
+            f"{chain.arithmetic_intensity():.0f}",
+            "yes" if chain.is_mbci(A100) else "no",
+            "yes" if chain.is_mbci(RTX3080) else "no",
+        ])
+    print(format_table(
+        ["chain", "phi unfused", "phi fused", "MBCI on A100", "MBCI on 3080"], rows
+    ))
+    print("\nMBCI chains are where fusion pays: the fused kernel trades DRAM")
+    print("round-trips of intermediates for on-chip reuse (the paper's premise).")
+
+
+if __name__ == "__main__":
+    main()

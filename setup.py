@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without network access
+(the environment has no ``wheel`` package, so PEP-517 editable installs
+fail; the legacy ``setup.py develop`` path does not need it)."""
+
+from setuptools import setup
+
+setup()

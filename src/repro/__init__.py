@@ -1,0 +1,61 @@
+"""MCFuser reproduction: high-performance and rapid fusion of memory-bound
+compute-intensive (MBCI) operator chains — SC'24.
+
+Quick start::
+
+    from repro import A100, attention_chain, MCFuserTuner
+
+    chain = attention_chain(heads=12, m=512, n=512, k=64, h=64)
+    report = MCFuserTuner(A100).tune(chain)
+    print(report.best_schedule.pretty())
+    print(f"{report.best_time * 1e6:.1f} us, tuned in {report.tuning_seconds:.0f} simulated s")
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.gpu`        — the simulated hardware (A100 / RTX 3080)
+* :mod:`repro.ir`         — tensor IR: graphs, operators, ComputeChain
+* :mod:`repro.tiling`     — tiling expressions, schedules, DAG analysis
+* :mod:`repro.search`     — pruning rules, perf model, Algorithm 1, tuner
+* :mod:`repro.codegen`    — TIR / Triton-IR / PTX emission + interpreter
+* :mod:`repro.baselines`  — PyTorch, Relay, Ansor, BOLT, FlashAttention, Chimera
+* :mod:`repro.frontend`   — model builders, partitioner, end-to-end executor
+* :mod:`repro.workloads`  — Tables II and III
+* :mod:`repro.experiments`— one driver per paper figure/table
+"""
+
+from repro.codegen import OperatorModule, compile_schedule, execute_schedule
+from repro.frontend import bert_encoder, compile_model, partition_graph
+from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
+from repro.ir import ComputeChain, Graph, attention_chain, gemm_chain
+from repro.search import MCFuserTuner, TuneReport, generate_space
+from repro.tiling import Schedule, TilingExpr, build_schedule
+from repro.workloads import attention_workload, gemm_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "A100",
+    "RTX3080",
+    "GPUSpec",
+    "GPUSimulator",
+    "KernelLaunch",
+    "ComputeChain",
+    "Graph",
+    "gemm_chain",
+    "attention_chain",
+    "TilingExpr",
+    "Schedule",
+    "build_schedule",
+    "MCFuserTuner",
+    "TuneReport",
+    "generate_space",
+    "OperatorModule",
+    "compile_schedule",
+    "execute_schedule",
+    "bert_encoder",
+    "compile_model",
+    "partition_graph",
+    "gemm_workload",
+    "attention_workload",
+]

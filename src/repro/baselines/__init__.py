@@ -1,0 +1,60 @@
+"""Baseline systems the paper compares against, all driving the same GPU
+simulator so comparisons are apples-to-apples.
+
+``BASELINES`` is the registry the experiment drivers iterate (the order
+matches the Fig. 8 legend)."""
+
+from repro.baselines.ansor import ANSOR_DEFAULT_TRIALS, AnsorBaseline, candidate_features
+from repro.baselines.base import Baseline, BaselineResult
+from repro.baselines.bolt import BOLTBaseline
+from repro.baselines.chimera import MCFuserChimeraBaseline
+from repro.baselines.flash_attention import FlashAttentionBaseline, fa1_block_sizes
+from repro.baselines.gbt import GradientBoostedTrees, RegressionTree
+from repro.baselines.library import (
+    PyTorchBaseline,
+    chain_unfused_kernels,
+    elementwise_kernel,
+    gemm_kernel,
+    normalization_kernel,
+    softmax_kernel,
+    transpose_kernel,
+)
+from repro.baselines.mcfuser import MCFuserBaseline
+from repro.baselines.relay import RelayBaseline
+
+
+def default_baselines(ansor_trials: int = ANSOR_DEFAULT_TRIALS) -> list[Baseline]:
+    """The Fig. 8 baseline lineup, in legend order."""
+    return [
+        PyTorchBaseline(),
+        AnsorBaseline(trials=ansor_trials),
+        BOLTBaseline(),
+        FlashAttentionBaseline(),
+        MCFuserChimeraBaseline(),
+        MCFuserBaseline(),
+    ]
+
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "PyTorchBaseline",
+    "RelayBaseline",
+    "AnsorBaseline",
+    "ANSOR_DEFAULT_TRIALS",
+    "candidate_features",
+    "BOLTBaseline",
+    "FlashAttentionBaseline",
+    "fa1_block_sizes",
+    "MCFuserChimeraBaseline",
+    "MCFuserBaseline",
+    "GradientBoostedTrees",
+    "RegressionTree",
+    "gemm_kernel",
+    "softmax_kernel",
+    "elementwise_kernel",
+    "normalization_kernel",
+    "transpose_kernel",
+    "chain_unfused_kernels",
+    "default_baselines",
+]

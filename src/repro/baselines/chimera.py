@@ -1,0 +1,44 @@
+"""MCFuser-Chimera: Chimera's search space inside the MCFuser framework.
+
+The paper cannot compare against closed-source Chimera directly, so it
+re-implements Chimera's search space (deep tilings / nested block
+execution orders only, no flat tilings, no extent-1 DAG optimization) and
+Chimera's objective (minimize data movement, ignoring compute redundancy
+and parallelism) inside MCFuser — §VI-A. We do exactly the same via
+``MCFuserTuner(variant="chimera")``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.search.tuner import MCFuserTuner
+
+__all__ = ["MCFuserChimeraBaseline"]
+
+
+class MCFuserChimeraBaseline(Baseline):
+    """Deep-tiling-only, data-movement-objective variant of the tuner."""
+
+    name = "MCFuser-Chimera"
+
+    def __init__(self, **tuner_kwargs) -> None:
+        self.tuner_kwargs = tuner_kwargs
+
+    def run_chain(self, chain: ComputeChain, gpu: GPUSpec, seed: int = 0) -> BaselineResult:
+        tuner = MCFuserTuner(gpu, variant="chimera", seed=seed, **self.tuner_kwargs)
+        report = tuner.tune(chain)
+        return BaselineResult(
+            name=self.name,
+            chain=chain.name,
+            gpu=gpu.name,
+            time=report.best_time,
+            tuning_seconds=report.tuning_seconds,
+            fused=True,
+            detail={
+                "best": report.best_candidate.describe(),
+                "rounds": report.search.rounds,
+                "measurements": report.search.num_measurements,
+            },
+        )

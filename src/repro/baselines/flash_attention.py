@@ -1,0 +1,111 @@
+"""The FlashAttention-1 baseline: handcrafted fused attention.
+
+FlashAttention (NeurIPS'22, v1 — the version the paper benchmarks) fuses
+the attention chain with a fixed, expert-written schedule. The paper calls
+out three rigidities, all modeled here:
+
+* ``K == H`` required — modules with differing QK/V head dims cannot fuse
+  (``run_chain`` returns ``None``);
+* only the ``m`` and ``n`` sequence dimensions are tiled; ``k``/``h`` are
+  kept whole, with block sizes from a fixed head-dim-keyed table rather
+  than a search;
+* v1 parallelizes over **batch x heads only** (sequence-dimension
+  parallelism arrived in v2), and its outer loop runs over KV blocks with
+  the output tile re-read and re-scaled per iteration — so small-batch
+  workloads under-fill the GPU, the effect behind MCFuser's ~3x win in
+  Fig. 8(c,d).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.memory import TileBuffer, measure_shared_memory
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.utils import ceil_div
+
+__all__ = ["FlashAttentionBaseline", "fa1_block_sizes"]
+
+_MAX_HEAD_DIM = 128
+
+
+def fa1_block_sizes(head_dim: int, gpu: GPUSpec) -> tuple[int, int]:
+    """FlashAttention-1's (Br, Bc) table: larger blocks for small head
+    dims, shrinking as the K/V tiles eat shared memory."""
+    if head_dim <= 32:
+        return 128, 256
+    if head_dim <= 64:
+        return 128, 128
+    if head_dim <= 96:
+        return 64, 128
+    return 64, 64
+
+
+class FlashAttentionBaseline(Baseline):
+    """Handcrafted fused attention kernel (v1 semantics)."""
+
+    name = "FlashAttention"
+
+    def supports(self, chain: ComputeChain, gpu: GPUSpec) -> bool:
+        if len(chain.blocks) != 2 or chain.blocks[1].softmax_over is None:
+            return False
+        if chain.loops["k"] != chain.loops["h"]:
+            return False  # the rigid K == H constraint
+        return chain.loops["k"] <= _MAX_HEAD_DIM
+
+    def run_chain(self, chain: ComputeChain, gpu: GPUSpec, seed: int = 0) -> BaselineResult | None:
+        if not self.supports(chain, gpu):
+            return None
+        m, n = chain.loops["m"], chain.loops["n"]
+        d = ceil_div(chain.loops["k"], 16) * 16  # padded head dim
+        br, bc = fa1_block_sizes(d, gpu)
+        br, bc = min(br, m), min(bc, n)
+        batch = chain.batch
+        dt = chain.dtype_bytes
+
+        n_blocks_m = ceil_div(m, br)
+        n_blocks_n = ceil_div(n, bc)
+        # v1: one CTA per (batch x head); m-loop inside the kernel.
+        grid = batch
+        # Traffic: K,V streamed once; Q re-read per KV block; O (+ running
+        # stats) read+written once per KV block — v1's outer-loop-over-KV
+        # cost that v2 later removed.
+        q_bytes = batch * m * d * dt * n_blocks_n
+        kv_bytes = batch * n * d * dt * 2
+        o_rw = batch * m * d * dt * (2 * n_blocks_n - 1) + batch * m * 4 * n_blocks_n
+        flops = 2.0 * batch * m * n * d * 2 + 7.0 * batch * m * n
+
+        buffers = [
+            TileBuffer("Q", br, d, dt, role="operand"),
+            TileBuffer("K", bc, d, dt, role="operand", double_buffered=True),
+            TileBuffer("V", bc, d, dt, role="operand", double_buffered=True),
+            TileBuffer("S", br, bc, dt, role="stage"),
+            TileBuffer("O", br, d, dt, role="accumulator"),
+        ]
+        shm = measure_shared_memory(buffers, gpu).total_bytes
+        kernel = KernelLaunch(
+            name=f"flash_attention_v1:{chain.name}",
+            grid=grid,
+            flops=flops,
+            dram_read_bytes=q_bytes + kv_bytes + o_rw / 2,
+            dram_write_bytes=o_rw / 2,
+            shared_mem_bytes=min(shm, gpu.shared_mem_per_block),
+            tile_m=br,
+            tile_n=bc,
+            tile_k=min(d, 64),
+            inner_contig_bytes=d * dt,
+            codegen="cutlass",  # expert-written CUDA
+            extra={"br": br, "bc": bc, "layout": "v1 outer-KV"},
+        )
+        sim = GPUSimulator(gpu, seed=seed)
+        return BaselineResult(
+            name=self.name,
+            chain=chain.name,
+            gpu=gpu.name,
+            time=sim.run(kernel),
+            tuning_seconds=0.0,  # handcrafted: nothing to tune
+            fused=True,
+            detail={"br": br, "bc": bc, "grid": grid},
+        )

@@ -1,0 +1,133 @@
+"""Gradient-boosted regression trees, from scratch on NumPy.
+
+Ansor ranks candidate programs with an XGBoost cost model trained online
+on measured samples; no ML library is available offline, so this is a
+small, exact reimplementation of the core algorithm: squared-loss gradient
+boosting over depth-limited regression trees with greedy variance-gain
+splits. It is intentionally modest (a few thousand samples, ~10 features)
+— which matches Ansor's per-task training regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RegressionTree", "GradientBoostedTrees"]
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regression tree with greedy variance-reduction splits."""
+
+    def __init__(self, max_depth: int = 3, min_samples: int = 4) -> None:
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.root: _Node | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self.root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < self.min_samples or np.ptp(y) == 0.0:
+            return node
+        best_gain = 0.0
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best: tuple[int, float, np.ndarray] | None = None
+        for f in range(x.shape[1]):
+            values = np.unique(x[:, f])
+            if len(values) < 2:
+                continue
+            # Candidate thresholds: midpoints of up to 16 quantile cuts.
+            if len(values) > 16:
+                values = np.quantile(values, np.linspace(0.05, 0.95, 16))
+            for thr in (values[:-1] + values[1:]) / 2.0:
+                mask = x[:, f] <= thr
+                n_l = int(mask.sum())
+                if n_l == 0 or n_l == len(y):
+                    continue
+                yl, yr = y[mask], y[~mask]
+                sse = float(((yl - yl.mean()) ** 2).sum() + ((yr - yr.mean()) ** 2).sum())
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (f, float(thr), mask)
+        if best is None:
+            return node
+        f, thr, mask = best
+        node.feature, node.threshold = f, thr
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        assert self.root is not None, "tree not fitted"
+        out = np.empty(len(x), dtype=np.float64)
+        for i, row in enumerate(x):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+                assert node is not None
+            out[i] = node.value
+        return out
+
+
+class GradientBoostedTrees:
+    """Squared-loss gradient boosting (the XGBoost-lite cost model)."""
+
+    def __init__(
+        self,
+        n_trees: int = 40,
+        learning_rate: float = 0.15,
+        max_depth: int = 3,
+        min_samples: int = 4,
+    ) -> None:
+        self.n_trees = n_trees
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self.base: float = 0.0
+        self.trees: list[RegressionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("GBT.fit expects x:(n,f), y:(n,)")
+        self.base = float(y.mean())
+        self.trees = []
+        residual = y - self.base
+        for _ in range(self.n_trees):
+            tree = RegressionTree(self.max_depth, self.min_samples).fit(x, residual)
+            update = tree.predict(x)
+            residual = residual - self.learning_rate * update
+            self.trees.append(tree)
+            if float(np.abs(residual).max(initial=0.0)) < 1e-12:
+                break
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        out = np.full(len(x), self.base, dtype=np.float64)
+        for tree in self.trees:
+            out += self.learning_rate * tree.predict(x)
+        return out
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.trees)

@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tune <workload>``      — tune one Table II/III workload and print the
+                             chosen schedule (``G1``..``G12``, ``S1``..``S9``).
+* ``compare <workload>``   — run every baseline on a workload (one Fig. 8 row).
+* ``experiments [name]``   — run one or all experiment drivers.
+* ``list``                 — list workloads, GPUs and experiments.
+
+Examples::
+
+    python -m repro tune S2 --gpu a100
+    python -m repro compare G4 --gpu rtx3080 --ansor-trials 256
+    python -m repro experiments fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import default_baselines
+from repro.codegen import compile_schedule
+from repro.gpu.specs import by_name
+from repro.ir.chain import ComputeChain
+from repro.search.tuner import MCFuserTuner
+from repro.utils import fmt_time, format_table
+from repro.workloads import ATTENTION_CONFIGS, GEMM_CHAIN_CONFIGS, attention_workload, gemm_workload
+
+__all__ = ["main", "build_parser", "workload_by_name"]
+
+
+def workload_by_name(name: str) -> ComputeChain:
+    """Resolve ``G*``/``S*`` names to chains."""
+    if name.upper().startswith("G"):
+        return gemm_workload(name.upper())
+    if name.upper().startswith("S"):
+        return attention_workload(name.upper())
+    raise KeyError(f"unknown workload {name!r} (expected G1..G12 or S1..S9)")
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    gpu = by_name(args.gpu)
+    chain = workload_by_name(args.workload)
+    report = MCFuserTuner(gpu, seed=args.seed).tune(chain)
+    print(f"workload: {chain}")
+    print(f"space: {report.pruning.after_rule4} candidates "
+          f"(from {report.pruning.original:,})")
+    print(f"best:  {report.best_candidate.describe()}")
+    print(f"time:  {fmt_time(report.best_time)}  ({report.tflops:.1f} TFLOP/s)")
+    print(f"tuned in {fmt_time(report.tuning_seconds)} "
+          f"({report.search.num_measurements} measurements, "
+          f"{report.search.rounds} rounds)")
+    print()
+    print(report.best_schedule.pretty())
+    if args.show_ptx:
+        print()
+        print(compile_schedule(report.best_schedule, gpu).ptx)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    gpu = by_name(args.gpu)
+    chain = workload_by_name(args.workload)
+    rows = []
+    pytorch_time = None
+    for baseline in default_baselines(ansor_trials=args.ansor_trials):
+        result = baseline.run_chain(chain, gpu, seed=args.seed)
+        if result is None:
+            rows.append([baseline.name, "-", "-", "-"])
+            continue
+        if baseline.name == "PyTorch":
+            pytorch_time = result.time
+        speedup = f"{pytorch_time / result.time:.2f}x" if pytorch_time else "-"
+        rows.append(
+            [baseline.name, fmt_time(result.time), speedup, fmt_time(result.tuning_seconds)]
+        )
+    print(f"{chain} on {gpu.name}")
+    print(format_table(["system", "time", "vs PyTorch", "tuning"], rows))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.name:
+        ALL_EXPERIMENTS[args.name].main()
+    else:
+        for module in ALL_EXPERIMENTS.values():
+            module.main()
+    return 0
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("GEMM chains (Table II):")
+    for name, cfg in GEMM_CHAIN_CONFIGS.items():
+        print(f"  {name:4s} batch={cfg[0]} M={cfg[1]} N={cfg[2]} K={cfg[3]} H={cfg[4]}")
+    print("attention modules (Table III):")
+    for name, cfg in ATTENTION_CONFIGS.items():
+        print(f"  {name:4s} heads={cfg.heads} M={cfg.m} N={cfg.n} K={cfg.k} H={cfg.h}"
+              f"  ({cfg.network})")
+    print("GPUs: a100, rtx3080")
+    from repro.experiments import ALL_EXPERIMENTS
+
+    print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tune = sub.add_parser("tune", help="tune one workload with MCFuser")
+    p_tune.add_argument("workload")
+    p_tune.add_argument("--gpu", default="a100")
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--show-ptx", action="store_true")
+    p_tune.set_defaults(fn=cmd_tune)
+
+    p_cmp = sub.add_parser("compare", help="run all baselines on one workload")
+    p_cmp.add_argument("workload")
+    p_cmp.add_argument("--gpu", default="a100")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--ansor-trials", type=int, default=1000)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_exp = sub.add_parser("experiments", help="run experiment drivers")
+    p_exp.add_argument("name", nargs="?", default=None)
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_list = sub.add_parser("list", help="list workloads, GPUs and experiments")
+    p_list.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Code generation: TIR lowering, Triton-style tile IR, pseudo-PTX emission,
+runtime modules, and the NumPy tile interpreter that verifies numerical
+correctness of every fused schedule."""
+
+from repro.codegen.interpreter import InterpreterError, execute_schedule
+from repro.codegen.ptx import emit_ptx, mma_count_for_tile
+from repro.codegen.runtime import (
+    GraphExecutorFactoryModule,
+    OperatorModule,
+    compile_schedule,
+)
+from repro.codegen.tir import (
+    TIRLoop,
+    TIRModule,
+    TIRScheduleBuilder,
+    TIRStmt,
+    extract_tiling_expr,
+    tir_from_schedule,
+)
+from repro.codegen.triton_ir import TritonLoop, TritonOp, TritonProgram, triton_from_schedule
+
+__all__ = [
+    "execute_schedule",
+    "InterpreterError",
+    "tir_from_schedule",
+    "extract_tiling_expr",
+    "TIRModule",
+    "TIRLoop",
+    "TIRStmt",
+    "TIRScheduleBuilder",
+    "triton_from_schedule",
+    "TritonProgram",
+    "TritonLoop",
+    "TritonOp",
+    "emit_ptx",
+    "mma_count_for_tile",
+    "OperatorModule",
+    "GraphExecutorFactoryModule",
+    "compile_schedule",
+]

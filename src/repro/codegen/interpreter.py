@@ -1,0 +1,277 @@
+"""NumPy tile interpreter: executes a scheduled fused kernel exactly.
+
+This is the reproduction's stand-in for running generated Triton/PTX code
+on a GPU and checking its output. The interpreter walks a
+:class:`~repro.tiling.schedule.Schedule` grid cell by grid cell, keeping
+"shared memory" tiles in a dictionary, accumulating partial results with
+init-on-first-reduction-iteration semantics, applying producer epilogues at
+consumption time, realizing ``softmax_over`` blocks with the *online
+softmax* recurrence (numerically exact, like FlashAttention), and masking
+padded tile regions so non-divisible problem sizes stay correct.
+
+Every schedule that survives the pruning rules must produce bit-for-bit
+(up to fp32 associativity) the same result as
+:meth:`ComputeChain.reference` — the property-based tests in
+``tests/test_interpreter*.py`` enforce this across random chains,
+expressions and tile sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.chain import ComputeBlock, ComputeChain
+from repro.tiling.schedule import LoopScope, Schedule, Statement
+from repro.utils import prod
+
+__all__ = ["execute_schedule", "InterpreterError"]
+
+_NEG_INF = np.float32(-np.inf)
+
+
+class InterpreterError(RuntimeError):
+    """The schedule cannot be executed faithfully (invalid or unsupported)."""
+
+
+def _apply_epilogue(x: np.ndarray, epilogue: str | None) -> np.ndarray:
+    if epilogue is None:
+        return x
+    if epilogue == "relu":
+        return np.maximum(x, 0.0)
+    if epilogue == "gelu":
+        return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3)))
+    raise InterpreterError(f"unknown epilogue {epilogue!r}")
+
+
+@dataclass
+class _AccState:
+    """Running accumulator for one output tile of one block."""
+
+    key: tuple
+    tile: np.ndarray
+    row_max: np.ndarray | None = None  # online-softmax state (per row)
+    denom: np.ndarray | None = None
+
+
+@dataclass
+class _Cell:
+    """Per-thread-block execution state."""
+
+    smem: dict[str, np.ndarray] = field(default_factory=dict)
+    acc: dict[str, _AccState] = field(default_factory=dict)
+
+
+class _Executor:
+    def __init__(self, schedule: Schedule, inputs: dict[str, np.ndarray]) -> None:
+        self.s = schedule
+        self.chain: ComputeChain = schedule.chain
+        schedule.check_valid()
+        for name, ref in self.chain.tensors.items():
+            if ref.role != "input" and schedule.live_copies(name) > 1:
+                raise InterpreterError(
+                    f"schedule {schedule.describe()} needs {schedule.live_copies(name)} "
+                    f"live tiles of {name!r}; the interpreter models single-copy buffers"
+                )
+        self.inputs = {
+            k: np.asarray(v, dtype=np.float32) for k, v in inputs.items()
+        }
+        for name in self.chain.input_names():
+            if name not in self.inputs:
+                raise KeyError(f"missing input {name!r}")
+            expect = self.chain.tensor_shape(name)
+            if self.inputs[name].shape != expect:
+                raise ValueError(f"input {name!r}: shape {self.inputs[name].shape} != {expect}")
+        self.outputs = {
+            name: np.zeros(self.chain.tensor_shape(name), dtype=np.float32)
+            for name, ref in self.chain.tensors.items()
+            if ref.role == "output"
+        }
+        self.tiles = schedule.tiles
+
+    # -- tile addressing -----------------------------------------------------
+
+    def _tile_bounds(self, dim: str, idx: dict[str, int]) -> tuple[int, int, int]:
+        """(start, stop, tile) source bounds of dim ``dim`` at loop state idx."""
+        tile = self.tiles[dim]
+        start = idx.get(dim, 0) * tile
+        stop = min(start + tile, self.chain.loops[dim])
+        return start, stop, tile
+
+    def _read_tile(self, tensor: str, b: int, idx: dict[str, int]) -> np.ndarray:
+        """Zero-padded tile of a global input tensor."""
+        dims = self.chain.tensors[tensor].dims
+        src = self.inputs[tensor][b]
+        shape = tuple(self.tiles[d] for d in dims)
+        out = np.zeros(shape, dtype=np.float32)
+        src_slices = []
+        dst_slices = []
+        for d in dims:
+            start, stop, tile = self._tile_bounds(d, idx)
+            if start >= self.chain.loops[d]:
+                return out  # fully out-of-range padded tile
+            src_slices.append(slice(start, stop))
+            dst_slices.append(slice(0, stop - start))
+        out[tuple(dst_slices)] = src[tuple(src_slices)]
+        return out
+
+    def _valid_extent(self, dim: str, idx: dict[str, int]) -> int:
+        start, stop, _ = self._tile_bounds(dim, idx)
+        return max(stop - start, 0)
+
+    # -- statement semantics --------------------------------------------------
+
+    def _spatial_key(self, block: ComputeBlock, b: int, idx: dict[str, int]) -> tuple:
+        return (b, *[idx.get(d, 0) for d in block.spatial])
+
+    def _operand_value(self, tensor: str, cell: _Cell, b: int, idx: dict[str, int]) -> np.ndarray:
+        ref = self.chain.tensors[tensor]
+        if ref.role == "input":
+            if tensor not in cell.smem:
+                raise InterpreterError(f"tensor {tensor!r} consumed before Load")
+            return cell.smem[tensor]
+        producer = self.chain.producer_of(tensor)
+        assert producer is not None
+        state = cell.acc.get(producer.name)
+        if state is None or state.key != self._spatial_key(producer, b, idx):
+            raise InterpreterError(
+                f"intermediate {tensor!r} consumed before it was produced "
+                f"(schedule {self.s.describe()})"
+            )
+        return _apply_epilogue(state.tile, producer.epilogue)
+
+    def _ensure_acc(self, block: ComputeBlock, cell: _Cell, b: int, idx: dict[str, int]) -> _AccState:
+        key = self._spatial_key(block, b, idx)
+        state = cell.acc.get(block.name)
+        if state is None or state.key != key:
+            shape = tuple(self.tiles[d] for d in self.chain.tensors[block.output].dims)
+            state = _AccState(key=key, tile=np.zeros(shape, dtype=np.float32))
+            if block.softmax_over is not None:
+                rows = shape[0] if len(shape) > 1 else 1
+                state.row_max = np.full((rows,), _NEG_INF, dtype=np.float32)
+                state.denom = np.zeros((rows,), dtype=np.float32)
+            cell.acc[block.name] = state
+        return state
+
+    def _einsum_tiles(self, block: ComputeBlock, operands: list[np.ndarray]) -> np.ndarray:
+        ins = ",".join("".join(self.chain.tensors[t].dims) for t in block.inputs)
+        out = "".join(self.chain.tensors[block.output].dims)
+        return np.einsum(f"{ins}->{out}", *operands)
+
+    def _compute(self, stmt: Statement, cell: _Cell, b: int, idx: dict[str, int]) -> None:
+        block = self.chain.block(stmt.block)
+        state = self._ensure_acc(block, cell, b, idx)
+        operands = [self._operand_value(t, cell, b, idx) for t in block.inputs]
+        if block.softmax_over is None:
+            contrib = self._einsum_tiles(block, operands)
+            if block.scale != 1.0:
+                contrib = contrib * block.scale
+            state.tile += contrib.astype(np.float32)
+            return
+        self._compute_online_softmax(block, state, operands, idx)
+
+    def _compute_online_softmax(
+        self,
+        block: ComputeBlock,
+        state: _AccState,
+        operands: list[np.ndarray],
+        idx: dict[str, int],
+    ) -> None:
+        """FlashAttention-style update: incorporate one tile of the softmax
+        axis into the running (max, denominator, accumulator) triple."""
+        assert state.row_max is not None and state.denom is not None
+        n = block.softmax_over
+        assert n is not None
+        scores = operands[0]
+        first_dims = self.chain.tensors[block.inputs[0]].dims
+        n_axis = first_dims.index(n)
+        if n_axis != len(first_dims) - 1:
+            scores = np.moveaxis(scores, n_axis, -1)
+        scores = np.array(scores, dtype=np.float32)
+        valid_n = self._valid_extent(n, idx)
+        if valid_n < scores.shape[-1]:
+            scores[..., valid_n:] = _NEG_INF
+        if valid_n == 0:
+            return
+        tile_max = scores.max(axis=-1)
+        new_max = np.maximum(state.row_max, tile_max)
+        correction = np.exp(state.row_max - new_max)
+        correction = np.where(np.isfinite(correction), correction, 0.0).astype(np.float32)
+        probs = np.exp(scores - new_max[..., None]).astype(np.float32)
+        state.denom = state.denom * correction + probs.sum(axis=-1)
+        if n_axis != len(first_dims) - 1:
+            probs = np.moveaxis(probs, -1, n_axis)
+        contrib = self._einsum_tiles(block, [probs, *operands[1:]])
+        state.tile = state.tile * correction[..., None] + contrib.astype(np.float32)
+        state.row_max = new_max
+
+    def _store(self, stmt: Statement, cell: _Cell, b: int, idx: dict[str, int]) -> None:
+        block = self.chain.block(stmt.block)
+        state = cell.acc.get(block.name)
+        if state is None:
+            raise InterpreterError(f"Store of {stmt.tensor!r} before any Compute")
+        value = state.tile
+        if block.softmax_over is not None:
+            assert state.denom is not None
+            denom = np.where(state.denom > 0.0, state.denom, 1.0)
+            value = value / denom[..., None]
+        value = _apply_epilogue(value, block.epilogue)
+        if block.scale != 1.0 and block.softmax_over is not None:
+            pass  # scale belongs to the producer contraction, already applied
+        dims = self.chain.tensors[stmt.tensor].dims
+        dst = self.outputs[stmt.tensor][b]
+        dst_slices = []
+        src_slices = []
+        for d in dims:
+            start, stop, _ = self._tile_bounds(d, idx)
+            if stop <= start:
+                return
+            dst_slices.append(slice(start, stop))
+            src_slices.append(slice(0, stop - start))
+        dst[tuple(dst_slices)] = value[tuple(src_slices)]
+
+    # -- tree walk --------------------------------------------------------------
+
+    def _run_scope(self, scope: LoopScope, cell: _Cell, b: int, idx: dict[str, int]) -> None:
+        for item in scope.body:
+            if isinstance(item, Statement):
+                if item.kind == "load":
+                    cell.smem[item.tensor] = self._read_tile(item.tensor, b, idx)
+                elif item.kind == "compute":
+                    self._compute(item, cell, b, idx)
+                else:
+                    self._store(item, cell, b, idx)
+            else:
+                assert item.loop is not None
+                for i in range(item.extent):
+                    idx[item.loop] = i
+                    self._run_scope(item, cell, b, idx)
+                del idx[item.loop]
+
+    def run(self) -> dict[str, np.ndarray]:
+        grid_loops = [(l, e) for l, e in self.s.grid_dims if l != "b"]
+        for b in range(self.chain.batch):
+            self._run_grid(grid_loops, {}, b)
+        return self.outputs
+
+    def _run_grid(self, remaining: list[tuple[str, int]], idx: dict[str, int], b: int) -> None:
+        if not remaining:
+            cell = _Cell()
+            self._run_scope(self.s.root, cell, b, dict(idx))
+            return
+        loop, extent = remaining[0]
+        for i in range(extent):
+            idx[loop] = i
+            self._run_grid(remaining[1:], idx, b)
+        del idx[loop]
+
+
+def execute_schedule(schedule: Schedule, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Execute a fused schedule on concrete inputs.
+
+    Returns a dict with every chain *output* tensor (normally one). Raises
+    :class:`InterpreterError` for schedules the pruning rules should have
+    rejected (invalid orders, multi-copy buffers).
+    """
+    return _Executor(schedule, inputs).run()

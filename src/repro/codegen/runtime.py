@@ -1,0 +1,100 @@
+"""Runtime modules: compiled-kernel objects the front-end executes (§V-B).
+
+``OperatorModule`` is the TVM-runtime-module equivalent: one fused MBCI
+kernel, runnable on concrete tensors (via the NumPy interpreter) and
+timeable on a GPU (via the simulator), with its generated Triton source
+and pseudo-PTX attached. ``GraphExecutorFactoryModule`` assembles operator
+modules plus library kernels into an executable whole-model artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.codegen.interpreter import execute_schedule
+from repro.codegen.ptx import emit_ptx
+from repro.codegen.triton_ir import TritonProgram, triton_from_schedule
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.specs import GPUSpec
+from repro.tiling.schedule import Schedule
+
+__all__ = ["OperatorModule", "GraphExecutorFactoryModule", "compile_schedule"]
+
+
+@dataclass
+class OperatorModule:
+    """A compiled fused MBCI kernel bound to one GPU."""
+
+    schedule: Schedule
+    gpu: GPUSpec
+    codegen: str = "triton"
+
+    @cached_property
+    def kernel(self) -> KernelLaunch:
+        return self.schedule.kernel_launch(self.gpu, codegen=self.codegen)
+
+    @cached_property
+    def triton(self) -> TritonProgram:
+        """The tile-level Triton program this module was generated from."""
+        return triton_from_schedule(self.schedule)
+
+    @cached_property
+    def ptx(self) -> str:
+        """Pseudo-PTX listing (what ``loadfile_ptx`` would ingest)."""
+        return emit_ptx(self.schedule, self.gpu)
+
+    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Execute on concrete tensors (NumPy interpreter)."""
+        return execute_schedule(self.schedule, inputs)
+
+    def time(self, simulator: GPUSimulator | None = None) -> float:
+        """Simulated execution time in seconds."""
+        sim = simulator or GPUSimulator(self.gpu)
+        return sim.run(self.kernel)
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+
+def compile_schedule(schedule: Schedule, gpu: GPUSpec) -> OperatorModule:
+    """Compile a tuned schedule into a runnable operator module."""
+    return OperatorModule(schedule=schedule, gpu=gpu)
+
+
+@dataclass
+class GraphExecutorFactoryModule:
+    """Whole-model executable: an ordered plan of kernel launches.
+
+    ``plan`` entries are (description, KernelLaunch) pairs; MBCI sub-graphs
+    contribute their fused kernels, everything else contributes library or
+    compiler-generated kernels. ``time`` runs the plan on a simulator.
+    """
+
+    name: str
+    gpu: GPUSpec
+    plan: list[tuple[str, KernelLaunch]] = field(default_factory=list)
+    operator_modules: list[OperatorModule] = field(default_factory=list)
+
+    def add(self, description: str, kernel: KernelLaunch) -> None:
+        self.plan.append((description, kernel))
+
+    def add_module(self, module: OperatorModule) -> None:
+        self.operator_modules.append(module)
+        self.plan.append((f"mcfuser:{module.name}", module.kernel))
+
+    def time(self, simulator: GPUSimulator | None = None) -> float:
+        sim = simulator or GPUSimulator(self.gpu)
+        return sim.run_sequence(k for _, k in self.plan)
+
+    def kernel_count(self) -> int:
+        return len(self.plan)
+
+    def breakdown(self, simulator: GPUSimulator | None = None) -> list[tuple[str, float]]:
+        """Per-launch timing, for profiling-style reports."""
+        sim = simulator or GPUSimulator(self.gpu)
+        return [(desc, sim.run(k)) for desc, k in self.plan]

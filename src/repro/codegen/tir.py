@@ -1,0 +1,203 @@
+"""A miniature TIR: loop-nest AST with schedule primitives (§V-B).
+
+The paper expresses MBCI operators in TVM TIR, transforms them with
+``tvm.tir.Schedule`` primitives (*split*, *reorder*, *bind*, *tile*), and
+extracts tiling expressions back out of TIR modules with an AST visitor —
+the two representations are "mutually convertible". This module reproduces
+that round-trip:
+
+* :func:`tir_from_schedule` lowers a tiled :class:`Schedule` to a TIR
+  module;
+* :func:`extract_tiling_expr` is the AST visitor recovering the residual
+  tiling expression from a TIR module;
+* :class:`TIRScheduleBuilder` builds the same module from the *naive* loop
+  nest via split/reorder/bind primitives, demonstrating convertibility in
+  the other direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tiling.expr import LoopNest, TilingExpr
+from repro.tiling.schedule import LoopScope, Schedule, Statement
+
+__all__ = [
+    "TIRLoop",
+    "TIRStmt",
+    "TIRModule",
+    "tir_from_schedule",
+    "extract_tiling_expr",
+    "TIRScheduleBuilder",
+]
+
+
+@dataclass
+class TIRStmt:
+    """A primitive TIR statement (load/compute/store of one tile)."""
+
+    kind: str
+    tensor: str
+    block: str
+
+    def render(self) -> str:
+        verb = {"load": "T.load_shared", "compute": "T.compute", "store": "T.store_global"}[
+            self.kind
+        ]
+        return f"{verb}({self.tensor!r})"
+
+
+@dataclass
+class TIRLoop:
+    """A serial or thread-bound loop."""
+
+    var: str
+    extent: int
+    bind: str | None = None  # e.g. "blockIdx.x"
+    body: list["TIRLoop | TIRStmt"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> list[str]:
+        pad = "    " * indent
+        head = f"{pad}for {self.var} in T.{'thread_binding' if self.bind else 'serial'}({self.extent}"
+        head += f", thread={self.bind!r})" if self.bind else "):"
+        if self.bind:
+            head += ":"
+        lines = [head]
+        for item in self.body:
+            if isinstance(item, TIRStmt):
+                lines.append("    " * (indent + 1) + item.render())
+            else:
+                lines.extend(item.render(indent + 1))
+        return lines
+
+
+@dataclass
+class TIRModule:
+    """A lowered fused kernel: grid-bound loops wrapping the serial nest."""
+
+    name: str
+    body: list[TIRLoop | TIRStmt]
+
+    def render(self) -> str:
+        lines = [f"@T.prim_func", f"def {self.name}():"]
+        for item in self.body:
+            if isinstance(item, TIRStmt):
+                lines.append("    " + item.render())
+            else:
+                lines.extend(item.render(1))
+        return "\n".join(lines)
+
+    def loops(self) -> list[TIRLoop]:
+        out: list[TIRLoop] = []
+
+        def walk(items: list[TIRLoop | TIRStmt]) -> None:
+            for item in items:
+                if isinstance(item, TIRLoop):
+                    out.append(item)
+                    walk(item.body)
+
+        walk(self.body)
+        return out
+
+
+def tir_from_schedule(schedule: Schedule) -> TIRModule:
+    """Lower a tiled schedule into a TIR module (grid loops become
+    ``blockIdx`` thread bindings, residual loops stay serial)."""
+
+    def lower(scope: LoopScope) -> list[TIRLoop | TIRStmt]:
+        items: list[TIRLoop | TIRStmt] = []
+        for item in scope.body:
+            if isinstance(item, Statement):
+                items.append(TIRStmt(item.kind, item.tensor, item.block))
+            else:
+                loop = TIRLoop(var=item.loop or "?", extent=item.extent)
+                loop.body = lower(item)
+                items.append(loop)
+        return items
+
+    body: list[TIRLoop | TIRStmt] = lower(schedule.root)
+    axes = ["blockIdx.x", "blockIdx.y", "blockIdx.z"]
+    for i, (loop, extent) in enumerate(reversed(schedule.grid_dims)):
+        bound = TIRLoop(var=loop, extent=extent, bind=axes[min(i, 2)])
+        bound.body = body
+        body = [bound]
+    name = f"fused_{schedule.chain.name}".replace("-", "_")
+    return TIRModule(name=name, body=body)
+
+
+def extract_tiling_expr(module: TIRModule) -> TilingExpr:
+    """The TIR AST visitor: recover the residual tiling expression
+    (serial loops only — thread-bound loops are the grid)."""
+
+    def visit(items: list[TIRLoop | TIRStmt]) -> tuple[LoopNest, ...]:
+        roots: list[LoopNest] = []
+        for item in items:
+            if not isinstance(item, TIRLoop):
+                continue
+            if item.bind is not None:
+                roots.extend(visit(item.body))
+            else:
+                roots.append(LoopNest(item.var, visit(item.body)))
+        return tuple(roots)
+
+    return TilingExpr(roots=visit(module.body))
+
+
+class TIRScheduleBuilder:
+    """Builds a tiled TIR module from the naive nest via schedule primitives.
+
+    Mirrors ``tvm.tir.Schedule``: start from the chain's fully serial loop
+    nest (one loop per cross-tile dimension at full extent), then apply
+    ``split`` (loop -> outer/inner pair), ``reorder`` (permute the current
+    loop order), and ``bind`` (attach a loop to a ``blockIdx`` axis).
+    ``finalize`` checks every loop was consumed and emits the module.
+    """
+
+    def __init__(self, name: str, loop_extents: dict[str, int]) -> None:
+        self.name = name
+        self.extents = dict(loop_extents)
+        self.order: list[str] = list(loop_extents)
+        self.bound: dict[str, str] = {}
+        self.log: list[str] = []
+
+    def split(self, loop: str, factor: int) -> tuple[str, str]:
+        """Split ``loop`` into (outer, inner) with ``inner`` extent ``factor``."""
+        if loop not in self.extents:
+            raise KeyError(f"unknown loop {loop!r}")
+        if factor < 1:
+            raise ValueError("split factor must be >= 1")
+        extent = self.extents.pop(loop)
+        outer, inner = f"{loop}o", f"{loop}i"
+        self.extents[outer] = -(-extent // factor)
+        self.extents[inner] = factor
+        i = self.order.index(loop)
+        self.order[i : i + 1] = [outer, inner]
+        self.log.append(f"split({loop}, {factor})")
+        return outer, inner
+
+    def reorder(self, *loops: str) -> None:
+        """Permute the listed loops into the given relative order."""
+        missing = [l for l in loops if l not in self.order]
+        if missing:
+            raise KeyError(f"unknown loops {missing}")
+        positions = sorted(self.order.index(l) for l in loops)
+        for pos, loop in zip(positions, loops):
+            self.order[pos] = loop
+        self.log.append(f"reorder({', '.join(loops)})")
+
+    def bind(self, loop: str, axis: str) -> None:
+        """Bind a loop to a grid axis (must currently be outermost-unbound)."""
+        unbound = [l for l in self.order if l not in self.bound]
+        if not unbound or unbound[0] != loop:
+            raise ValueError(f"can only bind the outermost unbound loop, not {loop!r}")
+        self.bound[loop] = axis
+        self.log.append(f"bind({loop}, {axis})")
+
+    def finalize(self, statements: list[TIRStmt] | None = None) -> TIRModule:
+        """Emit the module: bound loops outermost, then serial loops."""
+        body: list[TIRLoop | TIRStmt] = list(statements or [])
+        for loop in reversed(self.order):
+            node = TIRLoop(var=loop, extent=self.extents[loop], bind=self.bound.get(loop))
+            node.body = body
+            body = [node]
+        return TIRModule(name=self.name, body=body)

@@ -1,0 +1,162 @@
+"""Triton-like tile-level IR and source emission (§V-A).
+
+MCFuser delegates intra-tile optimization to Triton: it emits a tile-level
+program (block pointers, ``tl.load``/``tl.dot``/``tl.store`` and the
+online-softmax primitives) and lets Triton handle coalescing, swizzling,
+vectorization and tensor-core instruction selection. We reproduce the
+*inter-tile* structure faithfully: :func:`triton_from_schedule` turns a
+:class:`Schedule` into a :class:`TritonProgram` whose rendering is a
+readable Triton-style kernel, and whose operation counts feed the PTX
+emitter (:mod:`repro.codegen.ptx`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tiling.schedule import LoopScope, Schedule, Statement
+
+__all__ = ["TritonOp", "TritonLoop", "TritonProgram", "triton_from_schedule"]
+
+
+@dataclass
+class TritonOp:
+    """One tile-level operation (``tl.load``, ``tl.dot``, ``tl.store``...)."""
+
+    op: str
+    tensor: str
+    comment: str = ""
+
+    def render(self) -> str:
+        body = {
+            "make_block_ptr": f"{self.tensor}_ptr = tl.make_block_ptr({self.tensor})",
+            "load": f"{self.tensor}_tile = tl.load({self.tensor}_ptr, boundary_check=(0, 1))",
+            "dot": f"{self.tensor}_acc += tl.dot(*operands_of({self.tensor!r}))",
+            "softmax_update": (
+                f"{self.tensor}_acc, m_i, l_i = online_softmax_update({self.tensor}_acc, m_i, l_i)"
+            ),
+            "epilogue": f"{self.tensor}_acc = epilogue({self.tensor}_acc)",
+            "store": f"tl.store({self.tensor}_ptr, {self.tensor}_acc, boundary_check=(0, 1))",
+            "advance": f"{self.tensor}_ptr = tl.advance({self.tensor}_ptr)",
+        }[self.op]
+        return body + (f"  # {self.comment}" if self.comment else "")
+
+
+@dataclass
+class TritonLoop:
+    var: str
+    extent: int
+    body: list["TritonLoop | TritonOp"] = field(default_factory=list)
+
+    def render(self, indent: int) -> list[str]:
+        pad = "    " * indent
+        lines = [f"{pad}for {self.var} in range({self.extent}):"]
+        for item in self.body:
+            if isinstance(item, TritonOp):
+                lines.append("    " * (indent + 1) + item.render())
+            else:
+                lines.extend(item.render(indent + 1))
+        return lines
+
+
+@dataclass
+class TritonProgram:
+    """One fused Triton kernel: grid declaration + per-block body."""
+
+    name: str
+    grid: tuple[tuple[str, int], ...]
+    tile_params: dict[str, int]
+    body: list[TritonLoop | TritonOp]
+
+    def render(self) -> str:
+        params = ", ".join(
+            f"BLOCK_{l.upper()}: tl.constexpr = {t}" for l, t in self.tile_params.items()
+        )
+        grid = " * ".join(str(e) for _, e in self.grid) or "1"
+        lines = [
+            "@triton.jit",
+            f"def {self.name}(args, {params}):",
+            f"    # grid = {grid} blocks over ({', '.join(l for l, _ in self.grid)})",
+            "    pid = tl.program_id(axis=0)",
+        ]
+        for item in self.body:
+            if isinstance(item, TritonOp):
+                lines.append("    " + item.render())
+            else:
+                lines.extend(item.render(1))
+        return "\n".join(lines)
+
+    def count_ops(self, op: str) -> int:
+        """Static count of one op kind (loop bodies counted once)."""
+        total = 0
+
+        def walk(items: list[TritonLoop | TritonOp]) -> None:
+            nonlocal total
+            for item in items:
+                if isinstance(item, TritonOp):
+                    total += item.op == op
+                else:
+                    walk(item.body)
+
+        walk(self.body)
+        return total
+
+    def dynamic_count(self, op: str) -> int:
+        """Count of one op kind weighted by enclosing loop extents."""
+        total = 0
+
+        def walk(items: list[TritonLoop | TritonOp], mult: int) -> None:
+            nonlocal total
+            for item in items:
+                if isinstance(item, TritonOp):
+                    if item.op == op:
+                        total += mult
+                else:
+                    walk(item.body, mult * item.extent)
+
+        walk(self.body, 1)
+        return total
+
+
+def triton_from_schedule(schedule: Schedule) -> TritonProgram:
+    """Emit the tile-level program for one fused schedule."""
+    chain = schedule.chain
+
+    def lower(scope: LoopScope) -> list[TritonLoop | TritonOp]:
+        items: list[TritonLoop | TritonOp] = []
+        for item in scope.body:
+            if isinstance(item, Statement):
+                items.extend(_lower_statement(item))
+            else:
+                loop = TritonLoop(var=item.loop or "?", extent=item.extent)
+                loop.body = lower(item)
+                items.append(loop)
+        return items
+
+    def _lower_statement(stmt: Statement) -> list[TritonOp]:
+        if stmt.kind == "load":
+            return [TritonOp("load", stmt.tensor, comment=f"-> smem, block {stmt.block}")]
+        if stmt.kind == "compute":
+            block = chain.block(stmt.block)
+            ops = [TritonOp("dot", stmt.tensor, comment=f"tile MMA for {stmt.block}")]
+            if block.softmax_over is not None:
+                ops.insert(0, TritonOp("softmax_update", stmt.tensor, comment="online softmax"))
+            return ops
+        block = chain.block(stmt.block)
+        ops = []
+        if block.epilogue is not None:
+            ops.append(TritonOp("epilogue", stmt.tensor, comment=block.epilogue))
+        ops.append(TritonOp("store", stmt.tensor, comment="-> global"))
+        return ops
+
+    preamble: list[TritonLoop | TritonOp] = [
+        TritonOp("make_block_ptr", name)
+        for name in (*chain.input_names(), chain.output)
+    ]
+    name = f"mcfuser_{chain.name}_kernel".replace("-", "_")
+    return TritonProgram(
+        name=name,
+        grid=schedule.grid_dims,
+        tile_params={l: schedule.tiles[l] for l in chain.loop_names},
+        body=preamble + lower(schedule.root),
+    )

@@ -1,0 +1,42 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Run all from the command line::
+
+    python -m repro.experiments.fig2_roofline
+    python -m repro.experiments.fig7_pruning
+    python -m repro.experiments.fig8_subgraph
+    python -m repro.experiments.fig9_e2e
+    python -m repro.experiments.fig10_shmem
+    python -m repro.experiments.fig11_perf_model
+    python -m repro.experiments.table1_comparison
+    python -m repro.experiments.table4_tuning_time
+
+or all at once with ``python -m repro.experiments``.
+"""
+
+from repro.experiments import (
+    ablation,
+    fig2_roofline,
+    fig7_pruning,
+    fig8_subgraph,
+    fig9_e2e,
+    fig10_shmem,
+    fig11_perf_model,
+    table1_comparison,
+    table4_tuning_time,
+)
+from repro.experiments.common import ExperimentResult
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2_roofline,
+    "fig7": fig7_pruning,
+    "fig8": fig8_subgraph,
+    "fig9": fig9_e2e,
+    "fig10": fig10_shmem,
+    "fig11": fig11_perf_model,
+    "table1": table1_comparison,
+    "table4": table4_tuning_time,
+    "ablation": ablation,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,12 @@
+"""Run every experiment driver in sequence: ``python -m repro.experiments``."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:  # pragma: no cover - console entry
+    for name, module in ALL_EXPERIMENTS.items():
+        module.main()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

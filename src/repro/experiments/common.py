@@ -1,0 +1,45 @@
+"""Shared plumbing for the experiment drivers.
+
+Every experiment module exposes ``run(...) -> <Result dataclass>`` plus a
+``main()`` that prints the paper's rows/series as a text table. ``quick``
+flags shrink workload lists so the benchmark suite stays fast; the full
+runs reproduce every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.gpu.specs import A100, RTX3080, GPUSpec
+from repro.utils import format_table
+
+__all__ = ["ExperimentResult", "both_gpus", "print_header"]
+
+
+@dataclass
+class ExperimentResult:
+    """Generic tabular result: headers + rows + free-form metadata."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]]
+    meta: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print_header(self.name)
+        print(self.table())
+        for key, value in self.meta.items():
+            print(f"  {key}: {value}")
+
+
+def both_gpus() -> Sequence[GPUSpec]:
+    return (A100, RTX3080)
+
+
+def print_header(title: str) -> None:  # pragma: no cover - console convenience
+    bar = "=" * max(8, len(title))
+    print(f"\n{bar}\n{title}\n{bar}")

@@ -1,0 +1,128 @@
+"""Fig. 8: sub-graph performance of fused batch GEMM chains (a, b) and
+self-attention modules (c, d) on A100 and RTX 3080, normalized to PyTorch.
+
+Baselines in legend order: PyTorch, Ansor, BOLT (sm80 only, dual-GEMM
+fusion only), FlashAttention (attention with K == H only), MCFuser-Chimera
+and MCFuser. Missing bars print as ``-``, mirroring the paper's gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import BaselineResult, default_baselines
+from repro.experiments.common import ExperimentResult
+from repro.gpu.specs import A100, GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.utils import geomean
+from repro.workloads import attention_workloads, gemm_workloads
+
+__all__ = ["SubgraphPanel", "run_panel", "run", "main"]
+
+_QUICK_GEMM = ["G1", "G4", "G8", "G12"]
+_QUICK_ATTN = ["S1", "S4", "S9"]
+
+
+@dataclass
+class SubgraphPanel:
+    """One panel of Fig. 8: normalized speedups per workload x baseline."""
+
+    gpu: str
+    workload_kind: str
+    baselines: list[str]
+    speedups: dict[str, dict[str, float | None]] = field(default_factory=dict)
+    times: dict[str, dict[str, float | None]] = field(default_factory=dict)
+    tuning: dict[str, dict[str, float | None]] = field(default_factory=dict)
+
+    def average(self, baseline: str) -> float:
+        vals = [
+            row[baseline]
+            for row in self.speedups.values()
+            if row.get(baseline) is not None
+        ]
+        return geomean([v for v in vals if v]) if vals else float("nan")
+
+
+def run_panel(
+    workloads: list[ComputeChain],
+    gpu: GPUSpec,
+    kind: str,
+    seed: int = 0,
+    ansor_trials: int = 1000,
+) -> SubgraphPanel:
+    baselines = default_baselines(ansor_trials=ansor_trials)
+    panel = SubgraphPanel(
+        gpu=gpu.name, workload_kind=kind, baselines=[b.name for b in baselines]
+    )
+    for chain in workloads:
+        results: dict[str, BaselineResult | None] = {}
+        for b in baselines:
+            results[b.name] = b.run_chain(chain, gpu, seed=seed)
+        pt = results["PyTorch"]
+        assert pt is not None
+        panel.times[chain.name] = {
+            k: (r.time if r else None) for k, r in results.items()
+        }
+        panel.tuning[chain.name] = {
+            k: (r.tuning_seconds if r else None) for k, r in results.items()
+        }
+        panel.speedups[chain.name] = {
+            k: (pt.time / r.time if r and r.time not in (0.0, float("inf")) else None)
+            for k, r in results.items()
+        }
+    return panel
+
+
+def _panel_to_result(panel: SubgraphPanel, title: str) -> ExperimentResult:
+    rows = []
+    for wl, row in panel.speedups.items():
+        rows.append(
+            [wl] + [f"{row[b]:.2f}" if row.get(b) else "-" for b in panel.baselines]
+        )
+    rows.append(
+        ["avg"]
+        + [
+            f"{panel.average(b):.2f}" if panel.average(b) == panel.average(b) else "-"
+            for b in panel.baselines
+        ]
+    )
+    return ExperimentResult(
+        name=title, headers=["workload"] + panel.baselines, rows=rows,
+        meta={"normalized_to": "PyTorch"},
+    )
+
+
+def run(
+    gpu: GPUSpec = A100,
+    kind: str = "gemm",
+    seed: int = 0,
+    quick: bool = False,
+    ansor_trials: int = 1000,
+) -> ExperimentResult:
+    """One Fig. 8 panel. ``kind`` is ``"gemm"`` (a/b) or ``"attention"`` (c/d)."""
+    if kind == "gemm":
+        workloads = gemm_workloads(_QUICK_GEMM if quick else None)
+        letter = "a" if gpu.name == "A100" else "b"
+    elif kind == "attention":
+        workloads = attention_workloads(_QUICK_ATTN if quick else None)
+        letter = "c" if gpu.name == "A100" else "d"
+    else:
+        raise ValueError(f"kind must be 'gemm' or 'attention', got {kind!r}")
+    panel = run_panel(workloads, gpu, kind, seed=seed, ansor_trials=ansor_trials)
+    result = _panel_to_result(
+        panel, f"Fig.8({letter}) {kind} chains on {gpu.name} (speedup vs PyTorch)"
+    )
+    result.meta["panel"] = panel
+    return result
+
+
+def main() -> None:  # pragma: no cover - console entry
+    from repro.gpu.specs import RTX3080
+
+    for gpu in (A100, RTX3080):
+        for kind in ("gemm", "attention"):
+            run(gpu, kind).print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,126 @@
+"""Table IV: tuning times for sub-graph modules and end-to-end models.
+
+Sub-graph: average simulated tuning seconds for BOLT / Ansor /
+MCFuser-Chimera / MCFuser over the GEMM-chain and attention workloads
+(paper: 88 s / 4895 s / 29 s / 35 s and - / 2897 s / 32 s / 39 s).
+End-to-end: Relay / BOLT / MCFuser+Relay / Ansor / MCFuser+Ansor on the
+BERT family (paper: MCFuser+Relay within ~1 min of Relay, MCFuser+Ansor
+~1.4x faster to tune than Ansor).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    AnsorBaseline,
+    BOLTBaseline,
+    MCFuserBaseline,
+    MCFuserChimeraBaseline,
+)
+from repro.experiments.common import ExperimentResult
+from repro.frontend.executor import compile_model
+from repro.frontend.models import bert_encoder
+from repro.gpu.specs import A100, GPUSpec
+from repro.utils import fmt_time
+from repro.workloads import attention_workloads, gemm_workloads
+
+__all__ = ["subgraph_tuning_times", "e2e_tuning_times", "run", "main"]
+
+
+def subgraph_tuning_times(
+    gpu: GPUSpec = A100,
+    quick: bool = False,
+    seed: int = 0,
+    ansor_trials: int = 1000,
+) -> dict[str, dict[str, float]]:
+    """Average tuning seconds per system for both workload families."""
+    gemm = gemm_workloads(["G1", "G4"] if quick else ["G1", "G4", "G8", "G12"])
+    attn = attention_workloads(["S1"] if quick else ["S1", "S4", "S9"])
+    systems = {
+        "BOLT": BOLTBaseline(),
+        "Ansor": AnsorBaseline(trials=ansor_trials),
+        "MCFuser-Chimera": MCFuserChimeraBaseline(),
+        "MCFuser": MCFuserBaseline(),
+    }
+    out: dict[str, dict[str, float]] = {"GEMM Chain": {}, "Self Attention": {}}
+    for family, workloads in (("GEMM Chain", gemm), ("Self Attention", attn)):
+        for name, system in systems.items():
+            times = []
+            for chain in workloads:
+                r = system.run_chain(chain, gpu, seed=seed)
+                if r is not None and (name != "BOLT" or family == "GEMM Chain"):
+                    times.append(r.tuning_seconds)
+            out[family][name] = sum(times) / len(times) if times else float("nan")
+    return out
+
+
+def e2e_tuning_times(
+    gpu: GPUSpec = A100, quick: bool = False, seed: int = 0
+) -> dict[str, dict[str, float]]:
+    models = ("Bert-Small",) if quick else ("Bert-Small", "Bert-Base", "Bert-Large")
+    strategies = ("relay", "bolt", "mcfuser+relay", "ansor", "mcfuser+ansor")
+    out: dict[str, dict[str, float]] = {}
+    for model in models:
+        graph = bert_encoder(model, 512)
+        out[model] = {
+            s: compile_model(graph, gpu, s, seed=seed).tuning_seconds for s in strategies
+        }
+    return out
+
+
+def run(gpu: GPUSpec = A100, quick: bool = False, seed: int = 0) -> ExperimentResult:
+    sub = subgraph_tuning_times(gpu, quick=quick, seed=seed,
+                                ansor_trials=200 if quick else 1000)
+    rows = []
+    for family, times in sub.items():
+        ansor = times.get("Ansor", float("nan"))
+        mcf = times.get("MCFuser", float("nan"))
+        rows.append(
+            [
+                family,
+                fmt_time(times["BOLT"]) if times["BOLT"] == times["BOLT"] else "-",
+                fmt_time(ansor),
+                fmt_time(times["MCFuser-Chimera"]),
+                fmt_time(mcf),
+                f"{ansor / mcf:.0f}x" if mcf and ansor == ansor else "-",
+            ]
+        )
+    e2e = e2e_tuning_times(gpu, quick=quick, seed=seed)
+    e2e_rows = []
+    for model, times in e2e.items():
+        e2e_rows.append(
+            [
+                model,
+                fmt_time(times["relay"]),
+                fmt_time(times["bolt"]),
+                fmt_time(times["mcfuser+relay"]),
+                fmt_time(times["ansor"]),
+                fmt_time(times["mcfuser+ansor"]),
+            ]
+        )
+    result = ExperimentResult(
+        name=f"Table IV: tuning times on {gpu.name}",
+        headers=["sub-graph", "BOLT", "Ansor", "MCFuser-Chimera", "MCFuser", "Ansor/MCFuser"],
+        rows=rows,
+        meta={
+            "e2e_headers": ["model", "Relay", "BOLT", "MCFuser+Relay", "Ansor", "MCFuser+Ansor"],
+            "e2e_rows": e2e_rows,
+            "subgraph_times": sub,
+            "e2e_times": e2e,
+        },
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - console entry
+    from repro.utils import format_table
+
+    result = run()
+    result_meta = dict(result.meta)
+    result.meta = {}
+    result.print()
+    print()
+    print(format_table(result_meta["e2e_headers"], result_meta["e2e_rows"]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,150 @@
+"""End-to-end model builders: BERT, ViT and MLP-Mixer encoders.
+
+These produce :class:`~repro.ir.graph.Graph` objects made of the paper's
+operator vocabulary (Dense/BatchMatmul/Softmax/LayerNorm/...), with the
+self-attention modules expressed exactly as the Table III shapes so the
+partitioner can lift them into MBCI chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import Graph
+from repro.ir.ops import (
+    Activation,
+    Add,
+    BatchMatmul,
+    BiasAdd,
+    Dense,
+    LayerNorm,
+    Reshape,
+    Scale,
+    Softmax,
+    Transpose,
+)
+
+__all__ = ["BertConfig", "BERT_CONFIGS", "bert_encoder", "vit_encoder", "mlp_mixer"]
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    name: str
+    layers: int
+    hidden: int
+    heads: int
+    intermediate: int
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+
+#: Standard HuggingFace configurations (head dim 64 throughout — the
+#: Table III S1/S2/S3 shapes).
+BERT_CONFIGS: dict[str, BertConfig] = {
+    "Bert-Small": BertConfig("Bert-Small", layers=4, hidden=512, heads=8, intermediate=2048),
+    "Bert-Base": BertConfig("Bert-Base", layers=12, hidden=768, heads=12, intermediate=3072),
+    "Bert-Large": BertConfig("Bert-Large", layers=24, hidden=1024, heads=16, intermediate=4096),
+}
+
+
+def _attention_block(g: Graph, x: str, prefix: str, seq: int, cfg: BertConfig) -> str:
+    """One multi-head self-attention block; returns the output tensor name."""
+    hd, heads, hidden = cfg.head_dim, cfg.heads, cfg.hidden
+    parts = {}
+    for role in ("q", "k", "v"):
+        w = g.add_param(f"{prefix}.{role}.weight", (hidden, hidden))
+        b = g.add_param(f"{prefix}.{role}.bias", (hidden,))
+        d = g.add(Dense((x, w), f"{prefix}.{role}.proj"))
+        d = g.add(BiasAdd((d, b), f"{prefix}.{role}.biased"))
+        r = g.add(Reshape((d,), f"{prefix}.{role}.split", shape=(seq, heads, hd)))
+        parts[role] = g.add(Transpose((r,), f"{prefix}.{role}.heads", axes=(1, 0, 2)))
+    scores = g.add(
+        BatchMatmul((parts["q"], parts["k"]), f"{prefix}.scores", transpose_b=True)
+    )
+    scaled = g.add(Scale((scores,), f"{prefix}.scaled", factor=hd**-0.5))
+    probs = g.add(Softmax((scaled,), f"{prefix}.probs", axis=-1))
+    ctx = g.add(BatchMatmul((probs, parts["v"]), f"{prefix}.context"))
+    merged = g.add(Transpose((ctx,), f"{prefix}.merge", axes=(1, 0, 2)))
+    flat = g.add(Reshape((merged,), f"{prefix}.flat", shape=(seq, hidden)))
+    wo = g.add_param(f"{prefix}.out.weight", (hidden, hidden))
+    bo = g.add_param(f"{prefix}.out.bias", (hidden,))
+    out = g.add(Dense((flat, wo), f"{prefix}.out.proj"))
+    return g.add(BiasAdd((out, bo), f"{prefix}.out"))
+
+
+def _layer_norm(g: Graph, x: str, prefix: str, width: int) -> str:
+    gamma = g.add_param(f"{prefix}.gamma", (width,))
+    beta = g.add_param(f"{prefix}.beta", (width,))
+    return g.add(LayerNorm((x, gamma, beta), f"{prefix}.ln"))
+
+
+def _ffn(g: Graph, x: str, prefix: str, width: int, inner: int, act: str = "gelu") -> str:
+    w1 = g.add_param(f"{prefix}.fc1.weight", (width, inner))
+    b1 = g.add_param(f"{prefix}.fc1.bias", (inner,))
+    w2 = g.add_param(f"{prefix}.fc2.weight", (inner, width))
+    b2 = g.add_param(f"{prefix}.fc2.bias", (width,))
+    h = g.add(Dense((x, w1), f"{prefix}.fc1"))
+    h = g.add(BiasAdd((h, b1), f"{prefix}.fc1.biased"))
+    h = g.add(Activation((h,), f"{prefix}.act", fn=act))
+    h = g.add(Dense((h, w2), f"{prefix}.fc2"))
+    return g.add(BiasAdd((h, b2), f"{prefix}.fc2.biased"))
+
+
+def bert_encoder(config: str | BertConfig, seq_len: int = 512) -> Graph:
+    """The BERT encoder stack (the paper's Fig. 9 workload, seq 512)."""
+    cfg = BERT_CONFIGS[config] if isinstance(config, str) else config
+    g = Graph(f"{cfg.name}-seq{seq_len}")
+    x = g.add_input("input", (seq_len, cfg.hidden))
+    for layer in range(cfg.layers):
+        p = f"layer{layer}"
+        attn = _attention_block(g, x, f"{p}.attn", seq_len, cfg)
+        x = g.add(Add((x, attn), f"{p}.attn.residual"))
+        x = _layer_norm(g, x, f"{p}.attn", cfg.hidden)
+        ffn = _ffn(g, x, f"{p}.ffn", cfg.hidden, cfg.intermediate)
+        x = g.add(Add((x, ffn), f"{p}.ffn.residual"))
+        x = _layer_norm(g, x, f"{p}.ffn", cfg.hidden)
+    g.mark_output(x)
+    return g
+
+
+def vit_encoder(variant: str = "ViT-Base", tokens: int = 256) -> Graph:
+    """Vision Transformer encoder (source of the S4-S6 attention shapes).
+
+    Structurally a BERT encoder over patch tokens; ViT-Huge uses head dim
+    80, which is what makes S6 the K=H=80 case.
+    """
+    table = {
+        "ViT-Base": BertConfig("ViT-Base", layers=12, hidden=768, heads=12, intermediate=3072),
+        "ViT-Large": BertConfig("ViT-Large", layers=24, hidden=1024, heads=16, intermediate=4096),
+        "ViT-Huge": BertConfig("ViT-Huge", layers=32, hidden=1280, heads=16, intermediate=5120),
+    }
+    cfg = table[variant]
+    return bert_encoder(cfg, seq_len=tokens)
+
+
+def mlp_mixer(tokens: int = 512, channels: int = 256, layers: int = 8, token_inner: int = 64) -> Graph:
+    """MLP-Mixer: token-mixing and channel-mixing MLP blocks.
+
+    The token-mixing MLP is a chained pair of GEMMs over the transposed
+    token axis — the S7-S9 shapes in Table III (heads = 1, M != N).
+    """
+    g = Graph(f"MLP-Mixer-t{tokens}c{channels}")
+    x = g.add_input("input", (tokens, channels))
+    for layer in range(layers):
+        p = f"mixer{layer}"
+        xt = g.add(Transpose((x,), f"{p}.tok.T", axes=(1, 0)))
+        w1 = g.add_param(f"{p}.tok.w1", (tokens, token_inner))
+        w2 = g.add_param(f"{p}.tok.w2", (token_inner, tokens))
+        h = g.add(Dense((xt, w1), f"{p}.tok.fc1"))
+        h = g.add(Activation((h,), f"{p}.tok.act", fn="gelu"))
+        h = g.add(Dense((h, w2), f"{p}.tok.fc2"))
+        ht = g.add(Transpose((h,), f"{p}.tok.back", axes=(1, 0)))
+        x = g.add(Add((x, ht), f"{p}.tok.residual"))
+        x = _layer_norm(g, x, f"{p}.tok", channels)
+        ffn = _ffn(g, x, f"{p}.chan", channels, channels * 4)
+        x = g.add(Add((x, ffn), f"{p}.chan.residual"))
+        x = _layer_norm(g, x, f"{p}.chan", channels)
+    g.mark_output(x)
+    return g

@@ -1,0 +1,143 @@
+"""Graph partitioner: lift MBCI sub-graphs out of an operator graph (§V-B).
+
+The partitioner pattern-matches the two fusable shapes the paper targets —
+
+* **attention**: ``BatchMatmul -> [Scale] -> Softmax -> BatchMatmul``
+* **GEMM chain**: ``BatchMatmul -> BatchMatmul``
+
+— checks single-consumer dataflow between the matched nodes, classifies
+the resulting chain as MBCI on the target GPU (the ``phi < P/W`` test),
+and returns the partition: MBCI sub-graphs plus the remaining operator
+list. The executor compiles the former with MCFuser and the latter with
+Relay/Ansor, exactly the paper's MCFuser+Relay / MCFuser+Ansor setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain, attention_chain, gemm_chain
+from repro.ir.graph import Graph, GraphNode
+from repro.ir.ops import BatchMatmul, Scale, Softmax
+
+__all__ = ["MBCISubgraph", "Partition", "partition_graph"]
+
+
+@dataclass(frozen=True)
+class MBCISubgraph:
+    """One fusable sub-graph: the nodes it absorbs and its chain IR."""
+
+    kind: str  # "attention" | "gemm_chain"
+    nodes: tuple[str, ...]  # outputs of the absorbed graph nodes
+    chain: ComputeChain
+    inputs: tuple[str, ...]
+    output: str
+
+
+@dataclass
+class Partition:
+    """Result of partitioning: MBCI sub-graphs + everything else."""
+
+    graph: Graph
+    subgraphs: list[MBCISubgraph]
+    rest: list[GraphNode]
+
+    @property
+    def absorbed(self) -> set[str]:
+        out: set[str] = set()
+        for sg in self.subgraphs:
+            out.update(sg.nodes)
+        return out
+
+
+def _single_consumer(graph: Graph, tensor: str) -> GraphNode | None:
+    consumers = graph.consumers(tensor)
+    return consumers[0] if len(consumers) == 1 else None
+
+
+def _match_attention(graph: Graph, node: GraphNode) -> MBCISubgraph | None:
+    """Match BatchMatmul -> [Scale] -> Softmax -> BatchMatmul at ``node``."""
+    if not isinstance(node.op, BatchMatmul):
+        return None
+    nxt = _single_consumer(graph, node.output)
+    absorbed = [node.output]
+    if nxt is not None and isinstance(nxt.op, Scale):
+        absorbed.append(nxt.output)
+        nxt = _single_consumer(graph, nxt.output)
+    if nxt is None or not isinstance(nxt.op, Softmax):
+        return None
+    absorbed.append(nxt.output)
+    last = _single_consumer(graph, nxt.output)
+    if last is None or not isinstance(last.op, BatchMatmul):
+        return None
+    if last.inputs[0] != nxt.output or last.op.transpose_a:
+        return None
+    absorbed.append(last.output)
+
+    q, k = node.inputs
+    v = last.inputs[1]
+    bq, m, kk = graph.shape(q) if not node.op.transpose_a else _t(graph.shape(q))
+    s_shape = graph.shape(node.output)
+    o_shape = graph.shape(last.output)
+    heads, m, n = s_shape
+    h = o_shape[2]
+    chain = attention_chain(heads, m, n, kk, h, name=f"attn@{node.output}")
+    return MBCISubgraph(
+        kind="attention",
+        nodes=tuple(absorbed),
+        chain=chain,
+        inputs=(q, k, v),
+        output=last.output,
+    )
+
+
+def _t(shape: tuple[int, ...]) -> tuple[int, ...]:
+    return (shape[0], shape[2], shape[1])
+
+
+def _match_gemm_chain(graph: Graph, node: GraphNode) -> MBCISubgraph | None:
+    """Match BatchMatmul -> BatchMatmul at ``node``."""
+    if not isinstance(node.op, BatchMatmul):
+        return None
+    nxt = _single_consumer(graph, node.output)
+    if nxt is None or not isinstance(nxt.op, BatchMatmul):
+        return None
+    if nxt.inputs[0] != node.output or nxt.op.transpose_a:
+        return None
+    batch, m, n = graph.shape(node.output)
+    k = graph.shape(node.inputs[0])[1 if node.op.transpose_a else 2]
+    h = graph.shape(nxt.output)[2]
+    chain = gemm_chain(batch, m, n, k, h, name=f"gemm2@{node.output}")
+    return MBCISubgraph(
+        kind="gemm_chain",
+        nodes=(node.output, nxt.output),
+        chain=chain,
+        inputs=(node.inputs[0], node.inputs[1], nxt.inputs[1]),
+        output=nxt.output,
+    )
+
+
+def partition_graph(graph: Graph, gpu: GPUSpec, mbci_only: bool = True) -> Partition:
+    """Split a graph into MBCI sub-graphs and residual operators.
+
+    ``mbci_only=True`` (default) keeps only sub-graphs that are actually
+    memory-bound on ``gpu`` — compute-bound chains stay with the library,
+    mirroring the paper's partitioner.
+    """
+    subgraphs: list[MBCISubgraph] = []
+    claimed: set[str] = set()
+    for node in graph.nodes:
+        if node.output in claimed:
+            continue
+        match = _match_attention(graph, node) or _match_gemm_chain(graph, node)
+        if match is None:
+            continue
+        if any(t in claimed for t in match.nodes):
+            continue
+        if mbci_only and not match.chain.is_mbci(gpu):
+            continue
+        subgraphs.append(match)
+        claimed.update(match.nodes)
+    rest = [n for n in graph.nodes if n.output not in claimed]
+    return Partition(graph=graph, subgraphs=subgraphs, rest=rest)

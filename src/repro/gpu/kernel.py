@@ -1,0 +1,128 @@
+"""Backend-neutral description of a GPU kernel launch.
+
+Every execution path in this reproduction — MCFuser-fused kernels, library
+calls (the PyTorch/cuBLAS baseline), Ansor-generated kernels, CUTLASS
+templates — reduces the work it wants to run to a :class:`KernelLaunch`.
+The simulator (:mod:`repro.gpu.simulator`) then prices that launch on a
+:class:`~repro.gpu.specs.GPUSpec`. Keeping this interface narrow is what
+makes cross-baseline comparisons apples-to-apples: everybody is billed for
+the FLOPs they execute and the DRAM bytes they move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelLaunch", "CodegenQuality", "CODEGEN_QUALITY"]
+
+
+#: Relative intra-tile code quality per code generator. The paper delegates
+#: intra-block optimization to Triton (§V-A); hand-written libraries are a
+#: bit better, naive template code a bit worse. These scale the simulator's
+#: compute-efficiency term only — memory traffic is what it is.
+CODEGEN_QUALITY: dict[str, float] = {
+    "cublas": 0.97,
+    "cutlass": 0.93,
+    "triton": 0.90,
+    "ansor": 0.55,  # Ansor-generated fused CUDA rarely reaches tensor-core peak
+    "ansor_op": 0.80,  # single-op kernels after ~1000 trials fare much better
+    "relay": 0.68,
+    "naive": 0.50,
+}
+
+
+class CodegenQuality:
+    """Namespace of known code-generator identifiers (see CODEGEN_QUALITY)."""
+
+    CUBLAS = "cublas"
+    CUTLASS = "cutlass"
+    TRITON = "triton"
+    ANSOR = "ansor"
+    RELAY = "relay"
+    NAIVE = "naive"
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel launch, summarized by the quantities that determine time.
+
+    Attributes:
+        name: Identifier used in reports and for deterministic jitter.
+        grid: Number of thread blocks launched.
+        flops: Total floating point operations across the whole grid.
+        dram_read_bytes: Bytes read from global memory (across the grid).
+        dram_write_bytes: Bytes written to global memory.
+        shared_mem_bytes: Shared memory requested per block (the *measured*
+            allocation, after double buffering / bank-conflict padding).
+        tile_m/tile_n/tile_k: Representative MMA tile shape of the inner
+            compute; drives the tensor-core efficiency model.
+        inner_contig_bytes: Contiguous bytes per global-memory row access;
+            drives the DRAM-efficiency model (coalescing).
+        codegen: Key into CODEGEN_QUALITY.
+        extra: Free-form metadata (not hashed into jitter).
+    """
+
+    name: str
+    grid: int
+    flops: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    shared_mem_bytes: int
+    tile_m: int = 64
+    tile_n: int = 64
+    tile_k: int = 32
+    inner_contig_bytes: int = 128
+    codegen: str = CodegenQuality.TRITON
+    #: Kernel-specific throughput derate (both compute and memory), for
+    #: effects outside the generic model — e.g. cuBLAS strided-batched
+    #: layouts or short-K pipeline drain. 1.0 = no derate.
+    efficiency: float = 1.0
+    #: Compulsory read traffic (each input byte once). Reads beyond this
+    #: are re-reads of resident data and get L2 relief in the simulator.
+    #: ``None`` means "all reads compulsory" (no relief).
+    dram_compulsory_read_bytes: float | None = None
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0:
+            raise ValueError(f"kernel {self.name!r}: grid must be positive")
+        if self.flops < 0 or self.dram_read_bytes < 0 or self.dram_write_bytes < 0:
+            raise ValueError(f"kernel {self.name!r}: negative work quantities")
+        if self.codegen not in CODEGEN_QUALITY:
+            raise ValueError(
+                f"kernel {self.name!r}: unknown codegen {self.codegen!r}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError(f"kernel {self.name!r}: efficiency must be in (0, 1]")
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic in bytes."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte (the paper's ``phi``); inf for zero traffic."""
+        if self.dram_bytes == 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    def signature(self) -> tuple:
+        """Stable identity used for measurement caching and jitter."""
+        return (
+            self.name,
+            self.grid,
+            round(self.flops, 3),
+            round(self.dram_read_bytes, 3),
+            round(self.dram_write_bytes, 3),
+            self.shared_mem_bytes,
+            self.tile_m,
+            self.tile_n,
+            self.tile_k,
+            self.inner_contig_bytes,
+            self.codegen,
+            round(self.efficiency, 4),
+            None
+            if self.dram_compulsory_read_bytes is None
+            else round(self.dram_compulsory_read_bytes, 3),
+        )

@@ -1,0 +1,82 @@
+"""Occupancy and wave arithmetic for the GPU simulator.
+
+A fused kernel's thread blocks are dispatched one-per-SM-slot; how many
+slots exist depends on the per-block shared-memory footprint. The paper's
+slowdown factor (eq. 5) is a smooth approximation of this; the simulator
+uses the exact wave-quantized version so that the analytical model and the
+"hardware" disagree in realistic ways (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+from repro.utils import ceil_div
+
+__all__ = ["Occupancy", "occupancy_for", "SharedMemoryExceeded"]
+
+
+class SharedMemoryExceeded(ValueError):
+    """Raised when a block requests more shared memory than the GPU allows.
+
+    This is the simulator-side equivalent of a CUDA launch failure; the
+    search treats such candidates as unmeasurable (they are the points above
+    ``Shm_max`` in Fig. 10 that PTX lowering rejects).
+    """
+
+    def __init__(self, requested: int, limit: int) -> None:
+        super().__init__(
+            f"shared memory request {requested}B exceeds per-block limit {limit}B"
+        )
+        self.requested = requested
+        self.limit = limit
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy for one kernel on one GPU.
+
+    Attributes:
+        blocks_per_sm: Resident blocks per SM (shared-memory limited).
+            Residency helps latency hiding but does not multiply an SM's
+            throughput — timing quantizes over *SMs*, not block slots.
+        concurrent_blocks: Blocks resident simultaneously across the GPU.
+        waves: SM rounds needed for the whole grid (``ceil(grid / SMs)``).
+        quantization: ``waves * SMs / grid`` — the exact tail-effect
+            multiplier (>= 1). A grid of 24 blocks on a 108-SM GPU leaves
+            most of the machine's compute idle; this factor captures that.
+    """
+
+    blocks_per_sm: int
+    concurrent_blocks: int
+    waves: int
+    quantization: float
+
+
+def occupancy_for(grid: int, shared_mem_bytes: int, gpu: GPUSpec) -> Occupancy:
+    """Compute occupancy for ``grid`` blocks each using ``shared_mem_bytes``.
+
+    Raises:
+        SharedMemoryExceeded: if one block alone does not fit.
+    """
+    if grid <= 0:
+        raise ValueError("grid must be positive")
+    if shared_mem_bytes > gpu.shared_mem_per_block:
+        raise SharedMemoryExceeded(shared_mem_bytes, gpu.shared_mem_per_block)
+    if shared_mem_bytes <= 0:
+        blocks_per_sm = gpu.max_blocks_per_sm
+    else:
+        blocks_per_sm = min(
+            gpu.max_blocks_per_sm, gpu.shared_mem_per_sm // shared_mem_bytes
+        )
+        blocks_per_sm = max(blocks_per_sm, 1)
+    concurrent = min(grid, gpu.num_sms * blocks_per_sm)
+    waves = ceil_div(grid, gpu.num_sms)
+    quantization = waves * gpu.num_sms / grid
+    return Occupancy(
+        blocks_per_sm=blocks_per_sm,
+        concurrent_blocks=concurrent,
+        waves=waves,
+        quantization=quantization,
+    )

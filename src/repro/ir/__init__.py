@@ -1,0 +1,42 @@
+"""Tensor IR: tensor specs, graph-level operators, and the ComputeChain
+fusion IR that the tiling/search layers consume."""
+
+from repro.ir.chain import ComputeBlock, ComputeChain, TensorRef, attention_chain, gemm_chain
+from repro.ir.graph import Graph, GraphNode
+from repro.ir.ops import (
+    Activation,
+    Add,
+    BatchMatmul,
+    BiasAdd,
+    Dense,
+    LayerNorm,
+    Op,
+    Reshape,
+    Scale,
+    Softmax,
+    Transpose,
+)
+from repro.ir.tensor import DTYPE_BYTES, TensorSpec
+
+__all__ = [
+    "TensorSpec",
+    "DTYPE_BYTES",
+    "ComputeChain",
+    "ComputeBlock",
+    "TensorRef",
+    "gemm_chain",
+    "attention_chain",
+    "Graph",
+    "GraphNode",
+    "Op",
+    "Dense",
+    "BatchMatmul",
+    "Softmax",
+    "Add",
+    "BiasAdd",
+    "Activation",
+    "LayerNorm",
+    "Scale",
+    "Reshape",
+    "Transpose",
+]

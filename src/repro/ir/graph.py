@@ -1,0 +1,130 @@
+"""Operator graph (the Relay-module substitute) with shape inference,
+execution, and the pattern queries the MBCI partitioner needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.ops import Op
+from repro.ir.tensor import TensorSpec
+from repro.utils import prod, rng_for
+
+__all__ = ["Graph", "GraphNode"]
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One operator application; ``op.output`` names the produced tensor."""
+
+    op: Op
+
+    @property
+    def output(self) -> str:
+        return self.op.output
+
+    @property
+    def inputs(self) -> tuple[str, ...]:
+        return self.op.inputs
+
+
+class Graph:
+    """A topologically-ordered operator graph.
+
+    Nodes must be appended producer-before-consumer (builders do this
+    naturally); shapes are inferred incrementally so errors surface at the
+    offending ``add``.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nodes: list[GraphNode] = []
+        self.params: dict[str, TensorSpec] = {}
+        self.inputs: dict[str, TensorSpec] = {}
+        self._shapes: dict[str, tuple[int, ...]] = {}
+        self.outputs: list[str] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, name: str, shape: tuple[int, ...], dtype: str = "float16") -> str:
+        spec = TensorSpec(name, shape, dtype)
+        if name in self._shapes:
+            raise ValueError(f"duplicate tensor {name!r}")
+        self.inputs[name] = spec
+        self._shapes[name] = shape
+        return name
+
+    def add_param(self, name: str, shape: tuple[int, ...], dtype: str = "float16") -> str:
+        spec = TensorSpec(name, shape, dtype)
+        if name in self._shapes:
+            raise ValueError(f"duplicate tensor {name!r}")
+        self.params[name] = spec
+        self._shapes[name] = shape
+        return name
+
+    def add(self, op: Op) -> str:
+        for t in op.inputs:
+            if t not in self._shapes:
+                raise ValueError(f"op {op.output!r} consumes undefined tensor {t!r}")
+        if op.output in self._shapes:
+            raise ValueError(f"duplicate tensor {op.output!r}")
+        self._shapes[op.output] = tuple(op.infer_shape(self._shapes))
+        self.nodes.append(GraphNode(op))
+        return op.output
+
+    def mark_output(self, name: str) -> None:
+        if name not in self._shapes:
+            raise ValueError(f"unknown tensor {name!r}")
+        self.outputs.append(name)
+
+    # -- queries ---------------------------------------------------------------
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return self._shapes[name]
+
+    @property
+    def shapes(self) -> dict[str, tuple[int, ...]]:
+        return dict(self._shapes)
+
+    def producer(self, tensor: str) -> GraphNode | None:
+        for node in self.nodes:
+            if node.output == tensor:
+                return node
+        return None
+
+    def consumers(self, tensor: str) -> list[GraphNode]:
+        return [n for n in self.nodes if tensor in n.inputs]
+
+    def total_flops(self) -> float:
+        return sum(n.op.flops(self._shapes) for n in self.nodes)
+
+    def flops_by_kind(self) -> dict[str, float]:
+        """FLOPs aggregated per operator kind (the paper's BERT accounting)."""
+        out: dict[str, float] = {}
+        for node in self.nodes:
+            out[node.op.kind] = out.get(node.op.kind, 0.0) + node.op.flops(self._shapes)
+        return out
+
+    # -- execution --------------------------------------------------------------
+
+    def random_feed(self, seed: int = 0, scale: float = 0.1) -> dict[str, np.ndarray]:
+        """Random fp32 values for every graph input and parameter."""
+        feed: dict[str, np.ndarray] = {}
+        for name, spec in {**self.inputs, **self.params}.items():
+            rng = rng_for("graph-feed", self.name, name, seed)
+            feed[name] = (rng.standard_normal(spec.shape) * scale).astype(np.float32)
+        return feed
+
+    def execute(self, feed: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Run all nodes in order; returns the full tensor environment."""
+        env = dict(feed)
+        for name in (*self.inputs, *self.params):
+            if name not in env:
+                raise KeyError(f"missing feed for {name!r}")
+        for node in self.nodes:
+            env[node.output] = node.op.execute(env)
+        return env
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph({self.name}: {len(self.nodes)} ops, outputs={self.outputs})"

@@ -1,0 +1,274 @@
+"""Graph-level operators (the Relay-IR substitute).
+
+End-to-end models (BERT et al.) are expressed as graphs of these operators.
+Each operator knows its output shape, FLOP count, minimal DRAM traffic, and
+how to execute itself on numpy arrays — enough for the partitioner to
+classify it, for the baselines to price it, and for correctness tests to
+run whole models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir.tensor import TensorSpec
+from repro.utils import prod
+
+__all__ = [
+    "Op",
+    "Dense",
+    "BatchMatmul",
+    "Softmax",
+    "Add",
+    "BiasAdd",
+    "Activation",
+    "LayerNorm",
+    "Scale",
+    "Reshape",
+    "Transpose",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class: an operator instance bound to concrete input shapes."""
+
+    inputs: tuple[str, ...]
+    output: str
+
+    # -- interface -----------------------------------------------------------
+
+    def infer_shape(self, shapes: dict[str, tuple[int, ...]]) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def flops(self, shapes: dict[str, tuple[int, ...]]) -> float:
+        """Floating-point operations for one execution."""
+        raise NotImplementedError
+
+    def execute(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def compute_intensive(self) -> bool:
+        """Whether this is a contraction-style op (GEMM family)."""
+        return False
+
+    def io_bytes(self, shapes: dict[str, tuple[int, ...]], dtype_bytes: int = 2) -> float:
+        """Minimal DRAM traffic: all inputs read once, output written once."""
+        total = sum(prod(shapes[t]) for t in self.inputs)
+        total += prod(self.infer_shape(shapes))
+        return float(total) * dtype_bytes
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+def _check(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(msg)
+
+
+@dataclass(frozen=True)
+class Dense(Op):
+    """``Y[..., n] = X[..., k] @ W[k, n]`` with optional bias/activation fused
+    at the graph level (epilogue fusion is a baseline capability, so the
+    graph keeps bias/activation as separate ops by default)."""
+
+    units: int = 0
+
+    def infer_shape(self, shapes):
+        x, w = shapes[self.inputs[0]], shapes[self.inputs[1]]
+        _check(x[-1] == w[0], f"Dense {self.output}: inner dims {x[-1]} != {w[0]}")
+        return (*x[:-1], w[1])
+
+    def flops(self, shapes):
+        x, w = shapes[self.inputs[0]], shapes[self.inputs[1]]
+        return 2.0 * prod(x) * w[1]
+
+    def execute(self, arrays):
+        x, w = arrays[self.inputs[0]], arrays[self.inputs[1]]
+        return x @ w
+
+    @property
+    def compute_intensive(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class BatchMatmul(Op):
+    """``Y[b, m, n] = X[b, m, k] @ Z[b, k, n]``, with optional transposes."""
+
+    transpose_a: bool = False
+    transpose_b: bool = False
+
+    def _dims(self, shapes):
+        a, b = shapes[self.inputs[0]], shapes[self.inputs[1]]
+        _check(len(a) == 3 and len(b) == 3, f"BatchMatmul {self.output}: need rank-3 inputs")
+        m, ka = (a[2], a[1]) if self.transpose_a else (a[1], a[2])
+        kb, n = (b[2], b[1]) if self.transpose_b else (b[1], b[2])
+        _check(a[0] == b[0], f"BatchMatmul {self.output}: batch mismatch {a[0]} != {b[0]}")
+        _check(ka == kb, f"BatchMatmul {self.output}: inner dims {ka} != {kb}")
+        return a[0], m, n, ka
+
+    def infer_shape(self, shapes):
+        b, m, n, _ = self._dims(shapes)
+        return (b, m, n)
+
+    def flops(self, shapes):
+        b, m, n, k = self._dims(shapes)
+        return 2.0 * b * m * n * k
+
+    def execute(self, arrays):
+        a, b = arrays[self.inputs[0]], arrays[self.inputs[1]]
+        if self.transpose_a:
+            a = np.swapaxes(a, 1, 2)
+        if self.transpose_b:
+            b = np.swapaxes(b, 1, 2)
+        return a @ b
+
+    @property
+    def compute_intensive(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Softmax(Op):
+    axis: int = -1
+
+    def infer_shape(self, shapes):
+        return shapes[self.inputs[0]]
+
+    def flops(self, shapes):
+        return 5.0 * prod(shapes[self.inputs[0]])
+
+    def execute(self, arrays):
+        x = arrays[self.inputs[0]]
+        shifted = x - x.max(axis=self.axis, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=self.axis, keepdims=True)
+
+
+@dataclass(frozen=True)
+class Add(Op):
+    def infer_shape(self, shapes):
+        a, b = shapes[self.inputs[0]], shapes[self.inputs[1]]
+        _check(a == b, f"Add {self.output}: shape mismatch {a} != {b}")
+        return a
+
+    def flops(self, shapes):
+        return float(prod(shapes[self.inputs[0]]))
+
+    def execute(self, arrays):
+        return arrays[self.inputs[0]] + arrays[self.inputs[1]]
+
+
+@dataclass(frozen=True)
+class BiasAdd(Op):
+    """Adds a 1-D bias along the last axis."""
+
+    def infer_shape(self, shapes):
+        x, b = shapes[self.inputs[0]], shapes[self.inputs[1]]
+        _check(len(b) == 1 and b[0] == x[-1], f"BiasAdd {self.output}: bad bias shape {b}")
+        return x
+
+    def flops(self, shapes):
+        return float(prod(shapes[self.inputs[0]]))
+
+    def execute(self, arrays):
+        return arrays[self.inputs[0]] + arrays[self.inputs[1]]
+
+
+@dataclass(frozen=True)
+class Activation(Op):
+    fn: str = "relu"
+
+    def __post_init__(self):
+        _check(self.fn in ("relu", "gelu", "tanh"), f"unknown activation {self.fn!r}")
+
+    def infer_shape(self, shapes):
+        return shapes[self.inputs[0]]
+
+    def flops(self, shapes):
+        cost = {"relu": 1.0, "gelu": 8.0, "tanh": 4.0}[self.fn]
+        return cost * prod(shapes[self.inputs[0]])
+
+    def execute(self, arrays):
+        x = arrays[self.inputs[0]]
+        if self.fn == "relu":
+            return np.maximum(x, 0.0)
+        if self.fn == "gelu":
+            return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3)))
+        return np.tanh(x)
+
+
+@dataclass(frozen=True)
+class LayerNorm(Op):
+    """Normalizes the last axis; gamma/beta are the 2nd/3rd inputs."""
+
+    eps: float = 1e-5
+
+    def infer_shape(self, shapes):
+        return shapes[self.inputs[0]]
+
+    def flops(self, shapes):
+        return 8.0 * prod(shapes[self.inputs[0]])
+
+    def execute(self, arrays):
+        x = arrays[self.inputs[0]]
+        gamma, beta = arrays[self.inputs[1]], arrays[self.inputs[2]]
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mu) / np.sqrt(var + self.eps) * gamma + beta
+
+
+@dataclass(frozen=True)
+class Scale(Op):
+    factor: float = 1.0
+
+    def infer_shape(self, shapes):
+        return shapes[self.inputs[0]]
+
+    def flops(self, shapes):
+        return float(prod(shapes[self.inputs[0]]))
+
+    def execute(self, arrays):
+        return arrays[self.inputs[0]] * self.factor
+
+
+@dataclass(frozen=True)
+class Reshape(Op):
+    """Pure layout op: zero FLOPs, traffic only if materialized."""
+
+    shape: tuple[int, ...] = ()
+
+    def infer_shape(self, shapes):
+        _check(
+            prod(shapes[self.inputs[0]]) == prod(self.shape),
+            f"Reshape {self.output}: element count mismatch",
+        )
+        return self.shape
+
+    def flops(self, shapes):
+        return 0.0
+
+    def execute(self, arrays):
+        return arrays[self.inputs[0]].reshape(self.shape)
+
+
+@dataclass(frozen=True)
+class Transpose(Op):
+    axes: tuple[int, ...] = ()
+
+    def infer_shape(self, shapes):
+        x = shapes[self.inputs[0]]
+        _check(sorted(self.axes) == list(range(len(x))), f"Transpose {self.output}: bad axes")
+        return tuple(x[a] for a in self.axes)
+
+    def flops(self, shapes):
+        return 0.0
+
+    def execute(self, arrays):
+        return np.transpose(arrays[self.inputs[0]], self.axes)

@@ -1,0 +1,66 @@
+"""Tensor value descriptions shared by the graph IR and the tiling layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import prod
+
+__all__ = ["TensorSpec", "DTYPE_BYTES", "default_dtype"]
+
+#: Element sizes for the dtypes the reproduction supports. The paper's
+#: kernels are fp16 with fp32 accumulation; fp32 is used by tests.
+DTYPE_BYTES: dict[str, int] = {"float16": 2, "float32": 4}
+
+
+def default_dtype() -> str:
+    return "float16"
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape/dtype description of one tensor value.
+
+    Attributes:
+        name: Unique name within its graph or chain.
+        shape: Dimension sizes (row-major).
+        dtype: ``"float16"`` (default) or ``"float32"``.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str = "float16"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"tensor {self.name!r}: non-positive dim in {self.shape}")
+        if self.dtype not in DTYPE_BYTES:
+            raise ValueError(f"tensor {self.name!r}: unsupported dtype {self.dtype!r}")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return int(prod(self.shape))
+
+    @property
+    def dtype_bytes(self) -> int:
+        return DTYPE_BYTES[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint in bytes."""
+        return self.num_elements * self.dtype_bytes
+
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    def zeros(self) -> np.ndarray:
+        """Allocate a zero array with this spec (fp32 compute precision)."""
+        return np.zeros(self.shape, dtype=np.float32)

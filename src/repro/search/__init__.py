@@ -1,0 +1,47 @@
+"""Search layer: space generation, pruning rules, analytical performance
+model, heuristic (evolutionary) search, tuner, and the simulated tuning
+clock."""
+
+from repro.search.evolution import SearchResult, heuristic_search
+from repro.search.perf_model import AnalyticalModel, ChimeraModel, PerfEstimate, estimate_time
+from repro.search.pruning import (
+    MIN_TILE,
+    PADDING_RATIO_LIMIT,
+    RULE4_SLACK,
+    PruningStats,
+    expression_classes,
+    rule2_candidate_ok,
+    rule2_class_survives,
+    rule3_tile_options,
+    rule4_ok,
+    unconstrained_tile_count,
+)
+from repro.search.space import Candidate, SearchSpace, generate_space
+from repro.search.tuner import MCFuserTuner, TuneReport
+from repro.search.tuning_cost import COSTS, TuningClock
+
+__all__ = [
+    "Candidate",
+    "SearchSpace",
+    "generate_space",
+    "PruningStats",
+    "expression_classes",
+    "rule2_class_survives",
+    "rule2_candidate_ok",
+    "rule3_tile_options",
+    "rule4_ok",
+    "unconstrained_tile_count",
+    "MIN_TILE",
+    "RULE4_SLACK",
+    "PADDING_RATIO_LIMIT",
+    "PerfEstimate",
+    "estimate_time",
+    "AnalyticalModel",
+    "ChimeraModel",
+    "heuristic_search",
+    "SearchResult",
+    "MCFuserTuner",
+    "TuneReport",
+    "TuningClock",
+    "COSTS",
+]

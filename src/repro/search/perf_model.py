@@ -1,0 +1,74 @@
+"""MCFuser's analytical performance model (§IV-A, eqs. 2-5).
+
+The estimated execution time of a scheduled candidate is
+
+    t_estm = (t_mem + t_comp) * alpha                         (2)
+    t_mem  = sum_S  TS_S * prod(trip counts) / W              (3)
+    t_comp = sum_C  Fp_C * prod(trip counts) / P              (4)
+    alpha  = (N_block + N_SM) / N_block                       (5)
+
+with ``W`` the DRAM bandwidth, ``P`` the peak throughput, ``N_block`` the
+grid size and ``N_SM`` the SM count. The model deliberately ignores
+tile-shape efficiency, coalescing, codegen quality and wave quantization —
+that is what the GPU simulator adds on top — so estimated and measured
+times correlate strongly but imperfectly (Fig. 11).
+
+The Chimera variant (used by the MCFuser-Chimera baseline) minimizes data
+movement only: it drops the compute term and the slowdown factor, which is
+exactly the blind spot the paper calls out ("neglecting the computational
+redundancy, it often arrives at sub-optimal scheduling decisions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+from repro.tiling.schedule import Schedule
+
+__all__ = ["PerfEstimate", "estimate_time", "AnalyticalModel", "ChimeraModel"]
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Breakdown of one analytical estimate (seconds)."""
+
+    t_mem: float
+    t_comp: float
+    alpha: float
+
+    @property
+    def total(self) -> float:
+        return (self.t_mem + self.t_comp) * self.alpha
+
+
+def estimate_time(schedule: Schedule, gpu: GPUSpec) -> PerfEstimate:
+    """Evaluate eqs. (2)-(5) for one schedule."""
+    t_mem = (schedule.dram_read_bytes() + schedule.dram_write_bytes()) / gpu.mem_bandwidth
+    t_comp = schedule.total_flops() / gpu.peak_flops
+    n_block = schedule.grid_size
+    alpha = (n_block + gpu.num_sms) / n_block
+    return PerfEstimate(t_mem=t_mem, t_comp=t_comp, alpha=alpha)
+
+
+class AnalyticalModel:
+    """Callable wrapper used by the heuristic search: schedule -> seconds."""
+
+    name = "mcfuser"
+
+    def __init__(self, gpu: GPUSpec) -> None:
+        self.gpu = gpu
+
+    def __call__(self, schedule: Schedule) -> float:
+        return estimate_time(schedule, self.gpu).total
+
+
+class ChimeraModel(AnalyticalModel):
+    """Chimera's objective: minimize data movement (parallelism-aware, but
+    blind to redundant computation — the paper's criticism in §VII)."""
+
+    name = "chimera"
+
+    def __call__(self, schedule: Schedule) -> float:
+        est = estimate_time(schedule, self.gpu)
+        return est.t_mem * est.alpha

@@ -1,0 +1,170 @@
+"""Search-space generation: expressions x tile sizes, pruned (§III).
+
+``generate_space`` is the entry point: it enumerates tiling-expression
+classes (Rule 1), drops generically-overwhelming classes (Rule 2),
+enumerates Rule-3 tile grids, validates each candidate's schedule
+semantics and live-copy constraint, applies the Rule-4 shared-memory
+filter, and returns the surviving :class:`Candidate` list together with
+the full pruning funnel (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import product
+
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.search.pruning import (
+    PruningStats,
+    expression_classes,
+    rule2_candidate_ok,
+    rule2_class_survives,
+    rule3_tile_options,
+    rule4_ok,
+    unconstrained_tile_count,
+)
+from repro.tiling.enumeration import all_tilings
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import Schedule, build_schedule
+from repro.utils import prod
+
+__all__ = ["Candidate", "SearchSpace", "generate_space"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space: an expression class + tile sizes."""
+
+    expr: TilingExpr
+    tiles: tuple[tuple[str, int], ...]
+
+    @staticmethod
+    def make(expr: TilingExpr, tiles: dict[str, int]) -> "Candidate":
+        return Candidate(expr=expr, tiles=tuple(sorted(tiles.items())))
+
+    @property
+    def tile_dict(self) -> dict[str, int]:
+        return dict(self.tiles)
+
+    @property
+    def key(self) -> tuple:
+        return (self.expr.render(), self.tiles)
+
+    def describe(self) -> str:
+        tiles = ",".join(f"T{l}={t}" for l, t in self.tiles)
+        return f"{self.expr.render()}[{tiles}]"
+
+
+@dataclass
+class SearchSpace:
+    """The pruned candidate set for one (chain, GPU) pair."""
+
+    chain: ComputeChain
+    gpu: GPUSpec
+    candidates: list[Candidate]
+    stats: PruningStats
+    tile_options: dict[str, list[int]]
+    deep_only: bool = False
+
+    def schedule_for(self, cand: Candidate, optimize: bool = True) -> Schedule:
+        return build_schedule(self.chain, cand.expr, cand.tile_dict, optimize=optimize)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def contains(self, cand: Candidate) -> bool:
+        return cand.key in self._keys
+
+    @property
+    def _keys(self) -> set[tuple]:
+        if not hasattr(self, "_key_cache"):
+            self._key_cache = {c.key for c in self.candidates}
+        return self._key_cache
+
+
+def generate_space(
+    chain: ComputeChain,
+    gpu: GPUSpec,
+    deep_only: bool = False,
+    optimize_schedules: bool = True,
+    max_candidates: int | None = None,
+) -> SearchSpace:
+    """Build the pruned search space for ``chain`` on ``gpu``.
+
+    Args:
+        deep_only: Restrict to deep tilings (the Chimera search space used
+            by the MCFuser-Chimera baseline, §VI-A).
+        optimize_schedules: Apply the extent-1 DAG optimization when
+            validating candidates (``False`` for MCFuser-Chimera).
+        max_candidates: Optional hard cap (applied after pruning,
+            deterministically strided) to bound test runtimes.
+    """
+    exprs = all_tilings(chain)
+    if deep_only:
+        exprs = [e for e in exprs if e.is_deep]
+    n_exprs = len(exprs)
+
+    # Rule 1: equivalence classes by per-block sub-tiling expression.
+    classes = expression_classes(chain)
+    if deep_only:
+        classes = {k: v for k, v in classes.items() if v.is_deep}
+    n_rule1 = len(classes)
+
+    # Rule 2 (expression level): drop generically overwhelming classes.
+    classes2 = {
+        k: v for k, v in classes.items() if rule2_class_survives(chain, v)
+    }
+    n_rule2 = len(classes2)
+
+    # Analytic counts of the un-enumerable early stages.
+    raw_tiles = int(prod(unconstrained_tile_count(s) for s in chain.loops.values()))
+    original = n_exprs * raw_tiles
+    after_rule1 = n_rule1 * raw_tiles
+    after_rule2 = n_rule2 * raw_tiles
+
+    # Rule 3: per-dimension tile options.
+    options = {loop: rule3_tile_options(size) for loop, size in chain.loops.items()}
+
+    # Enumerate candidates; validate semantics and candidate-level Rule 2.
+    loops = chain.loop_names
+    survivors3: list[tuple[Candidate, Schedule]] = []
+    for expr in classes2.values():
+        for combo in product(*[options[l] for l in loops]):
+            tiles = dict(zip(loops, combo))
+            sched = build_schedule(chain, expr, tiles, optimize=optimize_schedules)
+            if not sched.is_valid:
+                continue
+            if not rule2_candidate_ok(sched):
+                continue
+            survivors3.append((Candidate.make(expr, tiles), sched))
+    after_rule3 = len(survivors3)
+
+    # Rule 4: shared-memory estimate filter.
+    final = [(c, s) for c, s in survivors3 if rule4_ok(s, gpu)]
+    after_rule4 = len(final)
+
+    candidates = [c for c, _ in final]
+    if max_candidates is not None and len(candidates) > max_candidates:
+        stride = len(candidates) / max_candidates
+        candidates = [candidates[int(i * stride)] for i in range(max_candidates)]
+
+    stats = PruningStats(
+        expressions=n_exprs,
+        classes_rule1=n_rule1,
+        classes_rule2=n_rule2,
+        original=original,
+        after_rule1=after_rule1,
+        after_rule2=after_rule2,
+        after_rule3=after_rule3,
+        after_rule4=after_rule4,
+    )
+    return SearchSpace(
+        chain=chain,
+        gpu=gpu,
+        candidates=candidates,
+        stats=stats,
+        tile_options=options,
+        deep_only=deep_only,
+    )

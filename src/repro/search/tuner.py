@@ -1,0 +1,165 @@
+"""MCFuserTuner: end-to-end tuning of one MBCI chain (§III + §IV).
+
+Pipeline: generate + prune the search space, run the heuristic search with
+the analytical model, measure top candidates on the (simulated) GPU, and
+return the best schedule with full accounting — simulated tuning seconds,
+pruning funnel, model-vs-measured pairs.
+
+Two restricted variants implement baselines from the paper:
+
+* ``MCFuserTuner(variant="chimera")`` — the *MCFuser-Chimera* comparison
+  point (§VI-A): Chimera's search space (deep tilings only, no extent-1
+  DAG optimization) and Chimera's data-movement-only objective inside the
+  same framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.occupancy import SharedMemoryExceeded
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.search.evolution import SearchResult, heuristic_search
+from repro.search.perf_model import AnalyticalModel, ChimeraModel
+from repro.search.pruning import PruningStats
+from repro.search.space import Candidate, SearchSpace, generate_space
+from repro.search.tuning_cost import TuningClock
+from repro.tiling.schedule import Schedule
+
+__all__ = ["TuneReport", "MCFuserTuner", "MEASURE_REPETITIONS"]
+
+#: Kernel repetitions per hardware measurement (billed to the tuning clock).
+MEASURE_REPETITIONS = 100
+
+
+@dataclass
+class TuneReport:
+    """Everything a tuning run produced."""
+
+    chain: ComputeChain
+    gpu: GPUSpec
+    variant: str
+    best_candidate: Candidate
+    best_schedule: Schedule
+    best_time: float
+    tuning_seconds: float
+    pruning: PruningStats
+    search: SearchResult
+    clock: TuningClock = field(repr=False, default_factory=TuningClock)
+
+    @property
+    def tflops(self) -> float:
+        """Achieved TFLOP/s of the chosen kernel (useful work only)."""
+        return self.chain.total_flops() / self.best_time / 1e12
+
+
+class MCFuserTuner:
+    """Tunes :class:`ComputeChain` workloads for a simulated GPU.
+
+    Args:
+        gpu: Target hardware description.
+        variant: ``"mcfuser"`` (full system) or ``"chimera"`` (restricted
+            space + data-movement objective, the MCFuser-Chimera baseline).
+        population_size/top_n/epsilon/max_rounds: Algorithm-1 parameters
+            (paper uses ``n = 8``).
+        seed: Controls search randomness and simulator jitter.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        variant: str = "mcfuser",
+        population_size: int = 512,
+        top_n: int = 8,
+        epsilon: float = 0.01,
+        max_rounds: int = 16,
+        min_rounds: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if variant not in ("mcfuser", "chimera"):
+            raise ValueError(f"unknown tuner variant {variant!r}")
+        self.gpu = gpu
+        self.variant = variant
+        self.population_size = population_size
+        self.top_n = top_n
+        self.epsilon = epsilon
+        self.max_rounds = max_rounds
+        self.min_rounds = min_rounds
+        self.seed = seed
+        self.simulator = GPUSimulator(gpu, seed=seed)
+
+    # -- pieces ---------------------------------------------------------------
+
+    def build_space(self, chain: ComputeChain, clock: TuningClock | None = None) -> SearchSpace:
+        deep_only = self.variant == "chimera"
+        space = generate_space(
+            chain,
+            self.gpu,
+            deep_only=deep_only,
+            optimize_schedules=self.variant != "chimera",
+        )
+        if clock is not None:
+            clock.charge("space_generation")
+        return space
+
+    def measure_schedule(self, schedule: Schedule) -> float:
+        """One hardware measurement; launch failures count as +inf."""
+        try:
+            kernel = schedule.kernel_launch(self.gpu)
+            return self.simulator.run(kernel)
+        except SharedMemoryExceeded:
+            return float("inf")
+
+    # -- main entry -----------------------------------------------------------
+
+    def tune(self, chain: ComputeChain) -> TuneReport:
+        """Search for the best fused kernel of ``chain``."""
+        clock = TuningClock()
+        space = self.build_space(chain, clock)
+        optimize = self.variant != "chimera"
+        model = (
+            ChimeraModel(self.gpu) if self.variant == "chimera" else AnalyticalModel(self.gpu)
+        )
+
+        schedules: dict[tuple, Schedule] = {}
+
+        def schedule_of(cand: Candidate) -> Schedule:
+            if cand.key not in schedules:
+                schedules[cand.key] = space.schedule_for(cand, optimize=optimize)
+            return schedules[cand.key]
+
+        def estimate_fn(cand: Candidate) -> float:
+            clock.charge("model_estimate")
+            return model(schedule_of(cand))
+
+        def measure_fn(cand: Candidate) -> float:
+            t = self.measure_schedule(schedule_of(cand))
+            runtime = 0.0 if t == float("inf") else MEASURE_REPETITIONS * t
+            clock.charge("triton_compile_measure", runtime=runtime)
+            return t
+
+        result = heuristic_search(
+            space,
+            estimate_fn,
+            measure_fn,
+            population_size=self.population_size,
+            top_n=self.top_n,
+            epsilon=self.epsilon,
+            max_rounds=self.max_rounds,
+            min_rounds=self.min_rounds,
+            seed=self.seed,
+        )
+        return TuneReport(
+            chain=chain,
+            gpu=self.gpu,
+            variant=self.variant,
+            best_candidate=result.best,
+            best_schedule=schedule_of(result.best),
+            best_time=result.best_time,
+            tuning_seconds=clock.seconds,
+            pruning=space.stats,
+            search=result,
+            clock=clock,
+        )

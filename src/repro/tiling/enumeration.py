@@ -1,0 +1,87 @@
+"""Enumeration of candidate tiling expressions for a chain (§III-A).
+
+* **Deep tilings** — every permutation of the cross-tile loops (``x!`` for
+  ``x`` loops; 24 for the GEMM chain).
+* **Flat tilings** — permutations of the *shared* loops wrapping a
+  sequential group whose members are the per-block private loop chains, in
+  block (topological) order. The GEMM chain has shared loops ``m, n`` and
+  private chains ``(k)`` / ``(h)``, giving ``mn(k,h)`` and ``nm(k,h)`` — the
+  two flat expressions the paper counts.
+
+Grid binding: the spatial loops of the chain's output that sit on a pure
+nesting path from the root can be bound to ``blockIdx``. The expression
+that remains after removing them is the *sub-tiling expression per thread
+block* used by pruning Rule 1.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+
+from repro.ir.chain import ComputeChain
+from repro.tiling.expr import LoopNest, TilingExpr
+
+__all__ = [
+    "deep_tilings",
+    "flat_tilings",
+    "all_tilings",
+    "bindable_spatial_loops",
+    "sub_tiling_expr",
+]
+
+
+def deep_tilings(chain: ComputeChain) -> list[TilingExpr]:
+    """All loop permutations as fully nested expressions."""
+    return [TilingExpr.from_perm(perm) for perm in permutations(chain.loop_names)]
+
+
+def flat_tilings(chain: ComputeChain) -> list[TilingExpr]:
+    """All flat expressions: shared-loop perms x private-chain perms.
+
+    Chains whose blocks have no private loops (or with fewer than two
+    non-empty private groups) admit no flat tiling — a sequential group
+    needs at least two members.
+    """
+    shared = chain.shared_loops()
+    groups = [tuple(chain.private_loops(b)) for b in chain.blocks]
+    groups = [g for g in groups if g]
+    if len(groups) < 2:
+        return []
+    out: list[TilingExpr] = []
+    for outer in permutations(shared):
+        for group_perms in product(*[permutations(g) for g in groups]):
+            out.append(TilingExpr.flat(tuple(outer), [tuple(g) for g in group_perms]))
+    return out
+
+
+def all_tilings(chain: ComputeChain) -> list[TilingExpr]:
+    """Deep then flat — 24 + 2 = 26 expressions for the GEMM chain."""
+    return deep_tilings(chain) + flat_tilings(chain)
+
+
+def bindable_spatial_loops(chain: ComputeChain, expr: TilingExpr) -> tuple[str, ...]:
+    """Output-spatial loops that may be bound to ``blockIdx``.
+
+    A loop is bindable when every strict ancestor in the expression has a
+    single child: hoisting it to the grid then commutes with the rest of
+    the structure without changing any statement's trip count *in the
+    canonical per-block form*. Loops inside a sequential group are not
+    bindable — hoisting them would replicate the sibling group's work
+    (e.g. ``h`` in ``mn(k,h)`` must stay inside so the ``C`` tile computed
+    by the ``k`` member is reused across ``h``).
+    """
+    spatial = set(chain.output_spatial)
+    out: list[str] = []
+    for loop in expr.loops():
+        if loop not in spatial:
+            continue
+        if all(len(expr.node(a).body) == 1 for a in expr.ancestors(loop)):
+            out.append(loop)
+    # Grid order: preserve the chain's canonical loop order for determinism.
+    order = {name: i for i, name in enumerate(chain.loop_names)}
+    return tuple(sorted(out, key=lambda l: order[l]))
+
+
+def sub_tiling_expr(chain: ComputeChain, expr: TilingExpr) -> TilingExpr:
+    """The per-thread-block residual expression (Rule 1's dedup key)."""
+    return expr.without(set(bindable_spatial_loops(chain, expr)))

@@ -1,0 +1,565 @@
+"""Expansion of a tiling expression into a scheduled tiled program (§III-B).
+
+A :class:`Schedule` is the paper's expanded tiling expression — e.g.
+``mh(n(k(LA,LB,CC),LD,CE),SE)`` — realized as a tree of loop scopes with
+Load/Compute/Store statements placed at their *rightmost related loop*:
+
+* ``Compute`` statements live at the deepest loop of their block's related
+  set (spatial + reduction);
+* ``Load`` statements live at the deepest tensor-indexing loop on the path
+  to their consumer's compute;
+* ``Store`` statements live at the deepest tensor-indexing loop that is
+  *outside* the producer's unfinished reduction loops.
+
+Loops bound to ``blockIdx`` (the grid) are modeled as a root scope; a
+statement homed there runs once per thread block.
+
+The module also derives every quantity the rest of the system needs from a
+schedule: statement trip counts, DRAM traffic, FLOPs, the shared-memory
+tile buffers (estimate vs measured), live-copy multiplicities (Rule 2), and
+semantic validity (a consumer must never observe a partially-reduced
+producer tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.memory import TileBuffer, estimate_shared_memory, measure_shared_memory
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeBlock, ComputeChain
+from repro.tiling.enumeration import bindable_spatial_loops
+from repro.tiling.expr import LoopNest, TilingExpr
+from repro.utils import ceil_div, prod
+
+__all__ = [
+    "Statement",
+    "LoopScope",
+    "Schedule",
+    "build_schedule",
+    "InvalidScheduleError",
+]
+
+GRID = None  # sentinel home for statements at per-block (grid) scope
+
+
+class InvalidScheduleError(ValueError):
+    """The (expression, tile sizes) pair has no valid execution order."""
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One primitive statement of the expanded tiling expression.
+
+    ``home`` is the loop whose scope the statement executes in (``None``
+    for the per-block root). ``related`` are the loops indexing the
+    statement's tile.
+    """
+
+    kind: str  # "load" | "compute" | "store"
+    tensor: str
+    block: str
+    related: tuple[str, ...]
+    home: str | None
+
+    def label(self) -> str:
+        prefix = {"load": "L", "compute": "C", "store": "S"}[self.kind]
+        return f"{prefix}{self.tensor}"
+
+
+@dataclass
+class LoopScope:
+    """A loop in the scheduled program; ``body`` interleaves statements and
+    nested scopes in execution order. ``loop is None`` only at the root."""
+
+    loop: str | None
+    extent: int
+    body: list["LoopScope | Statement"] = field(default_factory=list)
+
+    def contains_compute(self, block: str) -> bool:
+        for item in self.body:
+            if isinstance(item, Statement):
+                if item.kind == "compute" and item.block == block:
+                    return True
+            elif item.contains_compute(block):
+                return True
+        return False
+
+
+def _homes(
+    chain: ComputeChain,
+    residual: TilingExpr,
+    extents: dict[str, int],
+) -> dict[tuple[str, str, str], str | None]:
+    """Assign every statement its home loop on the residual expression."""
+    homes: dict[tuple[str, str, str], str | None] = {}
+    present = set(residual.loops())
+    for block in chain.blocks:
+        compute_home = residual.deepest(set(block.related) & present)
+        homes[("compute", block.output, block.name)] = compute_home
+        path: set[str] = set()
+        if compute_home is not None:
+            path = set(residual.ancestors(compute_home)) | {compute_home}
+        for tensor in block.inputs:
+            if chain.tensors[tensor].role != "input":
+                continue  # intermediates stay on-chip: no Load statement
+            dims = set(chain.tensors[tensor].dims)
+            homes[("load", tensor, block.name)] = residual.deepest(dims & path)
+        out = block.output
+        if chain.tensors[out].role == "output":
+            live_red = {
+                r for r in block.reduction if r in present and extents.get(r, 1) > 1
+            }
+            eligible = set()
+            for d in chain.tensors[out].dims:
+                if d not in path:
+                    continue
+                above = set(residual.ancestors(d)) | {d}
+                if not (above & live_red):
+                    eligible.add(d)
+            homes[("store", out, block.name)] = residual.deepest(eligible)
+    return homes
+
+
+def _build_tree(
+    chain: ComputeChain,
+    residual: TilingExpr,
+    extents: dict[str, int],
+    homes: dict[tuple[str, str, str], str | None],
+) -> LoopScope:
+    """Build the scheduled loop tree with dependency-respecting ordering."""
+
+    def make_scope(node: LoopNest) -> LoopScope:
+        scope = LoopScope(loop=node.loop, extent=extents[node.loop])
+        scope.body = [make_scope(child) for child in node.body]
+        _insert_statements(scope)
+        return scope
+
+    def element_with_compute(scope: LoopScope, block: str) -> int | None:
+        for i, item in enumerate(scope.body):
+            if isinstance(item, Statement):
+                if item.kind == "compute" and item.block == block:
+                    return i
+            elif item.contains_compute(block):
+                return i
+        return None
+
+    def _insert_statements(scope: LoopScope) -> None:
+        here = scope.loop
+        for block in chain.blocks:
+            stmts: list[Statement] = []
+            for tensor in block.inputs:
+                key = ("load", tensor, block.name)
+                if key in homes and homes[key] == here:
+                    stmts.append(
+                        Statement(
+                            "load", tensor, block.name,
+                            chain.tensors[tensor].dims, here,
+                        )
+                    )
+            ckey = ("compute", block.output, block.name)
+            if homes[ckey] == here:
+                stmts.append(
+                    Statement("compute", block.output, block.name, block.related, here)
+                )
+            skey = ("store", block.output, block.name)
+            if skey in homes and homes[skey] == here:
+                stmts.append(
+                    Statement(
+                        "store", block.output, block.name,
+                        chain.tensors[block.output].dims, here,
+                    )
+                )
+            for stmt in stmts:
+                if stmt.kind == "load":
+                    anchor = element_with_compute(scope, stmt.block)
+                    if anchor is None:
+                        scope.body.append(stmt)
+                    else:
+                        scope.body.insert(anchor, stmt)
+                elif stmt.kind == "compute":
+                    pos = -1
+                    consumer = chain.block(stmt.block)
+                    for tensor in consumer.inputs:
+                        producer = chain.producer_of(tensor)
+                        if producer is not None:
+                            idx = element_with_compute(scope, producer.name)
+                            if idx is not None:
+                                pos = max(pos, idx)
+                    for i, item in enumerate(scope.body):
+                        if isinstance(item, Statement) and item.kind == "load" and item.block == stmt.block:
+                            pos = max(pos, i)
+                    scope.body.insert(pos + 1, stmt)
+                else:  # store: after the producing compute
+                    idx = element_with_compute(scope, stmt.block)
+                    scope.body.insert(len(scope.body) if idx is None else idx + 1, stmt)
+
+    root = LoopScope(loop=GRID, extent=1)
+    root.body = [make_scope(node) for node in residual.roots]
+    _insert_statements(root)
+    return root
+
+
+class Schedule:
+    """A fully placed tiled program for one (chain, expression, tiles) triple.
+
+    Do not construct directly — use :func:`build_schedule`, which performs
+    grid binding and (optionally) the DAG dead-loop optimization.
+    """
+
+    def __init__(
+        self,
+        chain: ComputeChain,
+        expr: TilingExpr,
+        tiles: dict[str, int],
+        residual: TilingExpr,
+        grid_dims: tuple[tuple[str, int], ...],
+        root: LoopScope,
+        optimized: bool,
+    ) -> None:
+        self.chain = chain
+        self.expr = expr
+        self.tiles = dict(tiles)
+        self.residual = residual
+        self.grid_dims = grid_dims
+        self.root = root
+        self.optimized = optimized
+
+    # -- structure queries ---------------------------------------------------
+
+    @cached_property
+    def extents(self) -> dict[str, int]:
+        return {
+            loop: ceil_div(size, self.tiles[loop]) for loop, size in self.chain.loops.items()
+        }
+
+    @property
+    def grid_size(self) -> int:
+        return int(prod(extent for _, extent in self.grid_dims))
+
+    def statements(self) -> list[Statement]:
+        out: list[Statement] = []
+
+        def walk(scope: LoopScope) -> None:
+            for item in scope.body:
+                if isinstance(item, Statement):
+                    out.append(item)
+                else:
+                    walk(item)
+
+        walk(self.root)
+        return out
+
+    @cached_property
+    def _scope_index(self) -> dict[str | None, LoopScope]:
+        index: dict[str | None, LoopScope] = {GRID: self.root}
+
+        def walk(scope: LoopScope) -> None:
+            for item in scope.body:
+                if isinstance(item, LoopScope):
+                    index[item.loop] = item
+                    walk(item)
+
+        walk(self.root)
+        return index
+
+    def trip_count(self, stmt: Statement) -> int:
+        """Executions of one statement across the whole kernel (grid incl.)."""
+        trips = self.grid_size
+        if stmt.home is not None:
+            for loop in (*self.residual.ancestors(stmt.home), stmt.home):
+                trips *= self.extents[loop]
+        return trips
+
+    def tile_elements(self, dims: tuple[str, ...]) -> int:
+        return int(prod(self.tiles[d] for d in dims))
+
+    # -- Rule 2 analysis: live partial-tile copies ------------------------------
+
+    def live_copies(self, tensor: str) -> int:
+        """Number of simultaneously live tiles the on-chip buffer of
+        ``tensor`` needs.
+
+        A loop that indexes the tensor and sits *inside* an unfinished
+        reduction loop of the tensor's producer multiplies the live tiles
+        (the paper's Fig. 6(b) situation, pruned by Rule 2).
+        """
+        producer = self.chain.producer_of(tensor)
+        if producer is None:
+            return 1
+        present = set(self.residual.loops())
+        live_red = {
+            r for r in producer.reduction if r in present and self.extents[r] > 1
+        }
+        copies = 1
+        for d in self.chain.tensors[tensor].dims:
+            if d not in present:
+                continue
+            above = set(self.residual.ancestors(d))
+            if above & live_red:
+                copies *= self.extents[d]
+        return copies
+
+    # -- semantic validity ---------------------------------------------------------
+
+    def check_valid(self) -> None:
+        """Raise InvalidScheduleError if a consumer would read partial tiles.
+
+        A compute statement homed inside (or at) an unfinished reduction
+        loop of one of its producers would observe a partially accumulated
+        intermediate; no execution order of this schedule is correct.
+        """
+        present = set(self.residual.loops())
+        for block in self.chain.blocks:
+            home = None
+            for stmt in self.statements():
+                if stmt.kind == "compute" and stmt.block == block.name:
+                    home = stmt.home
+            scope_path: set[str] = set()
+            if home is not None:
+                scope_path = set(self.residual.ancestors(home)) | {home}
+            for tensor in block.inputs:
+                producer = self.chain.producer_of(tensor)
+                if producer is None:
+                    continue
+                for r in producer.reduction:
+                    if r in present and self.extents[r] > 1 and r in scope_path:
+                        raise InvalidScheduleError(
+                            f"{self.describe()}: compute {block.name} inside "
+                            f"unfinished reduction loop {r!r} of producer {producer.name}"
+                        )
+
+    @property
+    def is_valid(self) -> bool:
+        try:
+            self.check_valid()
+            return True
+        except InvalidScheduleError:
+            return False
+
+    # -- work accounting -------------------------------------------------------------
+
+    def _store_copies_below(self, stmt: Statement) -> int:
+        """Tiles written per store execution (dims strictly inside its scope)."""
+        present = set(self.residual.loops())
+        if stmt.home is None:
+            inside = present
+        else:
+            inside = {
+                l for l in present if stmt.home in self.residual.ancestors(l)
+            }
+        return int(
+            prod(self.extents[d] for d in stmt.related if d in inside) or 1
+        )
+
+    def statement_bytes(self, stmt: Statement) -> float:
+        """Total DRAM bytes moved by one statement over the whole kernel."""
+        if stmt.kind == "compute":
+            return 0.0
+        tile = self.tile_elements(stmt.related) * self.chain.dtype_bytes
+        total = tile * self.trip_count(stmt)
+        if stmt.kind == "store":
+            total *= self._store_copies_below(stmt)
+        return float(total)
+
+    def statement_flops(self, stmt: Statement) -> float:
+        """Total FLOPs of one compute statement over the whole kernel."""
+        if stmt.kind != "compute":
+            return 0.0
+        block = self.chain.block(stmt.block)
+        per_exec = 2.0 * self.tile_elements(block.related)
+        if block.softmax_over is not None:
+            first = self.chain.tensors[block.inputs[0]]
+            per_exec += 7.0 * self.tile_elements(first.dims)
+        return per_exec * self.trip_count(stmt)
+
+    def dram_read_bytes(self) -> float:
+        return sum(self.statement_bytes(s) for s in self.statements() if s.kind == "load")
+
+    def dram_write_bytes(self) -> float:
+        return sum(self.statement_bytes(s) for s in self.statements() if s.kind == "store")
+
+    def total_flops(self) -> float:
+        return sum(self.statement_flops(s) for s in self.statements() if s.kind == "compute")
+
+    # -- shared memory --------------------------------------------------------------------
+
+    def _buffer_shape(self, dims: tuple[str, ...]) -> tuple[int, int]:
+        if not dims:
+            return (1, 1)
+        cols = self.tiles[dims[-1]]
+        rows = int(prod(self.tiles[d] for d in dims[:-1])) if len(dims) > 1 else 1
+        return (rows, cols)
+
+    def tile_buffers(self) -> list[TileBuffer]:
+        """On-chip buffers of this schedule, for the shared-memory backend."""
+        buffers: dict[str, TileBuffer] = {}
+        dtype_bytes = self.chain.dtype_bytes
+        for stmt in self.statements():
+            if stmt.kind != "load":
+                continue
+            consumer = self.chain.block(stmt.block)
+            rows, cols = self._buffer_shape(stmt.related)
+            path: set[str] = set()
+            if stmt.home is not None:
+                path = set(self.residual.ancestors(stmt.home)) | {stmt.home}
+            double = any(
+                r in path and self.extents[r] > 1 for r in consumer.reduction
+            )
+            buf = TileBuffer(
+                tensor=stmt.tensor,
+                rows=rows,
+                cols=cols,
+                dtype_bytes=dtype_bytes,
+                role="operand",
+                double_buffered=double,
+            )
+            prev = buffers.get(stmt.tensor)
+            if prev is None or buf.elements * (2 if double else 1) > prev.elements:
+                buffers[stmt.tensor] = buf
+        for name, ref in self.chain.tensors.items():
+            if ref.role == "input":
+                continue
+            rows, cols = self._buffer_shape(ref.dims)
+            role = "accumulator" if ref.role == "output" else "stage"
+            buffers[name] = TileBuffer(
+                tensor=name,
+                rows=rows,
+                cols=cols,
+                dtype_bytes=dtype_bytes,
+                role=role,
+                copies=self.live_copies(name),
+            )
+        return [buffers[k] for k in sorted(buffers)]
+
+    def shm_estimate(self) -> int:
+        """The paper's eq. (1): naive sum of single-tile footprints."""
+        return estimate_shared_memory(self.tile_buffers())
+
+    def shm_measured(self, gpu: GPUSpec) -> int:
+        """What the simulated backend actually allocates (Fig. 10's y-axis)."""
+        return measure_shared_memory(self.tile_buffers(), gpu).total_bytes
+
+    # -- lowering to a kernel launch ------------------------------------------------------
+
+    def representative_tiles(self) -> tuple[int, int, int]:
+        """Flops-weighted dominant MMA tile shape (for the simulator)."""
+        best = None
+        best_flops = -1.0
+        for block in self.chain.blocks:
+            flops = self.chain.block_flops(block)
+            if flops > best_flops:
+                best_flops = flops
+                tm = self.tiles[block.spatial[0]]
+                tn = self.tiles[block.spatial[-1]]
+                tk = self.tiles[block.reduction[0]]
+                best = (tm, tn, tk)
+        assert best is not None
+        return best
+
+    def inner_contig_bytes(self) -> int:
+        """Worst-case contiguous run among loaded tiles (coalescing input)."""
+        widths = []
+        for stmt in self.statements():
+            if stmt.kind != "load":
+                continue
+            widths.append(self.tiles[stmt.related[-1]] * self.chain.dtype_bytes)
+        for stmt in self.statements():
+            if stmt.kind == "store":
+                widths.append(self.tiles[stmt.related[-1]] * self.chain.dtype_bytes)
+        return min(widths) if widths else 128
+
+    def kernel_launch(self, gpu: GPUSpec, codegen: str = "triton") -> KernelLaunch:
+        """Summarize this schedule as a simulator kernel launch."""
+        tm, tn, tk = self.representative_tiles()
+        compulsory = sum(
+            self.chain.batch
+            * prod(self.chain.loops[d] for d in ref.dims)
+            * self.chain.dtype_bytes
+            for ref in self.chain.tensors.values()
+            if ref.role == "input"
+        )
+        return KernelLaunch(
+            name=f"{self.chain.name}:{self.describe()}",
+            grid=self.grid_size,
+            flops=self.total_flops(),
+            dram_read_bytes=self.dram_read_bytes(),
+            dram_write_bytes=self.dram_write_bytes(),
+            dram_compulsory_read_bytes=float(compulsory),
+            shared_mem_bytes=self.shm_measured(gpu),
+            tile_m=tm,
+            tile_n=tn,
+            tile_k=tk,
+            inner_contig_bytes=self.inner_contig_bytes(),
+            codegen=codegen,
+            extra={"schedule": self.describe()},
+        )
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        tiles = ",".join(f"T{l}={self.tiles[l]}" for l in self.chain.loop_names)
+        return f"{self.expr.render()}[{tiles}]"
+
+    def pretty(self) -> str:
+        """Fig. 4-style pseudo-code rendering of the scheduled program."""
+        lines: list[str] = []
+        grid = ", ".join(f"{l}:{e}" for l, e in self.grid_dims)
+        lines.append(f"for {grid or 'block'} in grid():")
+
+        def walk(scope: LoopScope, depth: int) -> None:
+            pad = "    " * depth
+            for item in scope.body:
+                if isinstance(item, Statement):
+                    verb = {"load": "Load", "compute": "Compute", "store": "Store"}[item.kind]
+                    lines.append(f"{pad}{verb}(tile {item.tensor})")
+                else:
+                    lines.append(f"{pad}for {item.loop} in range({item.extent}):")
+                    walk(item, depth + 1)
+
+        walk(self.root, 1)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schedule({self.chain.name}, {self.describe()}, grid={self.grid_size})"
+
+
+def build_schedule(
+    chain: ComputeChain,
+    expr: TilingExpr,
+    tiles: dict[str, int],
+    optimize: bool = True,
+) -> Schedule:
+    """Expand ``expr`` with ``tiles`` into a :class:`Schedule`.
+
+    ``optimize=True`` additionally runs the DAG dead-loop elimination
+    (extent-1 loops are removed and memory statements re-homed upward —
+    the paper's §III-B optimization that Chimera and Ansor miss). Pass
+    ``False`` to get the baseline placement (rightmost related loop only).
+    """
+    missing = set(chain.loop_names) - set(tiles)
+    if missing:
+        raise ValueError(f"missing tile sizes for loops {sorted(missing)}")
+    for loop, t in tiles.items():
+        if t < 1:
+            raise ValueError(f"tile for loop {loop!r} must be >= 1, got {t}")
+    bound = bindable_spatial_loops(chain, expr)
+    residual = expr.without(set(bound))
+    extents = {loop: ceil_div(size, tiles[loop]) for loop, size in chain.loops.items()}
+    if optimize:
+        dead = {l for l in residual.loops() if extents[l] == 1}
+        residual = residual.without(dead)
+    homes = _homes(chain, residual, extents)
+    root = _build_tree(chain, residual, extents, homes)
+    grid_dims = (("b", chain.batch), *[(l, extents[l]) for l in bound])
+    return Schedule(
+        chain=chain,
+        expr=expr,
+        tiles=tiles,
+        residual=residual,
+        grid_dims=grid_dims,
+        root=root,
+        optimized=optimize,
+    )

@@ -1,0 +1,131 @@
+"""Small shared utilities: deterministic hashing, seeded RNG, table formatting.
+
+Everything here is dependency-free (stdlib + numpy) and used across all
+subpackages. Determinism matters: the GPU simulator derives measurement
+jitter from :func:`stable_hash` so that repeated "measurements" of the same
+kernel are reproducible across processes (python's builtin ``hash`` is
+salted per process and must not be used).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "stable_hash",
+    "unit_jitter",
+    "rng_for",
+    "ceil_div",
+    "prod",
+    "geomean",
+    "fmt_time",
+    "fmt_bytes",
+    "format_table",
+    "pearson",
+]
+
+
+def stable_hash(*parts: object) -> int:
+    """Return a 64-bit hash of ``parts`` that is stable across processes.
+
+    Parts are stringified with ``repr``; floats are rounded to 12 significant
+    digits first so that values that survived a round-trip through
+    arithmetic still hash identically.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if isinstance(part, float):
+            part = float(f"{part:.12g}")
+        h.update(repr(part).encode())
+        h.update(b"\x1f")
+    return int.from_bytes(h.digest(), "little")
+
+
+def unit_jitter(*parts: object) -> float:
+    """Deterministic pseudo-random value in ``[-1, 1]`` derived from ``parts``."""
+    return stable_hash(*parts) / float(2**63) - 1.0
+
+
+def rng_for(*parts: object) -> np.random.Generator:
+    """A numpy Generator seeded deterministically from ``parts``."""
+    return np.random.default_rng(stable_hash(*parts))
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def prod(values: Iterable[int | float]) -> int | float:
+    """Product of an iterable (1 for empty input)."""
+    out: int | float = 1
+    for v in values:
+        out *= v
+    return out
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (nan for empty input)."""
+    if not values:
+        return float("nan")
+    return float(math.exp(sum(math.log(v) for v in values) / len(values)))
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration: 12.3us / 4.56ms / 7.89s / 2.1h."""
+    if seconds != seconds:  # nan
+        return "n/a"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 3600.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 3600.0:.2f}h"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (used by the experiment drivers)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (nan if degenerate)."""
+    if len(xs) != len(ys):
+        raise ValueError("pearson needs equal-length sequences")
+    if len(xs) < 2:
+        return float("nan")
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return float("nan")
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))

@@ -1,0 +1,13 @@
+"""Benchmark workloads: the paper's Table II and Table III configurations."""
+
+from repro.workloads.attention import ATTENTION_CONFIGS, attention_workload, attention_workloads
+from repro.workloads.gemm_chains import GEMM_CHAIN_CONFIGS, gemm_workload, gemm_workloads
+
+__all__ = [
+    "GEMM_CHAIN_CONFIGS",
+    "gemm_workload",
+    "gemm_workloads",
+    "ATTENTION_CONFIGS",
+    "attention_workload",
+    "attention_workloads",
+]

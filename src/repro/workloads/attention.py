@@ -1,0 +1,54 @@
+"""Table III: the self-attention module configurations S1-S9.
+
+``#heads`` folds into the chain batch; ``M``/``N`` are query/key sequence
+lengths, ``K``/``H`` the QK and V head dims. The source networks (BERT,
+ViT, MLP-Mixer) are recorded so the end-to-end experiment can reuse the
+same shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.chain import ComputeChain, attention_chain
+
+__all__ = ["AttentionConfig", "ATTENTION_CONFIGS", "attention_workload", "attention_workloads"]
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    heads: int
+    m: int
+    n: int
+    k: int
+    h: int
+    network: str
+
+
+#: Transcribed from Table III.
+ATTENTION_CONFIGS: dict[str, AttentionConfig] = {
+    "S1": AttentionConfig(8, 512, 512, 64, 64, "Bert-Small"),
+    "S2": AttentionConfig(12, 512, 512, 64, 64, "Bert-Base"),
+    "S3": AttentionConfig(16, 512, 512, 64, 64, "Bert-Large"),
+    "S4": AttentionConfig(12, 256, 256, 64, 64, "ViT-Base"),
+    "S5": AttentionConfig(16, 256, 256, 64, 64, "ViT-Large"),
+    "S6": AttentionConfig(16, 256, 256, 80, 80, "ViT-Huge"),
+    "S7": AttentionConfig(1, 512, 256, 64, 64, "MLP-Mixer"),
+    "S8": AttentionConfig(1, 768, 384, 64, 64, "MLP-Mixer"),
+    "S9": AttentionConfig(1, 1024, 512, 64, 64, "MLP-Mixer"),
+}
+
+
+def attention_workload(name: str) -> ComputeChain:
+    """Build one Table III module by name (``"S1"`` ... ``"S9"``)."""
+    try:
+        cfg = ATTENTION_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown attention module {name!r}; known: {sorted(ATTENTION_CONFIGS)}") from None
+    return attention_chain(cfg.heads, cfg.m, cfg.n, cfg.k, cfg.h, name=name)
+
+
+def attention_workloads(names: list[str] | None = None) -> list[ComputeChain]:
+    """All (or the named subset of) Table III modules, in order."""
+    keys = names or list(ATTENTION_CONFIGS)
+    return [attention_workload(k) for k in keys]

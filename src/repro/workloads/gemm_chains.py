@@ -1,0 +1,43 @@
+"""Table II: the batch GEMM chain configurations G1-G12.
+
+``(batch, M, K) x (batch, K, N)`` is the first GEMM, ``(batch, M, N) x
+(batch, N, H)`` the second — i.e. our canonical
+``C[m,n] = A[m,k] B[k,n]; E[m,h] = C[m,n] D[n,h]`` chain.
+"""
+
+from __future__ import annotations
+
+from repro.ir.chain import ComputeChain, gemm_chain
+
+__all__ = ["GEMM_CHAIN_CONFIGS", "gemm_workload", "gemm_workloads"]
+
+#: name -> (batch, M, N, K, H), transcribed from Table II.
+GEMM_CHAIN_CONFIGS: dict[str, tuple[int, int, int, int, int]] = {
+    "G1": (1, 512, 256, 64, 64),
+    "G2": (1, 512, 256, 64, 128),
+    "G3": (1, 512, 256, 64, 256),
+    "G4": (1, 512, 512, 256, 256),
+    "G5": (1, 512, 512, 512, 256),
+    "G6": (1, 512, 512, 1024, 256),
+    "G7": (1, 512, 512, 128, 128),
+    "G8": (1, 1024, 512, 128, 128),
+    "G9": (1, 2048, 512, 128, 128),
+    "G10": (1, 1024, 1024, 128, 128),
+    "G11": (4, 1024, 1024, 128, 128),
+    "G12": (8, 1024, 1024, 128, 128),
+}
+
+
+def gemm_workload(name: str) -> ComputeChain:
+    """Build one Table II chain by name (``"G1"`` ... ``"G12"``)."""
+    try:
+        batch, m, n, k, h = GEMM_CHAIN_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown GEMM chain {name!r}; known: {sorted(GEMM_CHAIN_CONFIGS)}") from None
+    return gemm_chain(batch, m, n, k, h, name=name)
+
+
+def gemm_workloads(names: list[str] | None = None) -> list[ComputeChain]:
+    """All (or the named subset of) Table II chains, in order."""
+    keys = names or list(GEMM_CHAIN_CONFIGS)
+    return [gemm_workload(k) for k in keys]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite: small chains, GPUs, quick tuners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import A100, GENERIC, RTX3080, GPUSimulator
+from repro.ir import attention_chain, gemm_chain
+from repro.search import MCFuserTuner
+
+
+@pytest.fixture
+def a100():
+    return A100
+
+
+@pytest.fixture
+def rtx3080():
+    return RTX3080
+
+
+@pytest.fixture
+def generic_gpu():
+    return GENERIC
+
+
+@pytest.fixture
+def sim(a100):
+    return GPUSimulator(a100, seed=0)
+
+
+@pytest.fixture
+def small_gemm():
+    """Small GEMM chain (all dims multiples of 16) — fast to interpret."""
+    return gemm_chain(2, 96, 80, 64, 48, name="t-gemm")
+
+
+@pytest.fixture
+def small_attention():
+    """Small attention chain — fast to interpret."""
+    return attention_chain(3, 96, 96, 32, 32, name="t-attn")
+
+
+@pytest.fixture
+def ragged_gemm():
+    """GEMM chain with non-multiple-of-16 dims (padding paths)."""
+    return gemm_chain(1, 100, 90, 70, 60, name="t-ragged")
+
+
+@pytest.fixture
+def quick_tuner(a100):
+    """A tuner with a small budget for integration tests."""
+    return MCFuserTuner(a100, population_size=96, top_n=6, max_rounds=4, min_rounds=2, seed=0)

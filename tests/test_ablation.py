@@ -1,0 +1,27 @@
+"""Quick tests for the ablation driver (full run lives in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.ablation import ablate_chain
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+
+
+@pytest.fixture(scope="module")
+def row():
+    chain = gemm_chain(1, 256, 256, 64, 64, name="abl-q")
+    return ablate_chain(chain, A100, seed=0)
+
+
+class TestAblation:
+    def test_all_variants_ran(self, row):
+        for value in (row.full, row.no_flat, row.no_dag_opt, row.movement_model,
+                      row.random_model, row.top1):
+            assert 0 < value < float("inf")
+
+    def test_no_variant_beats_full_materially(self, row):
+        for variant in (row.no_flat, row.no_dag_opt, row.movement_model, row.random_model):
+            assert variant >= 0.9 * row.full
+
+    def test_top1_never_better_than_top8(self, row):
+        assert row.top1 >= 0.99 * row.full

@@ -1,0 +1,169 @@
+"""Tests for the baseline systems: Ansor, BOLT, FlashAttention, Chimera —
+including every support-envelope gap the paper relies on."""
+
+import pytest
+
+from repro.baselines import (
+    AnsorBaseline,
+    BOLTBaseline,
+    FlashAttentionBaseline,
+    MCFuserBaseline,
+    MCFuserChimeraBaseline,
+    PyTorchBaseline,
+    RelayBaseline,
+    default_baselines,
+)
+from repro.baselines.flash_attention import fa1_block_sizes
+from repro.gpu.specs import A100, RTX3080
+from repro.ir.chain import attention_chain, gemm_chain
+
+
+@pytest.fixture
+def gemm():
+    return gemm_chain(1, 256, 256, 64, 64, name="bs-g")
+
+
+@pytest.fixture
+def attn():
+    return attention_chain(8, 256, 256, 64, 64, name="bs-a")
+
+
+class TestAnsor:
+    def test_sketch_space_deep_pow2_only(self, gemm):
+        ansor = AnsorBaseline(trials=64)
+        for cand in ansor.sketch_space(gemm, A100):
+            assert cand.expr.is_deep
+            for _, t in cand.tiles:
+                assert t & (t - 1) == 0
+
+    def test_runs_and_reports(self, gemm):
+        r = AnsorBaseline(trials=128, seed=0).run_chain(gemm, A100, seed=0)
+        assert r.time > 0
+        assert r.detail["trials"] > 0
+        assert r.tuning_seconds > 100  # trials are expensive
+
+    def test_tuning_time_scales_with_trials(self, gemm):
+        small = AnsorBaseline(trials=64).run_chain(gemm, A100, seed=0)
+        big = AnsorBaseline(trials=512).run_chain(gemm, A100, seed=0)
+        assert big.tuning_seconds > small.tuning_seconds
+
+    def test_fallback_time_bounded_by_unfused(self, gemm):
+        r = AnsorBaseline(trials=128).run_chain(gemm, A100, seed=0)
+        assert r.time <= r.detail["unfused_time"] * (1 + 1e-9)
+
+
+class TestBOLT:
+    def test_no_sm86(self, gemm):
+        assert BOLTBaseline().run_chain(gemm, RTX3080, seed=0) is None
+
+    def test_fuses_gemm_chain_on_a100(self, gemm):
+        r = BOLTBaseline().run_chain(gemm, A100, seed=0)
+        assert r is not None
+        assert r.detail["templates"] > 0
+
+    def test_attention_not_in_pattern_table(self, attn):
+        bolt = BOLTBaseline()
+        assert not bolt.supports_fusion(attn)
+        r = bolt.run_chain(attn, A100, seed=0)
+        assert r is not None  # falls back to unfused
+        assert not r.fused
+
+    def test_large_n_falls_back(self):
+        """The paper's G11/G12 behaviour: huge N overwhelms the template."""
+        big = gemm_chain(8, 1024, 1024, 128, 128, name="bs-g12")
+        r = BOLTBaseline().run_chain(big, A100, seed=0)
+        assert r is not None
+        assert r.time == pytest.approx(r.detail["unfused_time"]) or not r.fused
+
+    def test_small_n_fused_beats_fallback(self, gemm):
+        r = BOLTBaseline().run_chain(gemm, A100, seed=0)
+        assert r.fused
+        assert r.time < r.detail["unfused_time"]
+
+
+class TestFlashAttention:
+    def test_rejects_k_neq_h(self):
+        chain = attention_chain(8, 256, 256, 64, 128, name="bs-kh")
+        assert FlashAttentionBaseline().run_chain(chain, A100, seed=0) is None
+
+    def test_rejects_gemm_chain(self, gemm):
+        assert FlashAttentionBaseline().run_chain(gemm, A100, seed=0) is None
+
+    def test_rejects_large_head_dim(self):
+        chain = attention_chain(8, 256, 256, 160, 160, name="bs-big")
+        assert FlashAttentionBaseline().run_chain(chain, A100, seed=0) is None
+
+    def test_supports_head_dim_80(self):
+        chain = attention_chain(16, 256, 256, 80, 80, name="bs-s6")
+        r = FlashAttentionBaseline().run_chain(chain, A100, seed=0)
+        assert r is not None and r.fused
+
+    def test_v1_grid_is_batch_heads(self, attn):
+        r = FlashAttentionBaseline().run_chain(attn, A100, seed=0)
+        assert r.detail["grid"] == attn.batch
+
+    def test_zero_tuning_time(self, attn):
+        r = FlashAttentionBaseline().run_chain(attn, A100, seed=0)
+        assert r.tuning_seconds == 0.0
+
+    def test_block_table_shrinks_with_head_dim(self):
+        br32, _ = fa1_block_sizes(32, A100)
+        br128, _ = fa1_block_sizes(128, A100)
+        assert br32 > br128
+
+    def test_more_heads_better_utilization(self):
+        few = attention_chain(2, 512, 512, 64, 64, name="bs-few")
+        many = attention_chain(32, 512, 512, 64, 64, name="bs-many")
+        fa = FlashAttentionBaseline()
+        t_few = fa.run_chain(few, A100, seed=0).time
+        t_many = fa.run_chain(many, A100, seed=0).time
+        # 16x the work, but far better than 16x the time (v1 starves at 2 CTAs)
+        assert t_many < 8 * t_few
+
+
+class TestWrappers:
+    def test_chimera_wrapper(self, gemm):
+        r = MCFuserChimeraBaseline().run_chain(gemm, A100, seed=0)
+        assert r.name == "MCFuser-Chimera"
+        assert "mhnk" in r.detail["best"] or "mh" in r.detail["best"]
+
+    def test_mcfuser_wrapper(self, gemm):
+        r = MCFuserBaseline().run_chain(gemm, A100, seed=0)
+        assert r.name == "MCFuser"
+        assert r.fused
+        assert r.detail["pruning"][0][0] == "original"
+
+    def test_relay_baseline(self, gemm):
+        r = RelayBaseline().run_chain(gemm, A100, seed=0)
+        assert r.tuning_seconds > 0
+        assert not r.fused
+
+    def test_default_lineup_order(self):
+        names = [b.name for b in default_baselines()]
+        assert names == [
+            "PyTorch",
+            "Ansor",
+            "BOLT",
+            "FlashAttention",
+            "MCFuser-Chimera",
+            "MCFuser",
+        ]
+
+
+class TestHeadlineOrdering:
+    """The paper's core claims, as assertions."""
+
+    def test_mcfuser_beats_pytorch_on_mbci(self, gemm):
+        pt = PyTorchBaseline().run_chain(gemm, A100, seed=0).time
+        mc = MCFuserBaseline().run_chain(gemm, A100, seed=0).time
+        assert pt / mc > 1.5
+
+    def test_mcfuser_beats_flashattention(self, attn):
+        fa = FlashAttentionBaseline().run_chain(attn, A100, seed=0).time
+        mc = MCFuserBaseline().run_chain(attn, A100, seed=0).time
+        assert fa / mc > 1.2
+
+    def test_mcfuser_tunes_much_faster_than_ansor(self, gemm):
+        ansor = AnsorBaseline(trials=1000).run_chain(gemm, A100, seed=0)
+        mc = MCFuserBaseline().run_chain(gemm, A100, seed=0)
+        assert ansor.tuning_seconds / mc.tuning_seconds > 20

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, workload_by_name
+
+
+class TestWorkloadResolution:
+    def test_gemm(self):
+        assert workload_by_name("g4").name == "G4"
+
+    def test_attention(self):
+        assert workload_by_name("S2").name == "S2"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            workload_by_name("X1")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "G12" in out and "S9" in out and "fig7" in out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "G1", "--gpu", "a100"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out and "Compute(tile E)" in out
+
+    def test_tune_with_ptx(self, capsys):
+        assert main(["tune", "G1", "--show-ptx"]) == 0
+        assert ".entry" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "S4", "--ansor-trials", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "MCFuser" in out and "FlashAttention" in out
+
+    def test_compare_3080_hides_bolt(self, capsys):
+        assert main(["compare", "G1", "--gpu", "rtx3080", "--ansor-trials", "64"]) == 0
+        out = capsys.readouterr().out
+        bolt_row = [l for l in out.splitlines() if l.startswith("BOLT")][0]
+        assert "-" in bolt_row
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "MCFuser (ours)" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,88 @@
+"""Unit tests for Triton-IR emission and pseudo-PTX lowering."""
+
+import pytest
+
+from repro.codegen.ptx import MMA_K, MMA_M, MMA_N, emit_ptx, mma_count_for_tile
+from repro.codegen.triton_ir import triton_from_schedule
+from repro.gpu.specs import A100, RTX3080
+from repro.ir.chain import attention_chain
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+TILES = {"m": 32, "n": 16, "k": 16, "h": 16}
+
+
+@pytest.fixture
+def gemm_sched(small_gemm):
+    return build_schedule(small_gemm, TilingExpr.parse("mhnk"), TILES)
+
+
+@pytest.fixture
+def attn_sched(small_attention):
+    return build_schedule(
+        small_attention, TilingExpr.parse("mn(k,h)"), {"m": 32, "n": 16, "k": 32, "h": 32}
+    )
+
+
+class TestTritonIR:
+    def test_one_dot_per_block(self, gemm_sched):
+        prog = triton_from_schedule(gemm_sched)
+        assert prog.count_ops("dot") == 2
+
+    def test_loads_match_inputs(self, gemm_sched):
+        prog = triton_from_schedule(gemm_sched)
+        assert prog.count_ops("load") == 3  # A, B, D
+
+    def test_dynamic_counts_scale_with_extents(self, gemm_sched):
+        prog = triton_from_schedule(gemm_sched)
+        # LA/LB in k (5*4 per block), LD in n (5)
+        assert prog.dynamic_count("load") == 5 * 4 * 2 + 5
+
+    def test_softmax_op_emitted_for_attention(self, attn_sched):
+        prog = triton_from_schedule(attn_sched)
+        assert prog.count_ops("softmax_update") == 1
+
+    def test_render_shape(self, gemm_sched):
+        text = triton_from_schedule(gemm_sched).render()
+        assert "@triton.jit" in text
+        assert "tl.program_id" in text
+        assert "BLOCK_M: tl.constexpr = 32" in text
+        assert "tl.dot" in text
+        assert "tl.store" in text
+
+    def test_grid_matches_schedule(self, gemm_sched):
+        prog = triton_from_schedule(gemm_sched)
+        assert prog.grid == gemm_sched.grid_dims
+
+
+class TestPTX:
+    def test_mma_count_formula(self):
+        assert mma_count_for_tile(MMA_M, MMA_N, MMA_K) == 1
+        assert mma_count_for_tile(32, 16, 32) == 2 * 2 * 2
+        assert mma_count_for_tile(17, 9, 17) == 2 * 2 * 2  # ceil division
+
+    def test_entry_and_arch(self, gemm_sched):
+        ptx = emit_ptx(gemm_sched, A100)
+        assert ".visible .entry" in ptx
+        assert ".target sm_80" in ptx
+
+    def test_arch_for_3080(self, gemm_sched):
+        assert ".target sm_86" in emit_ptx(gemm_sched, RTX3080)
+
+    def test_shared_decl_matches_measured(self, gemm_sched):
+        ptx = emit_ptx(gemm_sched, A100)
+        assert f".b8 smem[{gemm_sched.shm_measured(A100)}]" in ptx
+
+    def test_mma_instructions_present(self, gemm_sched):
+        ptx = emit_ptx(gemm_sched, A100)
+        assert "mma.sync.aligned.m16n8k16" in ptx
+        assert "cp.async" in ptx
+
+    def test_softmax_comment_for_attention(self, attn_sched):
+        ptx = emit_ptx(attn_sched, A100)
+        assert "online softmax" in ptx
+
+    def test_params_cover_io(self, gemm_sched):
+        ptx = emit_ptx(gemm_sched, A100)
+        for tensor in ("A", "B", "D", "E"):
+            assert f"// {tensor}" in ptx

@@ -1,0 +1,71 @@
+"""Tests for the end-to-end model builders."""
+
+import numpy as np
+import pytest
+
+from repro.frontend.models import BERT_CONFIGS, bert_encoder, mlp_mixer, vit_encoder
+from repro.ir.ops import BatchMatmul, Dense, Softmax
+
+
+class TestBertEncoder:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return bert_encoder("Bert-Small", seq_len=128)
+
+    def test_configs(self):
+        assert BERT_CONFIGS["Bert-Base"].layers == 12
+        assert BERT_CONFIGS["Bert-Base"].head_dim == 64
+        assert BERT_CONFIGS["Bert-Large"].heads == 16
+
+    def test_output_shape(self, graph):
+        assert graph.shape(graph.outputs[0]) == (128, 512)
+
+    def test_attention_ops_per_layer(self, graph):
+        bmms = [n for n in graph.nodes if isinstance(n.op, BatchMatmul)]
+        softmaxes = [n for n in graph.nodes if isinstance(n.op, Softmax)]
+        assert len(bmms) == 2 * 4  # 2 per layer x 4 layers
+        assert len(softmaxes) == 4
+
+    def test_attention_shapes_match_table_iii(self, graph):
+        scores = next(n for n in graph.nodes if n.output.endswith("attn.scores"))
+        assert graph.shape(scores.output) == (8, 128, 128)  # heads x seq x seq
+
+    def test_flops_scale_with_layers(self):
+        small = bert_encoder("Bert-Small", 128).total_flops()
+        base = bert_encoder("Bert-Base", 128).total_flops()
+        assert base > 2.5 * small
+
+    def test_executes_numerically(self):
+        graph = bert_encoder("Bert-Small", seq_len=32)
+        env = graph.execute(graph.random_feed(seed=0, scale=0.05))
+        out = env[graph.outputs[0]]
+        assert out.shape == (32, 512)
+        assert np.isfinite(out).all()
+
+    def test_attention_probabilities_normalized(self):
+        graph = bert_encoder("Bert-Small", seq_len=32)
+        env = graph.execute(graph.random_feed(seed=0, scale=0.05))
+        probs = env["layer0.attn.probs"]
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones((8, 32)), rtol=1e-5)
+
+
+class TestOtherModels:
+    def test_vit_variants(self):
+        g = vit_encoder("ViT-Base", tokens=64)
+        assert g.shape(g.outputs[0]) == (64, 768)
+
+    def test_vit_huge_head_dim(self):
+        g = vit_encoder("ViT-Huge", tokens=32)
+        scores = next(n for n in g.nodes if n.output.endswith("attn.scores"))
+        # 1280 hidden / 16 heads = 80 — the S6 shape.
+        assert g.shape("layer0.attn.q.heads") == (16, 32, 80)
+
+    def test_mlp_mixer_runs(self):
+        g = mlp_mixer(tokens=64, channels=32, layers=2, token_inner=16)
+        env = g.execute(g.random_feed(seed=1, scale=0.05))
+        assert env[g.outputs[0]].shape == (64, 32)
+
+    def test_mixer_token_mlp_is_gemm_chain_shape(self):
+        g = mlp_mixer(tokens=128, channels=64, layers=1, token_inner=32)
+        fc1 = next(n for n in g.nodes if n.output.endswith("tok.fc1"))
+        assert g.shape(fc1.output) == (64, 32)  # channels x inner after transpose

@@ -1,0 +1,96 @@
+"""Tests for the MBCI graph partitioner."""
+
+import pytest
+
+from repro.frontend.models import bert_encoder
+from repro.frontend.partition import partition_graph
+from repro.gpu.specs import A100
+from repro.ir.graph import Graph
+from repro.ir.ops import Add, BatchMatmul, Scale, Softmax
+
+
+class TestBertPartition:
+    @pytest.fixture(scope="class")
+    def partition(self):
+        return partition_graph(bert_encoder("Bert-Small", 512), A100)
+
+    def test_one_subgraph_per_layer(self, partition):
+        assert len(partition.subgraphs) == 4
+        assert all(sg.kind == "attention" for sg in partition.subgraphs)
+
+    def test_chain_shapes_match_table_iii_s1(self, partition):
+        chain = partition.subgraphs[0].chain
+        assert chain.batch == 8
+        assert chain.loops == {"m": 512, "n": 512, "k": 64, "h": 64}
+
+    def test_absorbed_nodes(self, partition):
+        sg = partition.subgraphs[0]
+        assert len(sg.nodes) == 4  # scores, scaled, probs, context
+        assert sg.output.endswith("attn.context")
+
+    def test_rest_excludes_absorbed(self, partition):
+        rest_outputs = {n.output for n in partition.rest}
+        assert not (rest_outputs & partition.absorbed)
+        assert len(partition.rest) + sum(len(s.nodes) for s in partition.subgraphs) == len(
+            partition.graph.nodes
+        )
+
+    def test_inputs_are_qkv_heads(self, partition):
+        sg = partition.subgraphs[0]
+        assert all(".heads" in t for t in sg.inputs)
+
+
+class TestPatternEdgeCases:
+    def _attention_graph(self, with_scale=True, fanout=False):
+        g = Graph("attn")
+        g.add_input("q", (4, 64, 32))
+        g.add_input("k", (4, 64, 32))
+        g.add_input("v", (4, 64, 32))
+        g.add(BatchMatmul(("q", "k"), "s", transpose_b=True))
+        cur = "s"
+        if with_scale:
+            g.add(Scale(("s",), "sc", factor=0.17))
+            cur = "sc"
+        g.add(Softmax((cur,), "p"))
+        g.add(BatchMatmul(("p", "v"), "o"))
+        if fanout:
+            g.add(Add(("s", "s"), "extra"))  # second consumer of s
+        g.mark_output("o")
+        return g
+
+    def test_matches_without_scale(self):
+        p = partition_graph(self._attention_graph(with_scale=False), A100)
+        assert len(p.subgraphs) == 1
+
+    def test_matches_with_scale(self):
+        p = partition_graph(self._attention_graph(with_scale=True), A100)
+        assert len(p.subgraphs) == 1
+        assert len(p.subgraphs[0].nodes) == 4
+
+    def test_fanout_blocks_fusion(self):
+        p = partition_graph(self._attention_graph(fanout=True), A100)
+        assert len(p.subgraphs) == 0  # s has two consumers -> unsafe to absorb
+
+    def test_gemm_chain_pattern(self):
+        g = Graph("gg")
+        g.add_input("a", (1, 256, 64))
+        g.add_input("b", (1, 64, 256))
+        g.add_input("d", (1, 256, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.mark_output("e")
+        p = partition_graph(g, A100)
+        assert len(p.subgraphs) == 1
+        assert p.subgraphs[0].kind == "gemm_chain"
+        assert p.subgraphs[0].chain.loops == {"m": 256, "n": 256, "k": 64, "h": 64}
+
+    def test_compute_bound_chain_skipped(self):
+        g = Graph("big")
+        g.add_input("a", (1, 4096, 4096))
+        g.add_input("b", (1, 4096, 4096))
+        g.add_input("d", (1, 4096, 4096))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.mark_output("e")
+        assert partition_graph(g, A100, mbci_only=True).subgraphs == []
+        assert len(partition_graph(g, A100, mbci_only=False).subgraphs) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for repro.gpu.kernel."""
+
+import pytest
+
+from repro.gpu.kernel import CODEGEN_QUALITY, KernelLaunch
+
+
+def make(**kw):
+    base = dict(
+        name="k",
+        grid=16,
+        flops=1e9,
+        dram_read_bytes=1e6,
+        dram_write_bytes=1e5,
+        shared_mem_bytes=4096,
+    )
+    base.update(kw)
+    return KernelLaunch(**base)
+
+
+class TestValidation:
+    def test_ok(self):
+        assert make().grid == 16
+
+    def test_rejects_zero_grid(self):
+        with pytest.raises(ValueError):
+            make(grid=0)
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            make(flops=-1)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            make(dram_read_bytes=-1)
+
+    def test_rejects_unknown_codegen(self):
+        with pytest.raises(ValueError):
+            make(codegen="llvm")
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            make(efficiency=0.0)
+        with pytest.raises(ValueError):
+            make(efficiency=1.5)
+
+
+class TestDerived:
+    def test_dram_bytes(self):
+        assert make().dram_bytes == pytest.approx(1.1e6)
+
+    def test_arithmetic_intensity(self):
+        assert make().arithmetic_intensity == pytest.approx(1e9 / 1.1e6)
+
+    def test_intensity_zero_traffic(self):
+        k = make(dram_read_bytes=0, dram_write_bytes=0)
+        assert k.arithmetic_intensity == float("inf")
+
+    def test_signature_stable(self):
+        assert make().signature() == make().signature()
+
+    def test_signature_sensitive(self):
+        assert make().signature() != make(grid=17).signature()
+        assert make().signature() != make(efficiency=0.5).signature()
+        assert make().signature() != make(dram_compulsory_read_bytes=1.0).signature()
+
+    def test_extra_not_in_signature(self):
+        assert make(extra={"a": 1}).signature() == make(extra={"b": 2}).signature()
+
+
+class TestQualityTable:
+    def test_ordering(self):
+        q = CODEGEN_QUALITY
+        assert q["cublas"] > q["cutlass"] > q["triton"] > q["ansor_op"] > q["relay"] > q["ansor"]
+
+    def test_all_in_unit_interval(self):
+        assert all(0 < v <= 1 for v in CODEGEN_QUALITY.values())

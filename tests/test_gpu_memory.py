@@ -1,0 +1,99 @@
+"""Unit tests for repro.gpu.memory — the Fig. 10 'measured' backend."""
+
+import pytest
+
+from repro.gpu.memory import (
+    ACCUM_BYTES,
+    STATIC_RESERVE_BYTES,
+    SharedMemoryReport,
+    TileBuffer,
+    estimate_shared_memory,
+    measure_shared_memory,
+)
+from repro.gpu.specs import A100, GENERIC
+
+
+def op(tensor="a", rows=64, cols=64, **kw):
+    return TileBuffer(tensor=tensor, rows=rows, cols=cols, **kw)
+
+
+class TestTileBuffer:
+    def test_elements(self):
+        assert op(rows=8, cols=4, copies=3).elements == 96
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            op(rows=0)
+
+    def test_rejects_bad_role(self):
+        with pytest.raises(ValueError):
+            op(role="scratch")
+
+    def test_rejects_bad_copies(self):
+        with pytest.raises(ValueError):
+            op(copies=0)
+
+
+class TestEstimate:
+    def test_eq1_sum_of_tiles(self):
+        bufs = [op("a", 32, 16), op("b", 16, 64)]
+        assert estimate_shared_memory(bufs) == (32 * 16 + 16 * 64) * 2
+
+    def test_estimate_ignores_double_buffering(self):
+        plain = [op("a", 32, 32)]
+        dbuf = [op("a", 32, 32, double_buffered=True)]
+        assert estimate_shared_memory(plain) == estimate_shared_memory(dbuf)
+
+    def test_estimate_ignores_copies(self):
+        assert estimate_shared_memory([op("a", 32, 32, copies=4)]) == estimate_shared_memory(
+            [op("a", 32, 32)]
+        )
+
+    def test_estimate_respects_dtype(self):
+        assert estimate_shared_memory([op("a", 16, 16, dtype_bytes=4)]) == 16 * 16 * 4
+
+
+class TestMeasured:
+    def test_static_reserve_floor(self):
+        report = measure_shared_memory([], A100)
+        assert report.total_bytes == STATIC_RESERVE_BYTES
+
+    def test_double_buffering_doubles_operands(self):
+        single = measure_shared_memory([op("a", 32, 40)], A100).total_bytes
+        double = measure_shared_memory([op("a", 32, 40, double_buffered=True)], A100).total_bytes
+        assert double - STATIC_RESERVE_BYTES == 2 * (single - STATIC_RESERVE_BYTES)
+
+    def test_skew_padding_on_pow2_pitch(self):
+        # 64 cols * 2B = 128B pitch -> multiple of 128 -> 8-element skew.
+        padded = measure_shared_memory([op("a", 16, 64)], A100).total_bytes
+        unpadded = measure_shared_memory([op("a", 16, 60)], A100).total_bytes
+        assert padded - STATIC_RESERVE_BYTES == 16 * 72 * 2
+        assert unpadded - STATIC_RESERVE_BYTES == 16 * 60 * 2
+
+    def test_small_accumulator_in_registers(self):
+        report = measure_shared_memory([op("c", 64, 64, role="accumulator")], A100)
+        assert report.total_bytes == STATIC_RESERVE_BYTES
+        assert report.register_resident == ("c",)
+
+    def test_large_accumulator_spills_fp32(self):
+        # 256x256 fp32 = 256KB > half the register file -> shared memory.
+        report = measure_shared_memory([op("c", 256, 256, role="accumulator")], A100)
+        assert report.register_resident == ()
+        assert report.total_bytes > 256 * 256 * ACCUM_BYTES
+
+    def test_copies_multiply(self):
+        one = measure_shared_memory([op("s", 32, 40, role="stage")], A100).total_bytes
+        four = measure_shared_memory([op("s", 32, 40, role="stage", copies=4)], A100).total_bytes
+        assert four - STATIC_RESERVE_BYTES == 4 * (one - STATIC_RESERVE_BYTES)
+
+    def test_fits_check(self):
+        small = measure_shared_memory([op("a", 16, 16)], GENERIC)
+        assert small.fits(GENERIC)
+        huge = measure_shared_memory([op("a", 512, 512)], A100)
+        assert not huge.fits(GENERIC)
+
+    def test_register_budget_depends_on_gpu(self):
+        buf = op("c", 128, 128, role="accumulator")  # 64KB fp32
+        tiny_regs = GENERIC.with_overrides(register_file_per_sm=32 * 1024)
+        assert measure_shared_memory([buf], A100).register_resident == ("c",)
+        assert measure_shared_memory([buf], tiny_regs).register_resident == ()

@@ -1,0 +1,71 @@
+"""Unit tests for repro.gpu.occupancy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.occupancy import SharedMemoryExceeded, occupancy_for
+from repro.gpu.specs import A100, GENERIC
+
+
+class TestBasics:
+    def test_full_grid_one_wave(self):
+        occ = occupancy_for(108, 1024, A100)
+        assert occ.waves == 1
+        assert occ.quantization == pytest.approx(1.0)
+
+    def test_small_grid_penalized(self):
+        occ = occupancy_for(27, 1024, A100)
+        assert occ.quantization == pytest.approx(4.0)
+
+    def test_tail_wave(self):
+        occ = occupancy_for(109, 1024, A100)
+        assert occ.waves == 2
+        assert occ.quantization == pytest.approx(2 * 108 / 109)
+
+    def test_exact_multiple(self):
+        occ = occupancy_for(216, 1024, A100)
+        assert occ.waves == 2
+        assert occ.quantization == pytest.approx(1.0)
+
+    def test_blocks_per_sm_shm_limited(self):
+        occ = occupancy_for(1000, 82 * 1024, A100)  # 164KB SM / 82KB -> 2
+        assert occ.blocks_per_sm == 2
+
+    def test_blocks_per_sm_capped(self):
+        occ = occupancy_for(10000, 64, A100)
+        assert occ.blocks_per_sm == A100.max_blocks_per_sm
+
+    def test_zero_shm_max_residency(self):
+        occ = occupancy_for(10, 0, A100)
+        assert occ.blocks_per_sm == A100.max_blocks_per_sm
+
+    def test_concurrent_blocks(self):
+        occ = occupancy_for(50, 1024, A100)
+        assert occ.concurrent_blocks == 50
+        occ = occupancy_for(100000, 1024, A100)
+        assert occ.concurrent_blocks == 108 * A100.max_blocks_per_sm
+
+
+class TestErrors:
+    def test_over_limit_raises(self):
+        with pytest.raises(SharedMemoryExceeded) as exc:
+            occupancy_for(1, A100.shared_mem_per_block + 1, A100)
+        assert exc.value.requested == A100.shared_mem_per_block + 1
+
+    def test_zero_grid_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_for(0, 0, A100)
+
+
+class TestProperties:
+    @given(st.integers(1, 10**6), st.integers(0, GENERIC.shared_mem_per_block))
+    def test_quantization_at_least_one(self, grid, shm):
+        occ = occupancy_for(grid, shm, GENERIC)
+        assert occ.quantization >= 1.0 - 1e-12
+
+    @given(st.integers(1, 10**5))
+    def test_waves_monotone_in_grid(self, grid):
+        occ1 = occupancy_for(grid, 1024, GENERIC)
+        occ2 = occupancy_for(grid + 1, 1024, GENERIC)
+        assert occ2.waves >= occ1.waves

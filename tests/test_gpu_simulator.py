@@ -1,0 +1,160 @@
+"""Unit tests for the GPU simulator (the reproduction's 'hardware')."""
+
+import pytest
+
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.occupancy import SharedMemoryExceeded
+from repro.gpu.simulator import GPUSimulator, compute_efficiency, memory_efficiency
+from repro.gpu.specs import A100, GENERIC
+
+
+def kernel(**kw):
+    base = dict(
+        name="k",
+        grid=1080,
+        flops=1e10,
+        dram_read_bytes=1e6,
+        dram_write_bytes=1e5,
+        shared_mem_bytes=8192,
+        tile_m=128,
+        tile_n=128,
+        tile_k=64,
+        inner_contig_bytes=256,
+    )
+    base.update(kw)
+    return KernelLaunch(**base)
+
+
+class TestEfficiencyCurves:
+    def test_compute_eff_monotone_in_tiles(self):
+        small = compute_efficiency(16, 16, 16, "triton")
+        big = compute_efficiency(128, 128, 64, "triton")
+        assert big > small
+
+    def test_compute_eff_register_pressure(self):
+        ok = compute_efficiency(128, 128, 64, "triton")
+        spilled = compute_efficiency(256, 256, 64, "triton")
+        assert spilled < ok
+
+    def test_compute_eff_codegen_ordering(self):
+        assert compute_efficiency(64, 64, 32, "cublas") > compute_efficiency(64, 64, 32, "ansor")
+
+    def test_compute_eff_bounded(self):
+        assert 0 < compute_efficiency(1024, 16, 16, "cublas") < 1
+
+    def test_memory_eff_monotone_in_contiguity(self):
+        assert memory_efficiency(256) > memory_efficiency(32)
+
+    def test_memory_eff_codegen_mild(self):
+        # Memory penalty of weak codegen is smaller than its compute penalty.
+        ratio_mem = memory_efficiency(256, "ansor") / memory_efficiency(256, "cublas")
+        ratio_cmp = compute_efficiency(64, 64, 32, "ansor") / compute_efficiency(64, 64, 32, "cublas")
+        assert ratio_cmp < ratio_mem < 1.0
+
+
+class TestTiming:
+    def test_memory_bound_kernel(self, sim):
+        k = kernel(flops=1e6, dram_read_bytes=1e9)
+        timing = sim.time_kernel(k)
+        assert timing.bound == "memory"
+        assert timing.total > 1e9 / A100.mem_bandwidth  # can't beat the roofline
+
+    def test_compute_bound_kernel(self, sim):
+        k = kernel(flops=1e12, dram_read_bytes=1e5)
+        timing = sim.time_kernel(k)
+        assert timing.bound == "compute"
+        assert timing.total > 1e12 / A100.peak_flops
+
+    def test_more_flops_cost_more(self, sim):
+        t1 = sim.run(kernel(flops=1e10))
+        t2 = sim.run(kernel(flops=4e10))
+        assert t2 > t1
+
+    def test_more_bytes_cost_more(self, sim):
+        t1 = sim.run(kernel(flops=0.0, dram_read_bytes=1e8))
+        t2 = sim.run(kernel(flops=0.0, dram_read_bytes=4e8))
+        assert t2 > t1
+
+    def test_small_grid_compute_penalty(self, sim):
+        full = sim.run(kernel(flops=1e11, dram_read_bytes=1e4, grid=108))
+        starved = sim.run(kernel(flops=1e11, dram_read_bytes=1e4, grid=12))
+        assert starved > 5 * full
+
+    def test_small_grid_memory_penalty_milder(self, sim):
+        full = sim.run(kernel(flops=0.0, dram_read_bytes=1e9, grid=108))
+        starved = sim.run(kernel(flops=0.0, dram_read_bytes=1e9, grid=27))
+        # quantization 4x, memory relief /4 -> at most ~1 extra wave latency
+        assert starved < 1.5 * full
+
+    def test_launch_overhead_floor(self, sim):
+        t = sim.run(kernel(flops=1.0, dram_read_bytes=1.0, dram_write_bytes=0.0))
+        assert t >= 0.9 * A100.kernel_launch_overhead
+
+    def test_shared_memory_exceeded(self, sim):
+        with pytest.raises(SharedMemoryExceeded):
+            sim.run(kernel(shared_mem_bytes=A100.shared_mem_per_block + 1))
+
+    def test_efficiency_derate_slows(self, sim):
+        fast = sim.run(kernel())
+        slow = sim.run(kernel(efficiency=0.5))
+        assert slow > 1.5 * fast
+
+
+class TestL2Relief:
+    def test_rereads_discounted_when_ws_fits(self, sim):
+        no_info = kernel(flops=0.0, dram_read_bytes=1e8, dram_write_bytes=0.0)
+        with_l2 = kernel(
+            flops=0.0,
+            dram_read_bytes=1e8,
+            dram_write_bytes=0.0,
+            dram_compulsory_read_bytes=1e6,
+        )
+        assert sim.run(with_l2) < 0.3 * sim.run(no_info)
+
+    def test_no_relief_when_ws_exceeds_l2(self, sim):
+        big = kernel(
+            flops=0.0,
+            dram_read_bytes=4e9,
+            dram_write_bytes=0.0,
+            dram_compulsory_read_bytes=3.9e9,
+        )
+        plain = kernel(flops=0.0, dram_read_bytes=4e9, dram_write_bytes=0.0)
+        assert sim.run(big) > 0.9 * sim.run(plain)
+
+    def test_compulsory_clamped_to_reads(self, sim):
+        k = kernel(dram_read_bytes=1e6, dram_compulsory_read_bytes=1e9)
+        assert sim.run(k) > 0  # no crash, clamped internally
+
+
+class TestDeterminismAndJitter:
+    def test_same_seed_same_time(self):
+        a = GPUSimulator(A100, seed=7).run(kernel())
+        b = GPUSimulator(A100, seed=7).run(kernel())
+        assert a == b
+
+    def test_different_seed_different_time(self):
+        a = GPUSimulator(A100, seed=1).run(kernel())
+        b = GPUSimulator(A100, seed=2).run(kernel())
+        assert a != b
+
+    def test_jitter_bounded(self):
+        clean = GPUSimulator(A100, jitter=False).run(kernel())
+        for seed in range(20):
+            noisy = GPUSimulator(A100, seed=seed).run(kernel())
+            assert abs(noisy - clean) / clean < 0.025
+
+    def test_jitter_disabled_exact(self):
+        a = GPUSimulator(A100, jitter=False, seed=1).run(kernel())
+        b = GPUSimulator(A100, jitter=False, seed=2).run(kernel())
+        assert a == b
+
+
+class TestSequences:
+    def test_sequence_sums(self, sim):
+        ks = [kernel(name=f"k{i}") for i in range(3)]
+        assert sim.run_sequence(ks) == pytest.approx(sum(sim.run(k) for k in ks))
+
+    def test_achieved_tflops(self, sim):
+        k = kernel(flops=1e12, dram_read_bytes=1e5, grid=10800)
+        tf = sim.achieved_tflops(k)
+        assert 0 < tf < A100.peak_flops / 1e12

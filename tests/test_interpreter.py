@@ -1,0 +1,166 @@
+"""Correctness tests for the NumPy tile interpreter: every valid fused
+schedule must reproduce the unfused reference exactly (up to fp32
+associativity)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interpreter import InterpreterError, execute_schedule
+from repro.ir.chain import attention_chain, gemm_chain
+from repro.tiling.enumeration import all_tilings
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import InvalidScheduleError, build_schedule
+
+
+def check(chain, expr, tiles, seed=0, rtol=1e-4, atol=1e-5):
+    schedule = build_schedule(chain, TilingExpr.parse(expr), tiles)
+    inputs = chain.random_inputs(seed)
+    ref = chain.reference(inputs)[chain.output]
+    out = execute_schedule(schedule, inputs)[chain.output]
+    np.testing.assert_allclose(out, ref, rtol=rtol, atol=atol)
+
+
+class TestGemmChain:
+    def test_deep_nk(self, small_gemm):
+        check(small_gemm, "mhnk", {"m": 32, "n": 16, "k": 16, "h": 16})
+
+    def test_full_dim_tiles(self, small_gemm):
+        check(small_gemm, "mhnk", {"m": 96, "n": 80, "k": 64, "h": 48})
+
+    def test_minimal_tiles(self, small_gemm):
+        check(small_gemm, "mhnk", {"m": 16, "n": 16, "k": 16, "h": 16})
+
+    def test_flat(self, small_gemm):
+        check(small_gemm, "mn(k,h)", {"m": 32, "n": 16, "k": 16, "h": 48})
+
+    def test_flat_other_order(self, small_gemm):
+        check(small_gemm, "nm(k,h)", {"m": 32, "n": 16, "k": 16, "h": 48})
+
+    def test_kn_with_full_n(self, small_gemm):
+        check(small_gemm, "mhkn", {"m": 32, "n": 80, "k": 16, "h": 16})
+
+    def test_kn_with_full_k(self, small_gemm):
+        check(small_gemm, "mhkn", {"m": 32, "n": 16, "k": 64, "h": 16})
+
+    def test_ragged_dims_padded(self, ragged_gemm):
+        check(ragged_gemm, "mhnk", {"m": 32, "n": 32, "k": 32, "h": 32})
+
+    def test_ragged_flat(self, ragged_gemm):
+        check(ragged_gemm, "mn(k,h)", {"m": 48, "n": 16, "k": 32, "h": 64})
+
+    def test_relu_epilogue(self):
+        chain = gemm_chain(1, 64, 64, 32, 32, name="relu", epilogue="relu")
+        check(chain, "mhnk", {"m": 32, "n": 32, "k": 16, "h": 16})
+
+    def test_gelu_epilogue(self):
+        chain = gemm_chain(1, 64, 64, 32, 32, name="gelu", epilogue="gelu")
+        check(chain, "mhnk", {"m": 32, "n": 32, "k": 16, "h": 16})
+
+    def test_all_expressions_small(self):
+        """Every enumerated expression either runs correctly or is rejected."""
+        chain = gemm_chain(1, 64, 48, 32, 48, name="exh")
+        tiles = {"m": 16, "n": 16, "k": 16, "h": 16}
+        inputs = chain.random_inputs(1)
+        ref = chain.reference(inputs)["E"]
+        ok = rejected = 0
+        for expr in all_tilings(chain):
+            schedule = build_schedule(chain, expr, tiles)
+            try:
+                out = execute_schedule(schedule, inputs)["E"]
+            except (InterpreterError, InvalidScheduleError):
+                rejected += 1
+                continue
+            np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5, err_msg=expr.render())
+            ok += 1
+        # With generic 16-tiles exactly the nk-class (12 deep perms) runs:
+        # the kn-class is order-invalid, flat needs the full-H tile.
+        assert ok == 12
+        assert ok + rejected == 26
+
+
+class TestAttention:
+    def test_deep_nk(self, small_attention):
+        check(small_attention, "mhnk", {"m": 32, "n": 32, "k": 16, "h": 32})
+
+    def test_flat_flashattention_style(self, small_attention):
+        check(small_attention, "mn(k,h)", {"m": 32, "n": 16, "k": 32, "h": 32})
+
+    def test_kn_with_full_n(self, small_attention):
+        check(small_attention, "mhkn", {"m": 32, "n": 96, "k": 16, "h": 32})
+
+    def test_h_gridsplit(self, small_attention):
+        check(small_attention, "mhnk", {"m": 32, "n": 32, "k": 32, "h": 16})
+
+    def test_single_n_tile(self, small_attention):
+        check(small_attention, "mhnk", {"m": 32, "n": 96, "k": 32, "h": 32})
+
+    def test_ragged_attention(self):
+        chain = attention_chain(2, 100, 84, 24, 40, name="rag-attn")
+        check(chain, "mhnk", {"m": 32, "n": 32, "k": 32, "h": 48})
+
+    def test_ragged_attention_flat(self):
+        chain = attention_chain(2, 100, 84, 24, 40, name="rag-attn2")
+        check(chain, "mn(k,h)", {"m": 48, "n": 16, "k": 32, "h": 48})
+
+    def test_extreme_logits_stable(self):
+        """Online softmax must survive large score magnitudes."""
+        chain = attention_chain(1, 64, 64, 32, 32, name="ext")
+        schedule = build_schedule(
+            chain, TilingExpr.parse("mn(k,h)"), {"m": 32, "n": 16, "k": 32, "h": 32}
+        )
+        inputs = chain.random_inputs(0)
+        inputs["Q"] = inputs["Q"] * 40.0  # scores ~ hundreds
+        ref = chain.reference(inputs)["O"]
+        out = execute_schedule(schedule, inputs)["O"]
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, ref, rtol=1e-3, atol=1e-5)
+
+
+class TestRejections:
+    def test_invalid_order_rejected(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mhkn"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        with pytest.raises(InvalidScheduleError):
+            execute_schedule(schedule, small_gemm.random_inputs(0))
+
+    def test_multicopy_rejected(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mn(k,h)"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        with pytest.raises(InterpreterError):
+            execute_schedule(schedule, small_gemm.random_inputs(0))
+
+    def test_missing_input(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        with pytest.raises(KeyError):
+            execute_schedule(schedule, {})
+
+    def test_wrong_shape(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        inputs = small_gemm.random_inputs(0)
+        inputs["A"] = inputs["A"][:1]
+        with pytest.raises(ValueError):
+            execute_schedule(schedule, inputs)
+
+
+class TestIntermediatesAndDeterminism:
+    def test_returns_all_outputs(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        out = execute_schedule(schedule, small_gemm.random_inputs(0))
+        assert set(out) == {"E"}
+
+    def test_deterministic(self, small_gemm):
+        schedule = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        inputs = small_gemm.random_inputs(0)
+        a = execute_schedule(schedule, inputs)["E"]
+        b = execute_schedule(schedule, inputs)["E"]
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,80 @@
+"""Property-based tests: fused execution == reference for random problem
+sizes, tile sizes and expressions (the core soundness invariant)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.interpreter import InterpreterError, execute_schedule
+from repro.ir.chain import attention_chain, gemm_chain
+from repro.tiling.enumeration import all_tilings
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import InvalidScheduleError, build_schedule
+
+dims = st.integers(2, 5).map(lambda x: x * 16)  # 32..80, multiples of 16
+ragged = st.integers(20, 70)
+tile_pick = st.sampled_from([16, 32, 48, 64])
+
+
+def _run_and_compare(chain, expr, tiles):
+    schedule = build_schedule(chain, expr, tiles)
+    try:
+        out = execute_schedule(schedule, chain.random_inputs(0))[chain.output]
+    except (InterpreterError, InvalidScheduleError):
+        return  # correctly rejected candidates are fine
+    ref = chain.reference(chain.random_inputs(0))[chain.output]
+    np.testing.assert_allclose(out, ref, rtol=2e-4, atol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(m=dims, n=dims, k=dims, h=dims, tm=tile_pick, tn=tile_pick, tk=tile_pick, th=tile_pick)
+def test_gemm_chain_fused_equals_reference(m, n, k, h, tm, tn, tk, th):
+    chain = gemm_chain(1, m, n, k, h, name=f"p{m}{n}{k}{h}")
+    tiles = {"m": tm, "n": tn, "k": tk, "h": th}
+    _run_and_compare(chain, TilingExpr.parse("mhnk"), tiles)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=ragged, n=ragged, k=ragged, h=ragged, tm=tile_pick, tn=tile_pick)
+def test_ragged_gemm_chain_padding_correct(m, n, k, h, tm, tn):
+    chain = gemm_chain(1, m, n, k, h, name=f"r{m}{n}{k}{h}")
+    tiles = {"m": tm, "n": tn, "k": 32, "h": 32}
+    _run_and_compare(chain, TilingExpr.parse("mhnk"), tiles)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=dims, n=dims, k=st.sampled_from([16, 32]), h=st.sampled_from([16, 32]),
+       tm=tile_pick, tn=tile_pick)
+def test_attention_fused_equals_reference(m, n, k, h, tm, tn):
+    chain = attention_chain(2, m, n, k, h, name=f"a{m}{n}{k}{h}")
+    # FlashAttention-style flat tiling: full k/h extents per block.
+    tiles = {"m": tm, "n": tn, "k": max(16, k), "h": max(16, h)}
+    _run_and_compare(chain, TilingExpr.parse("mn(k,h)"), tiles)
+
+
+@settings(max_examples=10, deadline=None)
+@given(idx=st.integers(0, 25), tm=tile_pick, th=tile_pick)
+def test_any_expression_runs_or_rejects(idx, tm, th):
+    chain = gemm_chain(1, 64, 48, 32, 48, name="pexh")
+    expr = all_tilings(chain)[idx]
+    tiles = {"m": tm, "n": 16, "k": 16, "h": th}
+    _run_and_compare(chain, expr, tiles)
+
+
+@settings(max_examples=10, deadline=None)
+@given(tm=tile_pick, tn=tile_pick, tk=tile_pick, th=tile_pick)
+def test_optimized_and_unoptimized_agree(tm, tn, tk, th):
+    """The extent-1 DAG optimization must never change results."""
+    chain = gemm_chain(1, 64, 64, 32, 32, name="popt")
+    tiles = {"m": tm, "n": tn, "k": tk, "h": th}
+    inputs = chain.random_inputs(0)
+    outs = []
+    for optimize in (False, True):
+        schedule = build_schedule(chain, TilingExpr.parse("mhnk"), tiles, optimize=optimize)
+        try:
+            outs.append(execute_schedule(schedule, inputs)["E"])
+        except (InterpreterError, InvalidScheduleError):
+            outs.append(None)
+    if outs[0] is not None and outs[1] is not None:
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-5, atol=1e-6)
+    assert outs[1] is not None  # optimized form of nk must always run

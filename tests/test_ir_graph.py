@@ -1,0 +1,92 @@
+"""Unit tests for the operator graph."""
+
+import numpy as np
+import pytest
+
+from repro.ir.graph import Graph
+from repro.ir.ops import Activation, Add, BiasAdd, Dense, Softmax
+
+
+def tiny_graph():
+    g = Graph("tiny")
+    g.add_input("x", (4, 8))
+    g.add_param("w", (8, 6))
+    g.add_param("b", (6,))
+    g.add(Dense(("x", "w"), "h"))
+    g.add(BiasAdd(("h", "b"), "hb"))
+    g.add(Activation(("hb",), "a", fn="relu"))
+    g.mark_output("a")
+    return g
+
+
+class TestConstruction:
+    def test_shapes_inferred(self):
+        g = tiny_graph()
+        assert g.shape("h") == (4, 6)
+        assert g.shape("a") == (4, 6)
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph("g")
+        g.add_input("x", (2, 2))
+        with pytest.raises(ValueError):
+            g.add_input("x", (2, 2))
+
+    def test_undefined_input_rejected(self):
+        g = Graph("g")
+        with pytest.raises(ValueError):
+            g.add(Dense(("nope", "w"), "y"))
+
+    def test_duplicate_output_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(ValueError):
+            g.add(Add(("h", "h"), "h"))
+
+    def test_mark_unknown_output(self):
+        g = tiny_graph()
+        with pytest.raises(ValueError):
+            g.mark_output("nope")
+
+
+class TestQueries:
+    def test_producer_consumers(self):
+        g = tiny_graph()
+        assert g.producer("h").output == "h"
+        assert g.producer("x") is None
+        assert [n.output for n in g.consumers("h")] == ["hb"]
+
+    def test_total_flops(self):
+        g = tiny_graph()
+        assert g.total_flops() == 2 * 4 * 8 * 6 + 4 * 6 + 4 * 6
+
+    def test_flops_by_kind(self):
+        kinds = tiny_graph().flops_by_kind()
+        assert kinds["Dense"] == 2 * 4 * 8 * 6
+        assert set(kinds) == {"Dense", "BiasAdd", "Activation"}
+
+
+class TestExecution:
+    def test_execute_matches_numpy(self):
+        g = tiny_graph()
+        feed = g.random_feed(seed=3)
+        env = g.execute(feed)
+        expect = np.maximum(feed["x"] @ feed["w"] + feed["b"], 0.0)
+        np.testing.assert_allclose(env["a"], expect, rtol=1e-5)
+
+    def test_missing_feed_rejected(self):
+        g = tiny_graph()
+        with pytest.raises(KeyError):
+            g.execute({"x": np.zeros((4, 8), np.float32)})
+
+    def test_random_feed_deterministic(self):
+        g = tiny_graph()
+        a = g.random_feed(seed=1)
+        b = g.random_feed(seed=1)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_softmax_in_graph(self):
+        g = Graph("s")
+        g.add_input("x", (3, 5))
+        g.add(Softmax(("x",), "p"))
+        env = g.execute(g.random_feed())
+        np.testing.assert_allclose(env["p"].sum(axis=-1), np.ones(3), rtol=1e-6)

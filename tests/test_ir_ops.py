@@ -1,0 +1,165 @@
+"""Unit tests for the graph-level operators."""
+
+import numpy as np
+import pytest
+
+from repro.ir.ops import (
+    Activation,
+    Add,
+    BatchMatmul,
+    BiasAdd,
+    Dense,
+    LayerNorm,
+    Reshape,
+    Scale,
+    Softmax,
+    Transpose,
+)
+
+
+def rnd(*shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestDense:
+    shapes = {"x": (8, 16), "w": (16, 32)}
+
+    def test_shape(self):
+        assert Dense(("x", "w"), "y").infer_shape(self.shapes) == (8, 32)
+
+    def test_flops(self):
+        assert Dense(("x", "w"), "y").flops(self.shapes) == 2 * 8 * 16 * 32
+
+    def test_execute(self):
+        x, w = rnd(8, 16), rnd(16, 32, seed=1)
+        out = Dense(("x", "w"), "y").execute({"x": x, "w": w})
+        np.testing.assert_allclose(out, x @ w, rtol=1e-6)
+
+    def test_compute_intensive(self):
+        assert Dense(("x", "w"), "y").compute_intensive
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Dense(("x", "w"), "y").infer_shape({"x": (8, 15), "w": (16, 32)})
+
+    def test_batched_leading_dims(self):
+        shapes = {"x": (2, 8, 16), "w": (16, 4)}
+        assert Dense(("x", "w"), "y").infer_shape(shapes) == (2, 8, 4)
+
+
+class TestBatchMatmul:
+    def test_plain(self):
+        shapes = {"a": (3, 8, 16), "b": (3, 16, 4)}
+        op = BatchMatmul(("a", "b"), "y")
+        assert op.infer_shape(shapes) == (3, 8, 4)
+        assert op.flops(shapes) == 2 * 3 * 8 * 4 * 16
+
+    def test_transpose_b(self):
+        shapes = {"a": (3, 8, 16), "b": (3, 4, 16)}
+        op = BatchMatmul(("a", "b"), "y", transpose_b=True)
+        assert op.infer_shape(shapes) == (3, 8, 4)
+
+    def test_transpose_a(self):
+        shapes = {"a": (3, 16, 8), "b": (3, 16, 4)}
+        op = BatchMatmul(("a", "b"), "y", transpose_a=True)
+        assert op.infer_shape(shapes) == (3, 8, 4)
+
+    def test_execute_matches_numpy(self):
+        a, b = rnd(2, 4, 8), rnd(2, 3, 8, seed=1)
+        out = BatchMatmul(("a", "b"), "y", transpose_b=True).execute({"a": a, "b": b})
+        np.testing.assert_allclose(out, a @ np.swapaxes(b, 1, 2), rtol=1e-5)
+
+    def test_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchMatmul(("a", "b"), "y").infer_shape({"a": (2, 4, 8), "b": (3, 8, 4)})
+
+    def test_rank_check(self):
+        with pytest.raises(ValueError):
+            BatchMatmul(("a", "b"), "y").infer_shape({"a": (4, 8), "b": (8, 4)})
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = rnd(4, 7)
+        out = Softmax(("x",), "y").execute({"x": x})
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_shift_invariance(self):
+        x = rnd(4, 7)
+        a = Softmax(("x",), "y").execute({"x": x})
+        b = Softmax(("x",), "y").execute({"x": x + 100.0})
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_shape_and_flops(self):
+        op = Softmax(("x",), "y")
+        assert op.infer_shape({"x": (4, 7)}) == (4, 7)
+        assert op.flops({"x": (4, 7)}) == 5 * 28
+
+
+class TestElementwise:
+    def test_add(self):
+        a, b = rnd(3, 3), rnd(3, 3, seed=1)
+        np.testing.assert_allclose(Add(("a", "b"), "y").execute({"a": a, "b": b}), a + b)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Add(("a", "b"), "y").infer_shape({"a": (2, 2), "b": (2, 3)})
+
+    def test_bias_add(self):
+        x, b = rnd(4, 8), rnd(8)
+        np.testing.assert_allclose(BiasAdd(("x", "b"), "y").execute({"x": x, "b": b}), x + b)
+
+    def test_bias_shape_check(self):
+        with pytest.raises(ValueError):
+            BiasAdd(("x", "b"), "y").infer_shape({"x": (4, 8), "b": (4,)})
+
+    def test_relu(self):
+        x = np.array([[-1.0, 2.0]], dtype=np.float32)
+        np.testing.assert_allclose(
+            Activation(("x",), "y", fn="relu").execute({"x": x}), [[0.0, 2.0]]
+        )
+
+    def test_gelu_fixed_points(self):
+        x = np.array([0.0], dtype=np.float32)
+        assert Activation(("x",), "y", fn="gelu").execute({"x": x})[0] == pytest.approx(0.0)
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            Activation(("x",), "y", fn="swish")
+
+    def test_scale(self):
+        x = rnd(3)
+        np.testing.assert_allclose(Scale(("x",), "y", factor=0.5).execute({"x": x}), 0.5 * x)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        x = rnd(6, 16)
+        gamma, beta = np.ones(16, np.float32), np.zeros(16, np.float32)
+        out = LayerNorm(("x", "g", "b"), "y").execute({"x": x, "g": gamma, "b": beta})
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(6), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(6), atol=1e-2)
+
+
+class TestLayout:
+    def test_reshape(self):
+        x = rnd(4, 6)
+        out = Reshape(("x",), "y", shape=(2, 12)).execute({"x": x})
+        assert out.shape == (2, 12)
+
+    def test_reshape_count_check(self):
+        with pytest.raises(ValueError):
+            Reshape(("x",), "y", shape=(5, 5)).infer_shape({"x": (4, 6)})
+
+    def test_reshape_zero_flops(self):
+        assert Reshape(("x",), "y", shape=(24,)).flops({"x": (4, 6)}) == 0.0
+
+    def test_transpose(self):
+        x = rnd(2, 3, 4)
+        op = Transpose(("x",), "y", axes=(1, 0, 2))
+        assert op.infer_shape({"x": (2, 3, 4)}) == (3, 2, 4)
+        np.testing.assert_allclose(op.execute({"x": x}), np.transpose(x, (1, 0, 2)))
+
+    def test_transpose_bad_axes(self):
+        with pytest.raises(ValueError):
+            Transpose(("x",), "y", axes=(0, 0, 2)).infer_shape({"x": (2, 3, 4)})

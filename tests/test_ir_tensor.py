@@ -1,0 +1,42 @@
+"""Unit tests for repro.ir.tensor."""
+
+import numpy as np
+import pytest
+
+from repro.ir.tensor import DTYPE_BYTES, TensorSpec
+
+
+class TestTensorSpec:
+    def test_basic(self):
+        t = TensorSpec("x", (4, 8))
+        assert t.ndim == 2
+        assert t.num_elements == 32
+        assert t.dtype_bytes == 2
+        assert t.nbytes == 64
+
+    def test_fp32(self):
+        t = TensorSpec("x", (4,), dtype="float32")
+        assert t.nbytes == 16
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TensorSpec("", (4,))
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            TensorSpec("x", (4, 0))
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            TensorSpec("x", (4,), dtype="int8")
+
+    def test_numpy_dtype(self):
+        assert TensorSpec("x", (2,), dtype="float16").numpy_dtype() == np.float16
+
+    def test_zeros_compute_precision(self):
+        z = TensorSpec("x", (2, 3)).zeros()
+        assert z.dtype == np.float32
+        assert z.shape == (2, 3)
+
+    def test_dtype_table(self):
+        assert DTYPE_BYTES == {"float16": 2, "float32": 4}

@@ -1,0 +1,112 @@
+"""Property-based invariants of schedule expansion and pruning.
+
+These encode the paper's implicit claims as machine-checked properties:
+Rule-1 equivalence classes really are equivalent, traffic never beats the
+compulsory minimum, stores write each output element exactly once, and
+the DAG optimization never increases any cost."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.search.space import generate_space
+from repro.tiling.enumeration import all_tilings, sub_tiling_expr
+from repro.tiling.schedule import build_schedule
+from repro.utils import ceil_div
+
+tile_pick = st.sampled_from([16, 32, 64])
+dim_pick = st.integers(2, 6).map(lambda x: x * 16)
+
+
+@st.composite
+def chain_and_tiles(draw):
+    m, n, k, h = (draw(dim_pick) for _ in range(4))
+    chain = gemm_chain(1, m, n, k, h, name=f"prop{m}_{n}_{k}_{h}")
+    tiles = {l: min(draw(tile_pick), s) for l, s in chain.loops.items()}
+    return chain, tiles
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=chain_and_tiles())
+def test_rule1_classes_share_all_cost_quantities(data):
+    """Candidates with the same per-block sub-expression are *equivalent*:
+    identical grid, FLOPs, traffic and shared memory (Rule 1's premise)."""
+    chain, tiles = data
+    by_class: dict[str, tuple] = {}
+    for expr in all_tilings(chain):
+        sched = build_schedule(chain, expr, tiles)
+        key = sub_tiling_expr(chain, expr).render()
+        quantities = (
+            sched.grid_size,
+            sched.total_flops(),
+            sched.dram_read_bytes(),
+            sched.dram_write_bytes(),
+            sched.shm_estimate(),
+        )
+        if key in by_class:
+            assert by_class[key] == quantities, (expr.render(), key)
+        else:
+            by_class[key] = quantities
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=chain_and_tiles())
+def test_store_traffic_is_exactly_padded_output(data):
+    chain, tiles = data
+    sched = build_schedule(chain, all_tilings(chain)[0], tiles)
+    padded_m = ceil_div(chain.loops["m"], tiles["m"]) * tiles["m"]
+    padded_h = ceil_div(chain.loops["h"], tiles["h"]) * tiles["h"]
+    expected = chain.batch * padded_m * padded_h * chain.dtype_bytes
+    assert sched.dram_write_bytes() == pytest.approx(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=chain_and_tiles())
+def test_read_traffic_at_least_compulsory(data):
+    """A fused kernel can never read less than each input once."""
+    chain, tiles = data
+    sched = build_schedule(chain, all_tilings(chain)[0], tiles)
+    compulsory = sum(
+        chain.batch * chain.loops[d0] * chain.loops[d1] * chain.dtype_bytes
+        for d0, d1 in (("m", "k"), ("k", "n"), ("n", "h"))
+    )
+    assert sched.dram_read_bytes() >= compulsory * 0.999
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=chain_and_tiles())
+def test_flops_at_least_useful_work(data):
+    chain, tiles = data
+    sched = build_schedule(chain, all_tilings(chain)[0], tiles)
+    assert sched.total_flops() >= chain.total_flops() * 0.999
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=chain_and_tiles())
+def test_dag_optimization_never_increases_costs(data):
+    chain, tiles = data
+    for expr in all_tilings(chain)[:6]:
+        base = build_schedule(chain, expr, tiles, optimize=False)
+        opt = build_schedule(chain, expr, tiles, optimize=True)
+        assert opt.dram_read_bytes() <= base.dram_read_bytes() * (1 + 1e-9)
+        assert opt.dram_write_bytes() <= base.dram_write_bytes() * (1 + 1e-9)
+        assert opt.total_flops() <= base.total_flops() * (1 + 1e-9)
+        assert opt.grid_size == base.grid_size
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=dim_pick, n=dim_pick, k=dim_pick, h=dim_pick)
+def test_generated_space_candidates_all_executable(m, n, k, h):
+    """Everything the pruned space admits must pass validity + Rule 2."""
+    chain = gemm_chain(1, m, n, k, h, name=f"sp{m}_{n}_{k}_{h}")
+    space = generate_space(chain, A100, max_candidates=30)
+    for cand in space.candidates:
+        sched = space.schedule_for(cand)
+        sched.check_valid()
+        assert all(
+            sched.live_copies(t) == 1
+            for t, ref in chain.tensors.items()
+            if ref.role != "input"
+        )

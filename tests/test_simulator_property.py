@@ -1,0 +1,77 @@
+"""Property-based invariants of the GPU simulator (the 'hardware')."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.simulator import GPUSimulator
+from repro.gpu.specs import A100, RTX3080
+
+flops_s = st.floats(1e6, 1e13)
+bytes_s = st.floats(1e3, 1e10)
+grid_s = st.integers(1, 100_000)
+tile_s = st.sampled_from([16, 32, 64, 128])
+
+
+def kernel(flops, rbytes, grid, tm=64, tn=64, tk=32, shm=8192, eff=1.0):
+    return KernelLaunch(
+        name="p",
+        grid=grid,
+        flops=flops,
+        dram_read_bytes=rbytes,
+        dram_write_bytes=0.0,
+        shared_mem_bytes=shm,
+        tile_m=tm,
+        tile_n=tn,
+        tile_k=tk,
+        efficiency=eff,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(flops=flops_s, rbytes=bytes_s, grid=grid_s)
+def test_roofline_lower_bounds(flops, rbytes, grid):
+    """No kernel beats the pure roofline on either resource."""
+    sim = GPUSimulator(A100, jitter=False)
+    t = sim.run(kernel(flops, rbytes, grid))
+    assert t >= flops / A100.peak_flops
+    assert t >= rbytes / A100.mem_bandwidth
+
+
+@settings(max_examples=40, deadline=None)
+@given(flops=flops_s, rbytes=bytes_s, grid=grid_s)
+def test_monotone_in_work(flops, rbytes, grid):
+    sim = GPUSimulator(A100, jitter=False)
+    base = sim.run(kernel(flops, rbytes, grid))
+    assert sim.run(kernel(flops * 2, rbytes, grid)) >= base
+    assert sim.run(kernel(flops, rbytes * 2, grid)) >= base
+
+
+@settings(max_examples=40, deadline=None)
+@given(flops=flops_s, rbytes=bytes_s, grid=grid_s, eff=st.floats(0.1, 1.0))
+def test_derate_slows_proportionally(flops, rbytes, grid, eff):
+    sim = GPUSimulator(A100, jitter=False)
+    fast = sim.run(kernel(flops, rbytes, grid, eff=1.0))
+    slow = sim.run(kernel(flops, rbytes, grid, eff=eff))
+    assert slow >= fast * 0.999
+
+
+@settings(max_examples=40, deadline=None)
+@given(flops=flops_s, rbytes=bytes_s, grid=grid_s)
+def test_slower_gpu_never_faster(flops, rbytes, grid):
+    """The 3080 (fewer SMs, less bandwidth, lower peak) never beats the
+    A100 on the same kernel."""
+    k = kernel(flops, rbytes, grid)
+    t_a100 = GPUSimulator(A100, jitter=False).run(k)
+    t_3080 = GPUSimulator(RTX3080, jitter=False).run(k)
+    assert t_3080 >= t_a100 * 0.98
+
+
+@settings(max_examples=40, deadline=None)
+@given(flops=flops_s, rbytes=bytes_s, grid=grid_s, seed=st.integers(0, 1000))
+def test_jitter_small_and_deterministic(flops, rbytes, grid, seed):
+    k = kernel(flops, rbytes, grid)
+    clean = GPUSimulator(A100, jitter=False).run(k)
+    noisy = GPUSimulator(A100, seed=seed).run(k)
+    assert abs(noisy - clean) / clean < 0.025
+    assert noisy == GPUSimulator(A100, seed=seed).run(k)

@@ -1,0 +1,123 @@
+"""Unit tests for tiling-expression enumeration and grid binding."""
+
+import pytest
+
+from repro.ir.chain import ComputeBlock, ComputeChain, TensorRef, attention_chain, gemm_chain
+from repro.tiling.enumeration import (
+    all_tilings,
+    bindable_spatial_loops,
+    deep_tilings,
+    flat_tilings,
+    sub_tiling_expr,
+)
+from repro.tiling.expr import TilingExpr
+
+
+def matmul_chain(m=64, n=64, k=32):
+    """A single-GEMM chain (used by the Fig. 2 roofline too)."""
+    return ComputeChain(
+        "matmul",
+        {"m": m, "n": n, "k": k},
+        (ComputeBlock("C", ("A", "B"), "C", ("m", "n"), ("k",)),),
+        {
+            "A": TensorRef("A", ("m", "k"), "input"),
+            "B": TensorRef("B", ("k", "n"), "input"),
+            "C": TensorRef("C", ("m", "n"), "output"),
+        },
+    )
+
+
+def triple_gemm_chain():
+    """C = A@B; E = C@D; G = E@F — a 5-loop, 3-block chain."""
+    return ComputeChain(
+        "triple",
+        {"m": 64, "n": 48, "k": 32, "h": 48, "g": 32},
+        (
+            ComputeBlock("C", ("A", "B"), "C", ("m", "n"), ("k",)),
+            ComputeBlock("E", ("C", "D"), "E", ("m", "h"), ("n",)),
+            ComputeBlock("G", ("E", "F"), "G", ("m", "g"), ("h",)),
+        ),
+        {
+            "A": TensorRef("A", ("m", "k"), "input"),
+            "B": TensorRef("B", ("k", "n"), "input"),
+            "C": TensorRef("C", ("m", "n"), "intermediate"),
+            "D": TensorRef("D", ("n", "h"), "input"),
+            "E": TensorRef("E", ("m", "h"), "intermediate"),
+            "F": TensorRef("F", ("h", "g"), "input"),
+            "G": TensorRef("G", ("m", "g"), "output"),
+        },
+    )
+
+
+class TestCounts:
+    def test_gemm_chain_deep_count(self, small_gemm):
+        assert len(deep_tilings(small_gemm)) == 24  # 4!
+
+    def test_gemm_chain_flat_count(self, small_gemm):
+        flats = flat_tilings(small_gemm)
+        assert {e.render() for e in flats} == {"mn(k,h)", "nm(k,h)"}
+
+    def test_gemm_chain_total_is_26(self, small_gemm):
+        assert len(all_tilings(small_gemm)) == 26  # the paper's count
+
+    def test_attention_same_loop_skeleton(self, small_attention):
+        assert len(all_tilings(small_attention)) == 26
+
+    def test_single_matmul_no_flat(self):
+        chain = matmul_chain()
+        assert len(deep_tilings(chain)) == 6
+        assert flat_tilings(chain) == []
+
+    def test_triple_gemm_counts(self):
+        chain = triple_gemm_chain()
+        assert len(deep_tilings(chain)) == 120  # 5!
+        flats = flat_tilings(chain)
+        # shared loops {m, n, h} -> 3! outer perms x single-loop groups (k, g)
+        assert len(flats) == 6
+        assert "mnh(k,g)" in {e.render() for e in flats}
+
+
+class TestGridBinding:
+    def test_deep_binds_all_output_spatial(self, small_gemm):
+        e = TilingExpr.parse("mhnk")
+        assert bindable_spatial_loops(small_gemm, e) == ("m", "h")
+
+    def test_deep_binds_even_inner_spatial(self, small_gemm):
+        # paper: mnkh and mhnk are equivalent -> h bindable although inner.
+        e = TilingExpr.parse("mnkh")
+        assert bindable_spatial_loops(small_gemm, e) == ("m", "h")
+
+    def test_flat_does_not_bind_group_member(self, small_gemm):
+        e = TilingExpr.parse("mn(k,h)")
+        assert bindable_spatial_loops(small_gemm, e) == ("m",)
+
+    def test_flat_binds_through_single_child_chain(self, small_gemm):
+        e = TilingExpr.parse("nm(k,h)")
+        assert bindable_spatial_loops(small_gemm, e) == ("m",)
+
+    def test_non_spatial_never_bound(self, small_gemm):
+        for expr in all_tilings(small_gemm):
+            bound = bindable_spatial_loops(small_gemm, expr)
+            assert set(bound) <= {"m", "h"}
+
+
+class TestSubExpressions:
+    def test_paper_example_mnkh_equals_mhnk(self, small_gemm):
+        a = sub_tiling_expr(small_gemm, TilingExpr.parse("mhnk")).render()
+        b = sub_tiling_expr(small_gemm, TilingExpr.parse("mnkh")).render()
+        assert a == b == "nk"
+
+    def test_gemm_chain_classes(self, small_gemm):
+        classes = {sub_tiling_expr(small_gemm, e).render() for e in all_tilings(small_gemm)}
+        assert classes == {"nk", "kn", "n(k,h)"}
+
+    def test_single_matmul_single_class(self):
+        chain = matmul_chain()
+        classes = {sub_tiling_expr(chain, e).render() for e in deep_tilings(chain)}
+        assert classes == {"k"}
+
+    def test_triple_gemm_deep_classes(self):
+        chain = triple_gemm_chain()
+        classes = {sub_tiling_expr(chain, e).render() for e in deep_tilings(chain)}
+        # residual loops {n, k, h}: all 3! permutations appear
+        assert len(classes) == 6

@@ -1,0 +1,149 @@
+"""Unit tests for tiling expressions (parse/print/structure)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tiling.expr import LoopNest, TilingExpr, parse_expr
+
+
+class TestParsing:
+    def test_deep(self):
+        e = TilingExpr.parse("mhnk")
+        assert e.loops() == ("m", "h", "n", "k")
+        assert e.is_deep
+        assert e.max_depth == 4
+
+    def test_flat(self):
+        e = TilingExpr.parse("mn(k,h)")
+        assert e.loops() == ("m", "n", "k", "h")
+        assert not e.is_deep
+        assert e.max_depth == 3
+
+    def test_nested_groups(self):
+        e = TilingExpr.parse("a(b(c,d),e)")
+        assert e.loops() == ("a", "b", "c", "d", "e")
+        assert e.parent("e") == "a"
+        assert e.parent("c") == "b"
+
+    def test_empty(self):
+        assert TilingExpr.parse("").loops() == ()
+
+    def test_roundtrip_deep(self):
+        for text in ("m", "mk", "mhnk", "abcdefg"):
+            assert TilingExpr.parse(text).render() == text
+
+    def test_roundtrip_flat(self):
+        for text in ("mn(k,h)", "a(b,c)", "x(y(z,w),v)"):
+            assert TilingExpr.parse(text).render() == text
+
+    def test_rejects_trailing(self):
+        with pytest.raises(ValueError):
+            TilingExpr.parse("m(n))")
+
+    def test_rejects_unclosed(self):
+        with pytest.raises(ValueError):
+            TilingExpr.parse("m(n")
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ValueError):
+            TilingExpr.parse("(a)b")  # no loop name before group
+
+    def test_rejects_duplicate_loops(self):
+        with pytest.raises(ValueError):
+            TilingExpr.parse("mm")
+
+
+class TestConstructors:
+    def test_from_perm(self):
+        e = TilingExpr.from_perm(("a", "b", "c"))
+        assert e.render() == "abc"
+
+    def test_from_empty_perm(self):
+        assert TilingExpr.from_perm(()).render() == ""
+
+    def test_flat_constructor(self):
+        e = TilingExpr.flat(("m", "n"), [("k",), ("h",)])
+        assert e.render() == "mn(k,h)"
+
+    def test_flat_with_chain_groups(self):
+        e = TilingExpr.flat(("m",), [("k", "j"), ("h",)])
+        assert e.render() == "m(kj,h)"
+
+    def test_flat_skips_empty_groups(self):
+        e = TilingExpr.flat(("m",), [(), ("h",)])
+        assert e.render() == "mh"
+
+
+class TestStructureQueries:
+    def test_ancestors(self):
+        e = TilingExpr.parse("mn(k,h)")
+        assert e.ancestors("k") == ("m", "n")
+        assert e.ancestors("m") == ()
+
+    def test_depth(self):
+        e = TilingExpr.parse("mn(k,h)")
+        assert e.depth("m") == 0
+        assert e.depth("k") == 2 == e.depth("h")
+
+    def test_encloses(self):
+        e = TilingExpr.parse("mhnk")
+        assert e.encloses("m", "k")
+        assert not e.encloses("k", "m")
+        assert not e.encloses("k", "k")
+
+    def test_deepest(self):
+        e = TilingExpr.parse("mhnk")
+        assert e.deepest({"m", "n"}) == "n"
+        assert e.deepest({"h", "k"}) == "k"
+        assert e.deepest({"z"}) is None
+
+    def test_deepest_tie_break_pre_order(self):
+        e = TilingExpr.parse("m(k,h)")
+        # k and h tie at depth 1; later pre-order position wins.
+        assert e.deepest({"k", "h"}) == "h"
+
+    def test_node_lookup(self):
+        e = TilingExpr.parse("mn(k,h)")
+        assert isinstance(e.node("n"), LoopNest)
+        assert len(e.node("n").body) == 2
+
+
+class TestWithout:
+    def test_remove_leaf(self):
+        assert TilingExpr.parse("mhnk").without({"k"}).render() == "mhn"
+
+    def test_remove_inner_splices(self):
+        assert TilingExpr.parse("mhnk").without({"h"}).render() == "mnk"
+
+    def test_remove_root(self):
+        assert TilingExpr.parse("mhnk").without({"m"}).render() == "hnk"
+
+    def test_remove_group_parent(self):
+        assert TilingExpr.parse("mn(k,h)").without({"n"}).render() == "m(k,h)"
+
+    def test_remove_to_forest(self):
+        e = TilingExpr.parse("m(k,h)").without({"m"})
+        assert e.render() == "(k,h)"
+        assert len(e.roots) == 2
+
+    def test_remove_everything(self):
+        assert TilingExpr.parse("mhnk").without({"m", "h", "n", "k"}).render() == ""
+
+    def test_remove_nothing(self):
+        e = TilingExpr.parse("mn(k,h)")
+        assert e.without(set()).render() == e.render()
+
+
+@given(st.permutations(list("mnkh")))
+def test_property_perm_roundtrip(perm):
+    e = TilingExpr.from_perm(tuple(perm))
+    assert TilingExpr.parse(e.render()).loops() == tuple(perm)
+
+
+@given(st.permutations(list("abcdef")), st.sets(st.sampled_from("abcdef"), max_size=4))
+def test_property_without_preserves_order(perm, removed):
+    e = TilingExpr.from_perm(tuple(perm))
+    remaining = e.without(removed).loops()
+    expected = tuple(l for l in perm if l not in removed)
+    assert remaining == expected

@@ -1,0 +1,217 @@
+"""Unit tests for schedule expansion: placement, trips, traffic, validity."""
+
+import pytest
+
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import InvalidScheduleError, Statement, build_schedule
+
+TILES = {"m": 32, "n": 16, "k": 16, "h": 16}
+
+
+def sched(chain, expr, tiles=None, optimize=True):
+    return build_schedule(chain, TilingExpr.parse(expr), tiles or TILES, optimize=optimize)
+
+
+def stmt_sequence(schedule):
+    """(kind, tensor) pairs in pretty-print order (flattened)."""
+    return [(s.kind, s.tensor) for s in schedule.statements()]
+
+
+class TestFig4Structure:
+    """The mhnk expansion must match the paper's Fig. 4(a)."""
+
+    def test_statement_order(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        assert stmt_sequence(s) == [
+            ("load", "A"),
+            ("load", "B"),
+            ("compute", "C"),
+            ("load", "D"),
+            ("compute", "E"),
+            ("store", "E"),
+        ]
+
+    def test_homes(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        homes = {(st.kind, st.tensor): st.home for st in s.statements()}
+        assert homes[("load", "A")] == "k"
+        assert homes[("load", "B")] == "k"
+        assert homes[("compute", "C")] == "k"
+        assert homes[("load", "D")] == "n"
+        assert homes[("compute", "E")] == "n"
+        assert homes[("store", "E")] is None  # per-block epilogue (grid scope)
+
+    def test_grid_dims(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        assert s.grid_dims == (("b", 2), ("m", 3), ("h", 3))
+        assert s.grid_size == 18
+
+    def test_pretty_contains_structure(self, small_gemm):
+        text = sched(small_gemm, "mhnk").pretty()
+        assert "for n in range" in text and "for k in range" in text
+        assert text.index("Load(tile A)") < text.index("Compute(tile C)")
+        assert text.index("Compute(tile C)") < text.index("Compute(tile E)")
+
+
+class TestTripCounts:
+    def test_compute_c_trips(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        cc = next(st for st in s.statements() if st.kind == "compute" and st.block == "C")
+        # grid (b=2, m=3, h=3) x n(5) x k(4)
+        assert s.trip_count(cc) == 2 * 3 * 3 * 5 * 4
+
+    def test_compute_e_trips(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        ce = next(st for st in s.statements() if st.kind == "compute" and st.block == "E")
+        assert s.trip_count(ce) == 2 * 3 * 3 * 5
+
+    def test_store_trips(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        se = next(st for st in s.statements() if st.kind == "store")
+        assert s.trip_count(se) == s.grid_size
+
+
+class TestTrafficAccounting:
+    def test_store_bytes_equal_padded_output(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        # E is (96 x 48) padded to tiles (32, 16): exact fit -> batch*96*48*2B
+        assert s.dram_write_bytes() == 2 * 96 * 48 * 2
+
+    def test_h_redundancy_in_flops(self, small_gemm):
+        # C is recomputed per h-block in deep tilings: flops scale with h-extent.
+        narrow = sched(small_gemm, "mhnk", {"m": 32, "n": 16, "k": 16, "h": 16})
+        wide = sched(small_gemm, "mhnk", {"m": 32, "n": 16, "k": 16, "h": 48})
+        assert narrow.total_flops() > wide.total_flops()
+
+    def test_flat_avoids_h_recompute(self, small_gemm):
+        deep = sched(small_gemm, "mhnk", {"m": 32, "n": 16, "k": 16, "h": 16})
+        flat = sched(small_gemm, "mn(k,h)", {"m": 32, "n": 16, "k": 16, "h": 48})
+        assert flat.total_flops() < deep.total_flops()
+
+    def test_bigger_tiles_less_traffic(self, small_gemm):
+        small = sched(small_gemm, "mhnk", {"m": 16, "n": 16, "k": 16, "h": 16})
+        large = sched(small_gemm, "mhnk", {"m": 96, "n": 80, "k": 64, "h": 48})
+        assert large.dram_read_bytes() < small.dram_read_bytes()
+
+    def test_padding_inflates_traffic(self, ragged_gemm):
+        tiles = {"m": 32, "n": 32, "k": 32, "h": 32}
+        s = sched(ragged_gemm, "mhnk", tiles)
+        exact = ragged_gemm.min_dram_bytes()
+        assert s.dram_write_bytes() > (100 * 60 * 2) - 1  # padded 128x64 stores
+
+
+class TestExtent1Optimization:
+    def test_load_hoisted_to_grid_when_k_dead(self, small_gemm):
+        tiles = {"m": 32, "n": 16, "k": 64, "h": 16}  # k extent 1
+        opt = sched(small_gemm, "mhnk", tiles, optimize=True)
+        la = next(st for st in opt.statements() if st.kind == "load" and st.tensor == "A")
+        assert la.home is None  # hoisted to per-block scope
+
+    def test_optimization_reduces_traffic(self, small_gemm):
+        tiles = {"m": 32, "n": 16, "k": 64, "h": 16}
+        base = sched(small_gemm, "mhnk", tiles, optimize=False)
+        opt = sched(small_gemm, "mhnk", tiles, optimize=True)
+        assert opt.dram_read_bytes() < base.dram_read_bytes()
+
+    def test_optimization_no_effect_without_dead_loops(self, small_gemm):
+        base = sched(small_gemm, "mhnk", TILES, optimize=False)
+        opt = sched(small_gemm, "mhnk", TILES, optimize=True)
+        assert base.dram_read_bytes() == opt.dram_read_bytes()
+        assert base.total_flops() == opt.total_flops()
+
+    def test_residual_loops_shrink(self, small_gemm):
+        tiles = {"m": 32, "n": 80, "k": 16, "h": 16}  # n extent 1
+        opt = sched(small_gemm, "mhnk", tiles, optimize=True)
+        assert "n" not in opt.residual.loops()
+
+
+class TestRule2LiveCopies:
+    def test_nk_class_single_copies(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        assert s.live_copies("C") == 1
+        assert s.live_copies("E") == 1
+
+    def test_kn_class_multiplies_intermediate(self, small_gemm):
+        s = sched(small_gemm, "mhkn")
+        assert s.live_copies("C") == 5  # n extent inside k
+
+    def test_flat_multiplies_output_unless_full_h(self, small_gemm):
+        partial = sched(small_gemm, "mn(k,h)", {"m": 32, "n": 16, "k": 16, "h": 16})
+        full = sched(small_gemm, "mn(k,h)", {"m": 32, "n": 16, "k": 16, "h": 48})
+        assert partial.live_copies("E") == 3
+        assert full.live_copies("E") == 1
+
+    def test_inputs_always_single(self, small_gemm):
+        s = sched(small_gemm, "mhkn")
+        assert s.live_copies("A") == 1
+
+
+class TestValidity:
+    def test_nk_valid(self, small_gemm):
+        sched(small_gemm, "mhnk").check_valid()
+
+    def test_kn_invalid(self, small_gemm):
+        with pytest.raises(InvalidScheduleError):
+            sched(small_gemm, "mhkn").check_valid()
+
+    def test_kn_valid_with_full_n(self, small_gemm):
+        s = sched(small_gemm, "mhkn", {"m": 32, "n": 80, "k": 16, "h": 16})
+        s.check_valid()  # n dead -> consumer escapes k's scope
+
+    def test_kn_valid_with_full_k(self, small_gemm):
+        s = sched(small_gemm, "mhkn", {"m": 32, "n": 16, "k": 64, "h": 16})
+        s.check_valid()
+
+    def test_is_valid_flag(self, small_gemm):
+        assert sched(small_gemm, "mhnk").is_valid
+        assert not sched(small_gemm, "mhkn").is_valid
+
+
+class TestSharedMemory:
+    def test_estimate_is_eq1(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        # A(32x16) + B(16x16) + D(16x16) + C(32x16) + E(32x16), fp16
+        expect = 2 * (32 * 16 + 16 * 16 + 16 * 16 + 32 * 16 + 32 * 16)
+        assert s.shm_estimate() == expect
+
+    def test_measured_at_least_reserve_more(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        assert s.shm_measured(A100) > 0
+
+    def test_double_buffer_flags(self, small_gemm):
+        bufs = {b.tensor: b for b in sched(small_gemm, "mhnk").tile_buffers()}
+        assert bufs["A"].double_buffered  # loaded inside reduction k
+        assert bufs["D"].double_buffered  # loaded inside reduction n (of E)
+        assert bufs["C"].role == "stage"
+        assert bufs["E"].role == "accumulator"
+
+
+class TestKernelLaunch:
+    def test_launch_fields(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        k = s.kernel_launch(A100)
+        assert k.grid == s.grid_size
+        assert k.flops == s.total_flops()
+        assert k.dram_read_bytes == s.dram_read_bytes()
+        assert k.codegen == "triton"
+        assert k.dram_compulsory_read_bytes == pytest.approx(
+            2 * (96 * 64 + 64 * 80 + 80 * 48) * 2
+        )
+
+    def test_representative_tiles_dominant_block(self, small_gemm):
+        s = sched(small_gemm, "mhnk")
+        tm, tn, tk = s.representative_tiles()
+        assert (tm, tn, tk) == (32, 16, 16)  # block C dominates flops
+
+
+class TestErrors:
+    def test_missing_tile(self, small_gemm):
+        with pytest.raises(ValueError):
+            build_schedule(small_gemm, TilingExpr.parse("mhnk"), {"m": 32})
+
+    def test_bad_tile_value(self, small_gemm):
+        bad = dict(TILES, m=0)
+        with pytest.raises(ValueError):
+            build_schedule(small_gemm, TilingExpr.parse("mhnk"), bad)

@@ -1,0 +1,73 @@
+"""Tests for the Table II / Table III workload catalogs."""
+
+import pytest
+
+from repro.workloads import (
+    ATTENTION_CONFIGS,
+    GEMM_CHAIN_CONFIGS,
+    attention_workload,
+    attention_workloads,
+    gemm_workload,
+    gemm_workloads,
+)
+
+
+class TestTableII:
+    def test_twelve_chains(self):
+        assert list(GEMM_CHAIN_CONFIGS) == [f"G{i}" for i in range(1, 13)]
+
+    def test_sample_values(self):
+        assert GEMM_CHAIN_CONFIGS["G1"] == (1, 512, 256, 64, 64)
+        assert GEMM_CHAIN_CONFIGS["G6"] == (1, 512, 512, 1024, 256)
+        assert GEMM_CHAIN_CONFIGS["G12"] == (8, 1024, 1024, 128, 128)
+
+    def test_builder(self):
+        chain = gemm_workload("G4")
+        assert chain.name == "G4"
+        assert chain.loops == {"m": 512, "n": 512, "k": 256, "h": 256}
+        assert chain.batch == 1
+
+    def test_batch_series(self):
+        assert gemm_workload("G11").batch == 4
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            gemm_workload("G13")
+
+    def test_all_workloads_order(self):
+        names = [c.name for c in gemm_workloads()]
+        assert names == [f"G{i}" for i in range(1, 13)]
+
+    def test_subset(self):
+        assert [c.name for c in gemm_workloads(["G2", "G9"])] == ["G2", "G9"]
+
+
+class TestTableIII:
+    def test_nine_modules(self):
+        assert list(ATTENTION_CONFIGS) == [f"S{i}" for i in range(1, 10)]
+
+    def test_bert_family(self):
+        assert ATTENTION_CONFIGS["S1"].network == "Bert-Small"
+        assert ATTENTION_CONFIGS["S2"].heads == 12
+        assert ATTENTION_CONFIGS["S3"].heads == 16
+
+    def test_vit_huge_head_dim_80(self):
+        cfg = ATTENTION_CONFIGS["S6"]
+        assert cfg.k == cfg.h == 80
+
+    def test_mixer_single_head(self):
+        for name in ("S7", "S8", "S9"):
+            assert ATTENTION_CONFIGS[name].heads == 1
+
+    def test_builder_folds_heads(self):
+        chain = attention_workload("S2")
+        assert chain.batch == 12
+        assert chain.loops == {"m": 512, "n": 512, "k": 64, "h": 64}
+        assert chain.blocks[-1].softmax_over == "n"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            attention_workload("S10")
+
+    def test_all_workloads(self):
+        assert len(attention_workloads()) == 9
