@@ -1,0 +1,61 @@
+"""Microbenchmark — cold vs warm tuning through the schedule cache.
+
+Not a paper figure: this measures the caching subsystem itself. One tuning
+run of a Table II-sized GEMM chain is timed cold (full enumerate → prune →
+search pipeline, result persisted) and warm (signature lookup + schedule
+rebuild from the JSON store). The warm path must be dramatically cheaper in
+*wall-clock* time and free in *simulated* tuning time.
+
+Run: pytest benchmarks/test_cache_micro.py --benchmark-only -q
+"""
+
+import time
+
+from repro.cache import ScheduleCache
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.search.tuner import MCFuserTuner
+from repro.utils import fmt_time, format_table
+
+
+def _chain():
+    return gemm_chain(1, 512, 256, 64, 128, name="cache-bench")
+
+
+def test_cold_vs_warm_tuning(tmp_path, run_once):
+    cache_dir = tmp_path / "bench-cache"
+
+    def cold():
+        tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(cache_dir))
+        start = time.perf_counter()
+        report = tuner.tune(_chain())
+        return report, time.perf_counter() - start
+
+    cold_report, cold_wall = run_once(cold)
+
+    # Fresh cache instance on the same directory — a new process would see
+    # exactly this: disk store only, nothing in memory.
+    warm_tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(cache_dir))
+    start = time.perf_counter()
+    warm_report = warm_tuner.tune(_chain())
+    warm_wall = time.perf_counter() - start
+
+    print()
+    print(format_table(
+        ["run", "wall clock", "simulated tuning", "measurements", "cache"],
+        [
+            ["cold", fmt_time(cold_wall), fmt_time(cold_report.tuning_seconds),
+             cold_report.search.num_measurements, "miss"],
+            ["warm", fmt_time(warm_wall), fmt_time(warm_report.tuning_seconds),
+             warm_report.search.num_measurements, "hit"],
+        ],
+    ))
+    print(f"wall-clock speedup: {cold_wall / warm_wall:.0f}x")
+
+    assert not cold_report.cache_hit and warm_report.cache_hit
+    assert warm_report.tuning_seconds == 0.0
+    assert warm_report.search.num_measurements == 0
+    # The warm path skips enumeration entirely; even allowing generous
+    # scheduling noise it must be far cheaper than the full pipeline.
+    assert warm_wall < cold_wall / 2
+    assert warm_report.best_time == cold_report.best_time

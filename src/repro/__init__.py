@@ -10,12 +10,13 @@ Quick start::
     print(report.best_schedule.pretty())
     print(f"{report.best_time * 1e6:.1f} us, tuned in {report.tuning_seconds:.0f} simulated s")
 
-Layers (see DESIGN.md):
+Layers (see docs/architecture.md):
 
 * :mod:`repro.gpu`        — the simulated hardware (A100 / RTX 3080)
 * :mod:`repro.ir`         — tensor IR: graphs, operators, ComputeChain
 * :mod:`repro.tiling`     — tiling expressions, schedules, DAG analysis
 * :mod:`repro.search`     — pruning rules, perf model, Algorithm 1, tuner
+* :mod:`repro.cache`      — persistent schedule cache + batch tuning
 * :mod:`repro.codegen`    — TIR / Triton-IR / PTX emission + interpreter
 * :mod:`repro.baselines`  — PyTorch, Relay, Ansor, BOLT, FlashAttention, Chimera
 * :mod:`repro.frontend`   — model builders, partitioner, end-to-end executor
@@ -23,6 +24,7 @@ Layers (see DESIGN.md):
 * :mod:`repro.experiments`— one driver per paper figure/table
 """
 
+from repro.cache import BatchTuner, ScheduleCache, default_cache, workload_signature
 from repro.codegen import OperatorModule, compile_schedule, execute_schedule
 from repro.frontend import bert_encoder, compile_model, partition_graph
 from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
@@ -50,6 +52,10 @@ __all__ = [
     "MCFuserTuner",
     "TuneReport",
     "generate_space",
+    "ScheduleCache",
+    "BatchTuner",
+    "default_cache",
+    "workload_signature",
     "OperatorModule",
     "compile_schedule",
     "execute_schedule",

@@ -1,0 +1,238 @@
+"""ScheduleCache: the two-level (memory LRU + JSON disk) compilation cache.
+
+This is the front door of the caching subsystem. The tuner asks the cache
+*before* generating a search space; on a hit the stored tiling decision is
+re-expanded into a full :class:`~repro.tiling.schedule.Schedule` with
+:func:`~repro.tiling.schedule.build_schedule` — a cheap, deterministic
+rebuild that performs **zero** enumeration, pruning, or measurement. On a
+miss the tuner runs the normal enumerate → prune → search pipeline and
+stores the winner.
+
+Layering::
+
+    lookup(chain)  ->  LRU (in-process)  ->  JSON store (cross-process)  ->  miss
+
+Hits found only on disk are promoted into the LRU. All operations are
+thread-safe (``BatchTuner`` tunes concurrently against one cache).
+
+The default persistent location is ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/mcfuser-repro``; pass ``path=None`` for a memory-only cache.
+
+Keys cover the *workload* — chain structure, shapes, dtype, GPU spec, and
+tuner variant — but not the search seed or Algorithm-1 budget: the cache
+stores one best-known schedule per workload and serves it regardless of
+how a later caller would have searched. Callers that need a fresh search
+(seed-sensitivity studies, bigger budgets) must bypass the cache.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.cache.signature import workload_signature
+from repro.cache.store import CacheEntry, LRUCache, PersistentStore
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import Schedule, build_schedule
+
+__all__ = ["CacheStats", "ScheduleCache", "default_cache_dir", "default_cache"]
+
+#: File name of the persistent store inside the cache directory.
+STORE_FILENAME = "schedule_cache.json"
+
+
+def default_cache_dir() -> str:
+    """Resolve the persistent cache directory.
+
+    ``$REPRO_CACHE_DIR`` wins when set (tests and CI point it at temporary
+    directories); otherwise ``~/.cache/mcfuser-repro``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "mcfuser-repro")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cache counters: this session plus cumulative on-disk totals.
+
+    ``hits``/``misses``/``stores`` count operations performed through this
+    :class:`ScheduleCache` instance; ``total_hits``/``total_misses`` include
+    activity persisted by earlier processes sharing the same store.
+    """
+
+    hits: int
+    misses: int
+    stores: int
+    memory_entries: int
+    disk_entries: int
+    total_hits: int
+    total_misses: int
+    path: str | None
+
+    @property
+    def hit_rate(self) -> float:
+        """Session hit rate in [0, 1] (nan before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+
+class ScheduleCache:
+    """Persistent, signature-keyed cache of tuned schedules.
+
+    Args:
+        path: Directory for the JSON store, or ``None`` for memory-only.
+        memory_capacity: In-process LRU size (0 disables the layer).
+        max_entries: Disk-store eviction threshold (least recently used
+            entries are dropped first).
+
+    Typical use::
+
+        cache = ScheduleCache("~/.cache/mcfuser-repro")
+        tuner = MCFuserTuner(A100, cache=cache)
+        tuner.tune(chain)   # cold: full search, result stored
+        tuner.tune(chain)   # warm: pure lookup, zero enumeration
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        memory_capacity: int = 128,
+        max_entries: int = 512,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._memory = LRUCache(memory_capacity)
+        self._store: PersistentStore | None = None
+        self.path: str | None = None
+        if path is not None:
+            directory = os.path.expanduser(os.fspath(path))
+            self.path = os.path.join(directory, STORE_FILENAME)
+            self._store = PersistentStore(self.path, max_entries=max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def signature_for(self, chain, gpu, variant: str = "mcfuser") -> str:
+        """The cache key this cache would use for ``(chain, gpu, variant)``."""
+        return workload_signature(chain, gpu, variant)
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, chain, gpu, variant: str = "mcfuser") -> CacheEntry | None:
+        """Look up a tuned schedule; records the hit/miss persistently.
+
+        Returns the :class:`CacheEntry` on a hit (memory first, then disk,
+        with disk hits promoted into the LRU), else ``None``.
+        """
+        signature = self.signature_for(chain, gpu, variant)
+        with self._lock:
+            entry = self._memory.get(signature)
+            if entry is None and self._store is not None:
+                entry = self._store.get(signature)
+                if entry is not None:
+                    self._memory.put(signature, entry)
+            if entry is None:
+                self.misses += 1
+                if self._store is not None:
+                    self._store.record_miss()
+                return None
+            self.hits += 1
+            if self._store is not None:
+                self._store.record_hit(entry)
+            else:
+                entry.hits += 1
+            return entry
+
+    def peek(self, signature: str) -> CacheEntry | None:
+        """Non-recording lookup by raw signature.
+
+        Unlike :meth:`get` this neither counts a hit/miss nor refreshes LRU
+        recency — it is a planning query (used by the partitioner and the
+        warmup command to see what work remains), not a tuning-path lookup.
+        """
+        with self._lock:
+            entry = self._memory.peek(signature)
+            if entry is None and self._store is not None:
+                entry = self._store.get(signature)
+            return entry
+
+    def put(self, chain, gpu, report) -> CacheEntry | None:
+        """Store the result of one tuning run (a ``TuneReport``).
+
+        Non-finite best times (a chain with no valid schedule measurement)
+        are not cached. Returns the stored entry, or ``None`` if skipped.
+        """
+        if not math.isfinite(report.best_time) or report.best_time <= 0:
+            return None
+        schedule = report.best_schedule
+        entry = CacheEntry(
+            signature=self.signature_for(chain, gpu, report.variant),
+            workload=chain.name,
+            gpu=gpu.name,
+            variant=report.variant,
+            expr=schedule.expr.render(),
+            tiles=dict(schedule.tiles),
+            optimized=schedule.optimized,
+            best_time=report.best_time,
+            tuning_seconds=report.tuning_seconds,
+        )
+        with self._lock:
+            self._memory.put(entry.signature, entry)
+            if self._store is not None:
+                self._store.put(entry)
+            self.stores += 1
+        return entry
+
+    # -- materialization -----------------------------------------------------
+
+    def schedule_for(self, entry: CacheEntry, chain) -> Schedule:
+        """Re-expand a cached tiling decision into a full schedule.
+
+        This is a deterministic rebuild (parse the expression, re-place the
+        statements) — no enumeration and no search. ``chain`` must have the
+        structure the entry was created from; the caller guarantees that by
+        having matched the signature.
+        """
+        expr = TilingExpr.parse(entry.expr)
+        return build_schedule(chain, expr, dict(entry.tiles), optimize=entry.optimized)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        """Current counters (see :class:`CacheStats`)."""
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                stores=self.stores,
+                memory_entries=len(self._memory),
+                disk_entries=len(self._store) if self._store is not None else 0,
+                total_hits=self._store.hits if self._store is not None else self.hits,
+                total_misses=self._store.misses if self._store is not None else self.misses,
+                path=self.path,
+            )
+
+    def entries(self) -> list[CacheEntry]:
+        """Persisted entries, most recently used first (empty if memory-only)."""
+        with self._lock:
+            return self._store.entries() if self._store is not None else []
+
+    def clear(self) -> None:
+        """Drop both layers and the on-disk file; counters reset to zero."""
+        with self._lock:
+            self._memory.clear()
+            if self._store is not None:
+                self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.stores = 0
+
+
+def default_cache() -> ScheduleCache:
+    """A persistent cache at :func:`default_cache_dir` (the CLI default)."""
+    return ScheduleCache(default_cache_dir())

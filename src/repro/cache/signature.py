@@ -1,0 +1,140 @@
+"""Workload signatures: stable content hashes for the compilation cache.
+
+A *workload signature* identifies everything that determines the outcome of
+tuning: the operator chain's structure (blocks, tensors, loop extents,
+dtype, batch), the target GPU's hardware description, and the tuner variant.
+Two :class:`~repro.ir.chain.ComputeChain` objects with the same structure
+hash identically even if they were built independently or carry different
+display names — a BERT model's twelve identical attention layers share one
+signature, which is what lets the cache (and :class:`~repro.cache.batch.
+BatchTuner`) tune the shape once and reuse the schedule everywhere.
+
+Signatures are hex digests of a canonical JSON rendering, hashed with
+BLAKE2b. ``repr``-based hashing is deliberately avoided: dict ordering,
+float formatting, and dataclass field additions must not silently change
+signatures between releases — any such change must go through
+:data:`SIGNATURE_VERSION`.
+
+This module is dependency-free within the package (chains, schedules, and
+GPU specs are consumed duck-typed) so that any layer — frontend partitioner,
+codegen runtime, search tuner — can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = [
+    "SIGNATURE_VERSION",
+    "chain_fingerprint",
+    "gpu_fingerprint",
+    "workload_signature",
+    "schedule_signature",
+]
+
+#: Bump whenever the fingerprint layout changes; old cache entries keyed by
+#: a previous version can then never alias new ones.
+SIGNATURE_VERSION = 1
+
+
+def _digest(payload: dict) -> str:
+    """Hash a canonical JSON rendering of ``payload`` to a 32-char hex id."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()
+
+
+def chain_fingerprint(chain) -> dict:
+    """Canonical structural description of a :class:`ComputeChain`.
+
+    Covers everything tuning depends on — loop extents, batch, dtype, the
+    block DAG (inputs/output/spatial/reduction/softmax/epilogue/scale), and
+    tensor roles. Deliberately excludes ``chain.name``, which is a display
+    label: identically shaped workloads must share cache entries.
+    """
+    return {
+        "loops": sorted(chain.loops.items()),
+        "batch": chain.batch,
+        "dtype": chain.dtype,
+        "blocks": [
+            {
+                "name": b.name,
+                "inputs": list(b.inputs),
+                "output": b.output,
+                "spatial": list(b.spatial),
+                "reduction": list(b.reduction),
+                "softmax_over": b.softmax_over,
+                "epilogue": b.epilogue,
+                "scale": float(f"{b.scale:.12g}"),
+            }
+            for b in chain.blocks
+        ],
+        "tensors": sorted(
+            (ref.name, list(ref.dims), ref.role) for ref in chain.tensors.values()
+        ),
+    }
+
+
+def gpu_fingerprint(gpu) -> dict:
+    """Canonical description of a :class:`GPUSpec`.
+
+    Every numeric field participates: a schedule tuned for 163 KiB of shared
+    memory per block is not valid evidence for a GPU with 99 KiB.
+    """
+    return {
+        "name": gpu.name,
+        "arch": gpu.arch,
+        "num_sms": gpu.num_sms,
+        "peak_flops": gpu.peak_flops,
+        "mem_bandwidth": gpu.mem_bandwidth,
+        "shared_mem_per_block": gpu.shared_mem_per_block,
+        "shared_mem_per_sm": gpu.shared_mem_per_sm,
+        "register_file_per_sm": gpu.register_file_per_sm,
+        "max_blocks_per_sm": gpu.max_blocks_per_sm,
+        "l2_bytes": gpu.l2_bytes,
+        "kernel_launch_overhead": gpu.kernel_launch_overhead,
+        "dram_latency": gpu.dram_latency,
+    }
+
+
+def workload_signature(chain, gpu, variant: str = "mcfuser") -> str:
+    """Stable cache key for tuning ``chain`` on ``gpu`` under ``variant``.
+
+    Args:
+        chain: The :class:`ComputeChain` workload.
+        gpu: Target :class:`GPUSpec`.
+        variant: Tuner variant (``"mcfuser"`` or ``"chimera"``) — the two
+            variants search different spaces, so their results must not
+            alias.
+
+    Returns:
+        A 32-character hex digest, stable across processes and sessions.
+    """
+    return _digest(
+        {
+            "version": SIGNATURE_VERSION,
+            "chain": chain_fingerprint(chain),
+            "gpu": gpu_fingerprint(gpu),
+            "variant": variant,
+        }
+    )
+
+
+def schedule_signature(schedule, gpu) -> str:
+    """Cache key for one *compiled* schedule (kernel memoization).
+
+    Extends the workload signature with the concrete tiling decision —
+    expression, tile sizes, and whether the DAG optimization ran — so the
+    codegen runtime can reuse a compiled module exactly when the fused
+    kernel would be byte-identical.
+    """
+    return _digest(
+        {
+            "version": SIGNATURE_VERSION,
+            "chain": chain_fingerprint(schedule.chain),
+            "gpu": gpu_fingerprint(gpu),
+            "expr": schedule.expr.render(),
+            "tiles": sorted(schedule.tiles.items()),
+            "optimized": schedule.optimized,
+        }
+    )

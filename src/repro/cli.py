@@ -7,12 +7,21 @@ Commands:
 * ``compare <workload>``   — run every baseline on a workload (one Fig. 8 row).
 * ``experiments [name]``   — run one or all experiment drivers.
 * ``list``                 — list workloads, GPUs and experiments.
+* ``cache stats``          — show the persistent schedule cache (entries, hits).
+* ``cache clear``          — wipe the persistent schedule cache.
+* ``cache warmup``         — batch-tune workloads into the cache up front.
+
+``tune`` consults the persistent schedule cache by default: the second run
+for the same workload/GPU is a pure lookup. Disable with ``--no-cache``;
+point at a non-default store with ``--cache-dir`` (or ``$REPRO_CACHE_DIR``).
 
 Examples::
 
     python -m repro tune S2 --gpu a100
     python -m repro compare G4 --gpu rtx3080 --ansor-trials 256
     python -m repro experiments fig7
+    python -m repro cache warmup G1 G2 S1 --jobs 4
+    python -m repro cache stats
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import argparse
 
 from repro.baselines import default_baselines
+from repro.cache import BatchTuner, ScheduleCache, default_cache_dir
 from repro.codegen import compile_schedule
 from repro.gpu.specs import by_name
 from repro.ir.chain import ComputeChain
@@ -28,6 +38,11 @@ from repro.utils import fmt_time, format_table
 from repro.workloads import ATTENTION_CONFIGS, GEMM_CHAIN_CONFIGS, attention_workload, gemm_workload
 
 __all__ = ["main", "build_parser", "workload_by_name"]
+
+
+def _open_cache(args: argparse.Namespace) -> ScheduleCache:
+    """The persistent cache selected by ``--cache-dir`` / environment."""
+    return ScheduleCache(args.cache_dir or default_cache_dir())
 
 
 def workload_by_name(name: str) -> ComputeChain:
@@ -42,10 +57,14 @@ def workload_by_name(name: str) -> ComputeChain:
 def cmd_tune(args: argparse.Namespace) -> int:
     gpu = by_name(args.gpu)
     chain = workload_by_name(args.workload)
-    report = MCFuserTuner(gpu, seed=args.seed).tune(chain)
+    cache = None if args.no_cache else _open_cache(args)
+    report = MCFuserTuner(gpu, seed=args.seed, cache=cache).tune(chain)
     print(f"workload: {chain}")
-    print(f"space: {report.pruning.after_rule4} candidates "
-          f"(from {report.pruning.original:,})")
+    if report.cache_hit:
+        print("cache: hit — schedule restored, no search performed")
+    else:
+        print(f"space: {report.pruning.after_rule4} candidates "
+              f"(from {report.pruning.original:,})")
     print(f"best:  {report.best_candidate.describe()}")
     print(f"time:  {fmt_time(report.best_time)}  ({report.tflops:.1f} TFLOP/s)")
     print(f"tuned in {fmt_time(report.tuning_seconds)} "
@@ -106,6 +125,70 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    stats = cache.stats()
+    print(f"cache: {stats.path}")
+    print(f"entries: {stats.disk_entries}")
+    print(f"total hits: {stats.total_hits}   total misses: {stats.total_misses}")
+    entries = cache.entries()
+    if entries:
+        rows = [
+            [
+                e.workload,
+                e.gpu,
+                e.variant,
+                f"{e.expr}",
+                fmt_time(e.best_time),
+                fmt_time(e.tuning_seconds),
+                e.hits,
+            ]
+            for e in entries
+        ]
+        print()
+        print(format_table(
+            ["workload", "gpu", "variant", "expr", "kernel", "tuned in", "hits"], rows
+        ))
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    n = cache.stats().disk_entries
+    cache.clear()
+    print(f"cleared {n} cached schedule(s) from {cache.path}")
+    return 0
+
+
+def cmd_cache_warmup(args: argparse.Namespace) -> int:
+    names = list(args.workloads)
+    if args.all or not names:
+        names = [*GEMM_CHAIN_CONFIGS, *ATTENTION_CONFIGS]
+    chains = [workload_by_name(name) for name in names]
+    cache = _open_cache(args)
+    tuner_kwargs: dict = {}
+    if args.population is not None:
+        tuner_kwargs["population_size"] = args.population
+    if args.max_rounds is not None:
+        tuner_kwargs["max_rounds"] = args.max_rounds
+        # only lower min_rounds when the requested cap is below the tuner's
+        # default of 5 — never loosen convergence for a generous cap
+        tuner_kwargs["min_rounds"] = min(args.max_rounds, 5)
+    batch = BatchTuner(
+        by_name(args.gpu),
+        cache=cache,
+        max_workers=args.jobs,
+        seed=args.seed,
+        **tuner_kwargs,
+    )
+    result = batch.tune_all(chains)
+    print(f"warmed {result.unique} unique workload(s) "
+          f"({result.duplicates} duplicate(s), {result.cache_hits} already cached) "
+          f"in {fmt_time(result.tuning_seconds)} simulated tuning time")
+    print(f"cache now holds {cache.stats().disk_entries} entries at {cache.path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -113,8 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="tune one workload with MCFuser")
     p_tune.add_argument("workload")
     p_tune.add_argument("--gpu", default="a100")
-    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--seed", type=int, default=0,
+                        help="search seed. Cached schedules are keyed by workload, "
+                             "not seed — pass --no-cache to force a fresh search")
     p_tune.add_argument("--show-ptx", action="store_true")
+    p_tune.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent schedule cache")
+    p_tune.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/mcfuser-repro)")
     p_tune.set_defaults(fn=cmd_tune)
 
     p_cmp = sub.add_parser("compare", help="run all baselines on one workload")
@@ -130,6 +219,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list workloads, GPUs and experiments")
     p_list.set_defaults(fn=cmd_list)
+
+    p_cache = sub.add_parser("cache", help="inspect and manage the schedule cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    p_stats = cache_sub.add_parser("stats", help="show cache contents and hit counters")
+    p_stats.add_argument("--cache-dir", default=None)
+    p_stats.set_defaults(fn=cmd_cache_stats)
+
+    p_clear = cache_sub.add_parser("clear", help="delete every cached schedule")
+    p_clear.add_argument("--cache-dir", default=None)
+    p_clear.set_defaults(fn=cmd_cache_clear)
+
+    p_warm = cache_sub.add_parser(
+        "warmup", help="batch-tune workloads into the cache (dedup + thread pool)"
+    )
+    p_warm.add_argument("workloads", nargs="*",
+                        help="workload names (G1..G12, S1..S9); empty or --all = all")
+    p_warm.add_argument("--all", action="store_true")
+    p_warm.add_argument("--gpu", default="a100")
+    p_warm.add_argument("--seed", type=int, default=0)
+    p_warm.add_argument("--jobs", type=int, default=4,
+                        help="tuning thread-pool width")
+    p_warm.add_argument("--population", type=int, default=None,
+                        help="override Algorithm-1 population size. Caution: cached "
+                             "entries are keyed by workload only, so later `tune` runs "
+                             "reuse whatever quality this budget found")
+    p_warm.add_argument("--max-rounds", type=int, default=None,
+                        help="override Algorithm-1 round limit (same caution as "
+                             "--population: the cache serves what warmup stored)")
+    p_warm.add_argument("--cache-dir", default=None)
+    p_warm.set_defaults(fn=cmd_cache_warmup)
     return parser
 
 

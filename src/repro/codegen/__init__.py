@@ -6,8 +6,11 @@ from repro.codegen.interpreter import InterpreterError, execute_schedule
 from repro.codegen.ptx import emit_ptx, mma_count_for_tile
 from repro.codegen.runtime import (
     GraphExecutorFactoryModule,
+    KernelCacheStats,
     OperatorModule,
+    clear_kernel_cache,
     compile_schedule,
+    kernel_cache_stats,
 )
 from repro.codegen.tir import (
     TIRLoop,
@@ -37,4 +40,7 @@ __all__ = [
     "OperatorModule",
     "GraphExecutorFactoryModule",
     "compile_schedule",
+    "KernelCacheStats",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
 ]

@@ -14,6 +14,8 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.cache.signature import schedule_signature
+from repro.cache.store import LRUCache
 from repro.codegen.interpreter import execute_schedule
 from repro.codegen.ptx import emit_ptx
 from repro.codegen.triton_ir import TritonProgram, triton_from_schedule
@@ -22,7 +24,14 @@ from repro.gpu.simulator import GPUSimulator
 from repro.gpu.specs import GPUSpec
 from repro.tiling.schedule import Schedule
 
-__all__ = ["OperatorModule", "GraphExecutorFactoryModule", "compile_schedule"]
+__all__ = [
+    "OperatorModule",
+    "GraphExecutorFactoryModule",
+    "compile_schedule",
+    "KernelCacheStats",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
+]
 
 
 @dataclass
@@ -61,9 +70,63 @@ class OperatorModule:
         return self.kernel.name
 
 
-def compile_schedule(schedule: Schedule, gpu: GPUSpec) -> OperatorModule:
-    """Compile a tuned schedule into a runnable operator module."""
-    return OperatorModule(schedule=schedule, gpu=gpu)
+@dataclass
+class KernelCacheStats:
+    """Counters of the in-process compiled-kernel memo."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+
+
+#: Process-wide memo of compiled modules, keyed by the same content
+#: signature the schedule cache uses (chain structure + GPU + tiling
+#: decision). Compiling the "same" fused kernel twice — e.g. every
+#: attention layer of a model, or a model recompiled from a cache-hit
+#: schedule — returns one shared OperatorModule, so its lazily generated
+#: Triton program and PTX are produced once. Bounded LRU: long-lived
+#: processes compiling many shapes must not grow without limit.
+KERNEL_MEMO_CAPACITY = 256
+_KERNEL_MEMO = LRUCache(capacity=KERNEL_MEMO_CAPACITY)
+_KERNEL_STATS = KernelCacheStats()
+
+
+def compile_schedule(schedule: Schedule, gpu: GPUSpec, memoize: bool = True) -> OperatorModule:
+    """Compile a tuned schedule into a runnable operator module.
+
+    ``memoize=True`` (default) consults the process-wide kernel memo: a
+    schedule whose content signature (chain + GPU + expression + tiles) was
+    compiled before returns the existing module instead of a fresh one.
+    Modules are immutable-by-convention, so sharing is safe; pass
+    ``memoize=False`` to force a private instance.
+    """
+    if not memoize:
+        return OperatorModule(schedule=schedule, gpu=gpu)
+    key = schedule_signature(schedule, gpu)
+    module = _KERNEL_MEMO.get(key)
+    if module is None:
+        _KERNEL_STATS.misses += 1
+        module = OperatorModule(schedule=schedule, gpu=gpu)
+        _KERNEL_MEMO.put(key, module)
+    else:
+        _KERNEL_STATS.hits += 1
+    return module
+
+
+def kernel_cache_stats() -> KernelCacheStats:
+    """Snapshot of the kernel-memo counters (entries reflects current size)."""
+    return KernelCacheStats(
+        hits=_KERNEL_STATS.hits,
+        misses=_KERNEL_STATS.misses,
+        entries=len(_KERNEL_MEMO),
+    )
+
+
+def clear_kernel_cache() -> None:
+    """Drop all memoized modules and reset the counters."""
+    _KERNEL_MEMO.clear()
+    _KERNEL_STATS.hits = 0
+    _KERNEL_STATS.misses = 0
 
 
 @dataclass

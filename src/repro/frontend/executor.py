@@ -18,6 +18,7 @@ layers of a BERT share one shape) are tuned once and the kernel reused.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.baselines.library import (
     elementwise_kernel,
@@ -26,7 +27,7 @@ from repro.baselines.library import (
     softmax_kernel,
     transpose_kernel,
 )
-from repro.codegen.runtime import GraphExecutorFactoryModule, OperatorModule
+from repro.codegen.runtime import GraphExecutorFactoryModule, OperatorModule, compile_schedule
 from repro.frontend.partition import Partition, partition_graph
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.simulator import GPUSimulator
@@ -47,6 +48,9 @@ from repro.ir.ops import (
 from repro.search.tuner import MCFuserTuner
 from repro.search.tuning_cost import TuningClock
 from repro.utils import prod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import ScheduleCache
 
 __all__ = ["E2EResult", "compile_model", "STRATEGIES"]
 
@@ -164,8 +168,17 @@ def compile_model(
     strategy: str = "mcfuser+relay",
     seed: int = 0,
     tuner_kwargs: dict | None = None,
+    cache: "ScheduleCache | None" = None,
 ) -> E2EResult:
-    """Compile (and price the tuning of) a whole model under a strategy."""
+    """Compile (and price the tuning of) a whole model under a strategy.
+
+    ``cache`` (a :class:`~repro.cache.cache.ScheduleCache`) makes MBCI
+    sub-graph tuning persistent: a model recompiled in a later process pays
+    zero tuning time for every shape the cache already holds. Within one
+    call, identically shaped sub-graphs are deduplicated by workload
+    signature regardless of caching. ``detail["cache_hits"]`` counts the
+    distinct shapes served from the cache.
+    """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
     clock = TuningClock()
@@ -182,20 +195,25 @@ def compile_model(
     }[backend]
     fuse_epilogues = backend in ("relay", "ansor", "bolt")
 
-    # 1. Partition: MBCI sub-graphs go to MCFuser (cached by chain shape).
+    # 1. Partition: MBCI sub-graphs go to MCFuser (deduplicated by workload
+    #    signature in-process; persistent across processes with a cache).
     mbci_nodes: set[str] = set()
     n_subgraphs = 0
+    cache_hits = 0
     if use_mcfuser:
         clock.charge("graph_partition")
         partition: Partition = partition_graph(graph, gpu)
-        tuned: dict[tuple, OperatorModule] = {}
+        tuned: dict[str, OperatorModule] = {}
         for sg in partition.subgraphs:
-            key = (sg.kind, tuple(sorted(sg.chain.loops.items())), sg.chain.batch)
+            key = sg.signature(gpu)
             if key not in tuned:
-                tuner = MCFuserTuner(gpu, seed=seed, **(tuner_kwargs or {}))
+                tuner = MCFuserTuner(gpu, seed=seed, cache=cache, **(tuner_kwargs or {}))
                 report = tuner.tune(sg.chain)
                 clock.seconds += report.tuning_seconds
-                tuned[key] = OperatorModule(schedule=report.best_schedule, gpu=gpu)
+                cache_hits += int(report.cache_hit)
+                # compile through the kernel memo: a model recompiled (or a
+                # second model sharing this shape) reuses the same module.
+                tuned[key] = compile_schedule(report.best_schedule, gpu)
             module.add_module(tuned[key])
             mbci_nodes.update(sg.nodes)
             n_subgraphs += 1
@@ -246,5 +264,5 @@ def compile_model(
         tuning_seconds=clock.seconds,
         kernel_count=module.kernel_count(),
         mbci_subgraphs=n_subgraphs,
-        detail={"residual_ops": n_ops, "eager_ops": eager_ops},
+        detail={"residual_ops": n_ops, "eager_ops": eager_ops, "cache_hits": cache_hits},
     )

@@ -15,8 +15,13 @@ Relay/Ansor, exactly the paper's MCFuser+Relay / MCFuser+Ansor setup.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.cache.signature import workload_signature
 from repro.gpu.specs import GPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import ScheduleCache
 from repro.ir.chain import ComputeChain, attention_chain, gemm_chain
 from repro.ir.graph import Graph, GraphNode
 from repro.ir.ops import BatchMatmul, Scale, Softmax
@@ -34,6 +39,15 @@ class MBCISubgraph:
     inputs: tuple[str, ...]
     output: str
 
+    def signature(self, gpu: GPUSpec, variant: str = "mcfuser") -> str:
+        """Cache key of this sub-graph's chain on ``gpu``.
+
+        All identically shaped sub-graphs of a model (every attention layer
+        of a BERT) share one signature, so the executor tunes each shape
+        once and the schedule cache carries it across models and processes.
+        """
+        return workload_signature(self.chain, gpu, variant)
+
 
 @dataclass
 class Partition:
@@ -49,6 +63,22 @@ class Partition:
         for sg in self.subgraphs:
             out.update(sg.nodes)
         return out
+
+    def cache_split(
+        self, cache: "ScheduleCache", gpu: GPUSpec, variant: str = "mcfuser"
+    ) -> tuple[list[MBCISubgraph], list[MBCISubgraph]]:
+        """Split sub-graphs into (already cached, needs tuning).
+
+        Consults ``cache`` without recording hits or misses — a planning
+        query for callers that want to report or schedule remaining tuning
+        work before compiling, not a lookup on the tuning path.
+        """
+        cached: list[MBCISubgraph] = []
+        uncached: list[MBCISubgraph] = []
+        for sg in self.subgraphs:
+            known = cache.peek(sg.signature(gpu, variant)) is not None
+            (cached if known else uncached).append(sg)
+        return cached, uncached
 
 
 def _single_consumer(graph: Graph, tensor: str) -> GraphNode | None:

@@ -16,6 +16,7 @@ Two restricted variants implement baselines from the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.gpu.occupancy import SharedMemoryExceeded
 from repro.gpu.simulator import GPUSimulator
@@ -26,7 +27,12 @@ from repro.search.perf_model import AnalyticalModel, ChimeraModel
 from repro.search.pruning import PruningStats
 from repro.search.space import Candidate, SearchSpace, generate_space
 from repro.search.tuning_cost import TuningClock
+from repro.tiling.expr import TilingExpr
 from repro.tiling.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports us)
+    from repro.cache.cache import ScheduleCache
+    from repro.cache.store import CacheEntry
 
 __all__ = ["TuneReport", "MCFuserTuner", "MEASURE_REPETITIONS"]
 
@@ -48,6 +54,10 @@ class TuneReport:
     pruning: PruningStats
     search: SearchResult
     clock: TuningClock = field(repr=False, default_factory=TuningClock)
+    #: True when this report was served from a ScheduleCache: the schedule
+    #: was rebuilt from a stored tiling decision with zero enumeration,
+    #: zero model estimates, and zero hardware measurements.
+    cache_hit: bool = False
 
     @property
     def tflops(self) -> float:
@@ -65,6 +75,10 @@ class MCFuserTuner:
         population_size/top_n/epsilon/max_rounds: Algorithm-1 parameters
             (paper uses ``n = 8``).
         seed: Controls search randomness and simulator jitter.
+        cache: Optional :class:`~repro.cache.cache.ScheduleCache`. When set,
+            :meth:`tune` looks the workload up *before* generating a search
+            space (a hit skips enumeration, pruning, and search entirely)
+            and stores the winning schedule afterwards.
     """
 
     def __init__(
@@ -77,6 +91,7 @@ class MCFuserTuner:
         max_rounds: int = 16,
         min_rounds: int = 5,
         seed: int = 0,
+        cache: "ScheduleCache | None" = None,
     ) -> None:
         if variant not in ("mcfuser", "chimera"):
             raise ValueError(f"unknown tuner variant {variant!r}")
@@ -88,6 +103,7 @@ class MCFuserTuner:
         self.max_rounds = max_rounds
         self.min_rounds = min_rounds
         self.seed = seed
+        self.cache = cache
         self.simulator = GPUSimulator(gpu, seed=seed)
 
     # -- pieces ---------------------------------------------------------------
@@ -112,10 +128,69 @@ class MCFuserTuner:
         except SharedMemoryExceeded:
             return float("inf")
 
+    # -- cache integration ------------------------------------------------------
+
+    def _report_from_cache(self, chain: ComputeChain, entry: "CacheEntry") -> TuneReport:
+        """Materialize a TuneReport from a cache entry — no search, no space.
+
+        The schedule is re-expanded deterministically from the stored
+        (expression, tiles) decision; pruning and search accounting are all
+        zeros because no enumeration or measurement happened.
+        """
+        assert self.cache is not None
+        schedule = self.cache.schedule_for(entry, chain)
+        candidate = Candidate.make(TilingExpr.parse(entry.expr), dict(entry.tiles))
+        empty_funnel = PruningStats(
+            expressions=0,
+            classes_rule1=0,
+            classes_rule2=0,
+            original=0,
+            after_rule1=0,
+            after_rule2=0,
+            after_rule3=0,
+            after_rule4=0,
+        )
+        search = SearchResult(
+            best=candidate,
+            best_time=entry.best_time,
+            rounds=0,
+            num_estimates=0,
+            num_measurements=0,
+            converged=True,
+        )
+        return TuneReport(
+            chain=chain,
+            gpu=self.gpu,
+            variant=self.variant,
+            best_candidate=candidate,
+            best_schedule=schedule,
+            best_time=entry.best_time,
+            tuning_seconds=0.0,
+            pruning=empty_funnel,
+            search=search,
+            cache_hit=True,
+        )
+
     # -- main entry -----------------------------------------------------------
 
     def tune(self, chain: ComputeChain) -> TuneReport:
-        """Search for the best fused kernel of ``chain``."""
+        """Search for the best fused kernel of ``chain``.
+
+        With a cache attached, a previously tuned workload (same structure,
+        shapes, dtype, GPU, and variant — the name is irrelevant) returns
+        immediately with ``report.cache_hit`` set and zero tuning cost.
+        """
+        if self.cache is not None:
+            entry = self.cache.get(chain, self.gpu, self.variant)
+            if entry is not None:
+                return self._report_from_cache(chain, entry)
+        report = self._tune_uncached(chain)
+        if self.cache is not None:
+            self.cache.put(chain, self.gpu, report)
+        return report
+
+    def _tune_uncached(self, chain: ComputeChain) -> TuneReport:
+        """The full enumerate → prune → search → measure pipeline."""
         clock = TuningClock()
         space = self.build_space(chain, clock)
         optimize = self.variant != "chimera"

@@ -9,6 +9,17 @@ from repro.ir import attention_chain, gemm_chain
 from repro.search import MCFuserTuner
 
 
+@pytest.fixture(autouse=True)
+def _isolated_schedule_cache(tmp_path, monkeypatch):
+    """Point the default schedule-cache directory at a per-test temp dir so
+    tests (CLI tests in particular) never touch ~/.cache or each other, and
+    reset the process-wide compiled-kernel memo between tests."""
+    from repro.codegen import clear_kernel_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "schedule-cache"))
+    clear_kernel_cache()
+
+
 @pytest.fixture
 def a100():
     return A100

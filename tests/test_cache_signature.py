@@ -1,0 +1,113 @@
+"""Workload-signature hashing: stability, sensitivity, and independence."""
+
+from repro.cache.signature import (
+    chain_fingerprint,
+    gpu_fingerprint,
+    schedule_signature,
+    workload_signature,
+)
+from repro.gpu.specs import A100, RTX3080
+from repro.ir.chain import attention_chain, gemm_chain
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+
+class TestStability:
+    def test_same_structure_same_signature(self):
+        a = gemm_chain(2, 256, 128, 64, 64, name="first")
+        b = gemm_chain(2, 256, 128, 64, 64, name="second")
+        assert workload_signature(a, A100) == workload_signature(b, A100)
+
+    def test_name_is_not_part_of_the_key(self):
+        """Identically shaped workloads must share cache entries."""
+        a = attention_chain(8, 256, 256, 64, 64, name="layer0")
+        b = attention_chain(8, 256, 256, 64, 64, name="layer11")
+        assert workload_signature(a, A100) == workload_signature(b, A100)
+
+    def test_repeated_hashing_is_deterministic(self):
+        chain = gemm_chain(1, 512, 256, 64, 128)
+        sigs = {workload_signature(chain, A100) for _ in range(5)}
+        assert len(sigs) == 1
+
+    def test_format(self):
+        sig = workload_signature(gemm_chain(1, 128, 128, 64, 64), A100)
+        assert len(sig) == 32
+        assert all(c in "0123456789abcdef" for c in sig)
+
+
+class TestSensitivity:
+    def test_shape_changes_signature(self):
+        a = gemm_chain(1, 256, 256, 64, 64)
+        b = gemm_chain(1, 256, 256, 64, 128)
+        assert workload_signature(a, A100) != workload_signature(b, A100)
+
+    def test_batch_changes_signature(self):
+        a = gemm_chain(1, 256, 256, 64, 64)
+        b = gemm_chain(4, 256, 256, 64, 64)
+        assert workload_signature(a, A100) != workload_signature(b, A100)
+
+    def test_dtype_changes_signature(self):
+        a = gemm_chain(1, 256, 256, 64, 64, dtype="float16")
+        b = gemm_chain(1, 256, 256, 64, 64, dtype="float32")
+        assert workload_signature(a, A100) != workload_signature(b, A100)
+
+    def test_structure_changes_signature(self):
+        """Attention vs GEMM chain with identical loop extents differ."""
+        a = gemm_chain(8, 256, 256, 64, 64)
+        b = attention_chain(8, 256, 256, 64, 64)
+        assert workload_signature(a, A100) != workload_signature(b, A100)
+
+    def test_epilogue_changes_signature(self):
+        a = gemm_chain(1, 256, 256, 64, 64)
+        b = gemm_chain(1, 256, 256, 64, 64, epilogue="relu")
+        assert workload_signature(a, A100) != workload_signature(b, A100)
+
+    def test_gpu_changes_signature(self):
+        chain = gemm_chain(1, 256, 256, 64, 64)
+        assert workload_signature(chain, A100) != workload_signature(chain, RTX3080)
+
+    def test_gpu_field_override_changes_signature(self):
+        chain = gemm_chain(1, 256, 256, 64, 64)
+        shrunk = A100.with_overrides(shared_mem_per_block=96 * 1024)
+        assert workload_signature(chain, A100) != workload_signature(chain, shrunk)
+
+    def test_variant_changes_signature(self):
+        chain = gemm_chain(1, 256, 256, 64, 64)
+        assert workload_signature(chain, A100, "mcfuser") != workload_signature(
+            chain, A100, "chimera"
+        )
+
+
+class TestFingerprints:
+    def test_chain_fingerprint_is_json_friendly(self):
+        import json
+
+        fp = chain_fingerprint(attention_chain(4, 128, 128, 32, 32))
+        assert json.loads(json.dumps(fp)) == json.loads(json.dumps(fp))
+        assert "name" not in fp
+
+    def test_gpu_fingerprint_covers_all_spec_fields(self):
+        import dataclasses
+
+        fp = gpu_fingerprint(A100)
+        for f in dataclasses.fields(A100):
+            assert f.name in fp, f.name
+
+
+class TestScheduleSignature:
+    def test_tiles_and_expr_distinguish(self):
+        chain = gemm_chain(1, 256, 256, 64, 64)
+        expr = TilingExpr.parse("mhnk")
+        s1 = build_schedule(chain, expr, {"m": 64, "n": 64, "k": 64, "h": 64})
+        s2 = build_schedule(chain, expr, {"m": 32, "n": 64, "k": 64, "h": 64})
+        s3 = build_schedule(chain, TilingExpr.parse("mnhk"), {"m": 64, "n": 64, "k": 64, "h": 64})
+        sigs = {schedule_signature(s, A100) for s in (s1, s2, s3)}
+        assert len(sigs) == 3
+
+    def test_optimize_flag_distinguishes(self):
+        chain = gemm_chain(1, 256, 256, 64, 64)
+        expr = TilingExpr.parse("mhnk")
+        tiles = {"m": 64, "n": 64, "k": 64, "h": 64}
+        a = build_schedule(chain, expr, tiles, optimize=True)
+        b = build_schedule(chain, expr, tiles, optimize=False)
+        assert schedule_signature(a, A100) != schedule_signature(b, A100)
