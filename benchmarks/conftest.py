@@ -6,11 +6,21 @@ mode, 1 round — the drivers are deterministic end-to-end pipelines, not
 microseconds-scale functions) and prints the reproduced rows so
 ``pytest benchmarks/ --benchmark-only`` regenerates every result of the
 paper's evaluation section in one command.
+
+Setting ``REPRO_BENCH_QUICK=1`` switches the heavy modules to the drivers'
+``quick`` workload lists and reduced Ansor budgets — the CI smoke job uses
+this so the perf harnesses are exercised on every push without the full
+runtime. Leave it unset for the paper-faithful numbers.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+#: Quick mode for the CI smoke job (reduced workload lists + budgets).
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
 @pytest.fixture

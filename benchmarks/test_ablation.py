@@ -1,13 +1,13 @@
 """Ablation bench: each design choice must not hurt (and some must help)."""
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import ablation
 from repro.gpu.specs import A100
 
 
 def test_ablation_design_choices(run_once):
-    result = run_once(ablation.run, A100, quick=False)
+    result = run_once(ablation.run, A100, quick=QUICK)
     show(result)
     rows = result.meta["ablations"]
     # No ablated variant may select a *faster* kernel than the full system

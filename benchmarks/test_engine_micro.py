@@ -1,0 +1,81 @@
+"""Microbenchmark — the streaming engine builds each schedule exactly once.
+
+Not a paper figure: this measures the engine refactor itself. The
+pre-engine implementation paid for every schedule twice — ``generate_space``
+built one per enumerated candidate to validate it and threw it away, then
+the tuner rebuilt one per distinct candidate the search estimated or
+measured. The streaming pipeline builds each schedule once, inside the
+validation stage, and carries it through to the model and the measurement
+executor.
+
+The benchmark counts *actual* ``build_schedule`` invocations during a full
+tune of the Fig. 7 GEMM chain and asserts the total is strictly below what
+the old implementation would have spent (pipeline builds + one rebuild per
+distinct schedule the search touched).
+
+Run: pytest benchmarks/test_engine_micro.py --benchmark-only -q -rA
+"""
+
+from conftest import show
+
+import repro.search.engine.pipeline as pipeline_mod
+import repro.search.space as space_mod
+from repro.experiments.common import ExperimentResult
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.search.space import SearchSpace
+from repro.search.tuner import MCFuserTuner
+from repro.tiling.schedule import build_schedule as real_build
+
+
+def test_schedules_built_once(run_once, monkeypatch):
+    counts = {"pipeline": 0, "tuner_path": 0}
+
+    def pipeline_build(*args, **kwargs):
+        counts["pipeline"] += 1
+        return real_build(*args, **kwargs)
+
+    def space_build(*args, **kwargs):
+        counts["tuner_path"] += 1
+        return real_build(*args, **kwargs)
+
+    monkeypatch.setattr(pipeline_mod, "build_schedule", pipeline_build)
+    monkeypatch.setattr(space_mod, "build_schedule", space_build)
+
+    touched: set[tuple] = set()
+    real_schedule_for = SearchSpace.schedule_for
+
+    def tracking_schedule_for(self, cand, optimize=True):
+        touched.add(cand.key)
+        return real_schedule_for(self, cand, optimize=optimize)
+
+    monkeypatch.setattr(SearchSpace, "schedule_for", tracking_schedule_for)
+
+    chain = gemm_chain(1, 1024, 1024, 512, 512, name="engine-micro")
+    report = run_once(MCFuserTuner(A100, seed=0).tune, chain)
+
+    new_builds = counts["pipeline"] + counts["tuner_path"]
+    # What the pre-engine implementation spent: every enumerated candidate
+    # built for validation, plus one rebuild per distinct schedule the
+    # search actually requested.
+    old_builds = counts["pipeline"] + len(touched)
+
+    show(
+        ExperimentResult(
+            name="Engine micro: build_schedule invocations (GEMM chain, full tune)",
+            headers=["where", "builds"],
+            rows=[
+                ["pipeline (validation, built once)", counts["pipeline"]],
+                ["search path (rebuilds)", counts["tuner_path"]],
+                ["total (streaming engine)", new_builds],
+                ["total (pre-engine, reconstructed)", old_builds],
+                ["distinct schedules searched", len(touched)],
+            ],
+        )
+    )
+
+    assert report.best_time > 0
+    assert len(touched) > 0
+    # The acceptance bar: strictly fewer builds than the old build-twice path.
+    assert counts["tuner_path"] == 0
+    assert new_builds < old_builds

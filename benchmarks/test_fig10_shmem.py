@@ -1,13 +1,13 @@
 """Fig. 10 — shared-memory estimation accuracy (quadrant analysis)."""
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import fig10_shmem
 from repro.gpu.specs import A100
 
 
 def test_fig10_shared_memory_validation(run_once):
-    result = run_once(fig10_shmem.run, A100)
+    result = run_once(fig10_shmem.run, A100, quick=QUICK)
     show(result)
     shares = {q: float(row[1].rstrip("%")) for row, q in zip(result.rows, ("I", "II", "III", "IV"))}
     # Paper: I=60.6%, II=8.2%, III=30.0%, IV=1.2%; >90% correct.

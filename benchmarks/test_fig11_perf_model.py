@@ -1,13 +1,13 @@
 """Fig. 11 — analytical model vs measured performance correlation (G1-G4)."""
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import fig11_perf_model
 from repro.gpu.specs import A100
 
 
 def test_fig11_model_correlation(run_once):
-    result = run_once(fig11_perf_model.run, A100)
+    result = run_once(fig11_perf_model.run, A100, quick=QUICK)
     show(result)
     corrs = [float(r[1]) for r in result.rows]
     # Paper band: 0.80-0.92 across G1-G4. Strong but deliberately imperfect.

@@ -7,6 +7,8 @@ from repro.gpu.specs import A100
 
 
 def test_fig2_roofline(run_once):
+    # Always the full sweep: the shape assertions below compare the two
+    # ends of the K/M range, and the sweep is cheap even for the smoke job.
     result = run_once(fig2_roofline.run, A100)
     show(result)
     points = result.meta

@@ -2,12 +2,12 @@
 
 import math
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import fig8_subgraph
 from repro.gpu.specs import A100, RTX3080
 
-ANSOR_TRIALS = 256
+ANSOR_TRIALS = 64 if QUICK else 256
 
 
 def _check_panel(result, min_avg):
@@ -24,7 +24,7 @@ def _check_panel(result, min_avg):
 
 def test_fig8c_attention_a100(run_once):
     result = run_once(
-        fig8_subgraph.run, A100, "attention", quick=False, ansor_trials=ANSOR_TRIALS
+        fig8_subgraph.run, A100, "attention", quick=QUICK, ansor_trials=ANSOR_TRIALS
     )
     show(result)
     _check_panel(result, min_avg=3.0)
@@ -32,7 +32,7 @@ def test_fig8c_attention_a100(run_once):
 
 def test_fig8d_attention_rtx3080(run_once):
     result = run_once(
-        fig8_subgraph.run, RTX3080, "attention", quick=False, ansor_trials=ANSOR_TRIALS
+        fig8_subgraph.run, RTX3080, "attention", quick=QUICK, ansor_trials=ANSOR_TRIALS
     )
     show(result)
     _check_panel(result, min_avg=2.0)

@@ -7,12 +7,12 @@ preserving every workload row.
 
 import math
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import fig8_subgraph
 from repro.gpu.specs import A100, RTX3080
 
-ANSOR_TRIALS = 256  # reduced budget for the benchmark harness
+ANSOR_TRIALS = 64 if QUICK else 256  # reduced budget for the benchmark harness
 
 
 def _check_panel(result):
@@ -25,7 +25,7 @@ def _check_panel(result):
 
 def test_fig8a_gemm_chain_a100(run_once):
     result = run_once(
-        fig8_subgraph.run, A100, "gemm", quick=False, ansor_trials=ANSOR_TRIALS
+        fig8_subgraph.run, A100, "gemm", quick=QUICK, ansor_trials=ANSOR_TRIALS
     )
     show(result)
     _check_panel(result)
@@ -33,7 +33,7 @@ def test_fig8a_gemm_chain_a100(run_once):
 
 def test_fig8b_gemm_chain_rtx3080(run_once):
     result = run_once(
-        fig8_subgraph.run, RTX3080, "gemm", quick=False, ansor_trials=ANSOR_TRIALS
+        fig8_subgraph.run, RTX3080, "gemm", quick=QUICK, ansor_trials=ANSOR_TRIALS
     )
     show(result)
     panel = result.meta["panel"]

@@ -1,17 +1,18 @@
 """Fig. 9 — end-to-end BERT on the A100 (Relay / BOLT / MCFuser+Relay /
 Ansor / MCFuser+Ansor, normalized to Relay)."""
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import fig9_e2e
 from repro.gpu.specs import A100
 
 
 def test_fig9_end_to_end_bert(run_once):
-    result = run_once(fig9_e2e.run, A100)
+    result = run_once(fig9_e2e.run, A100, quick=QUICK)
     show(result)
     panel = result.meta["panel"]
-    for model in ("Bert-Small", "Bert-Base", "Bert-Large"):
+    models = ("Bert-Small",) if QUICK else ("Bert-Small", "Bert-Base", "Bert-Large")
+    for model in models:
         # Paper: MCFuser+Relay ~1.45x over Relay; we require a solid margin.
         assert panel.speedup(model, "mcfuser+relay") > 1.15
         # Paper: MCFuser+Ansor ~1.33-1.45x over Ansor.

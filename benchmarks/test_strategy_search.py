@@ -1,0 +1,33 @@
+"""Strategy comparison bench — every registered strategy, quality vs cost.
+
+Runs the ``strategies`` experiment driver: each registered search strategy
+(evolutionary / random / exhaustive / annealing) tunes the representative
+workloads end-to-end. Evolutionary is the paper's Algorithm 1; exhaustive
+is ground truth at an order of magnitude more simulated tuning time.
+
+Run: pytest benchmarks/test_strategy_search.py --benchmark-only -q -rA
+"""
+
+from conftest import QUICK, show
+
+from repro.experiments import strategies
+from repro.gpu.specs import A100
+
+
+def test_strategy_quality_vs_cost(run_once):
+    result = run_once(strategies.run, A100, quick=QUICK)
+    show(result)
+    reports = result.meta["reports"]
+    chains = {chain for chain, _ in reports}
+    for chain in chains:
+        evo = reports[(chain, "evolutionary")]
+        exhaustive = reports[(chain, "exhaustive")]
+        # Exhaustive is the true optimum: nothing beats it, and the paper's
+        # convergent model-guided search must land within 15% of it while
+        # paying a fraction of its measurement budget.
+        for strategy in ("evolutionary", "random", "annealing"):
+            rep = reports[(chain, strategy)]
+            assert rep.best_time >= exhaustive.best_time * 0.999, (chain, strategy)
+            assert rep.best_time <= 1.15 * exhaustive.best_time, (chain, strategy)
+        assert evo.search.num_measurements < 0.5 * exhaustive.search.num_measurements
+        assert evo.tuning_seconds < exhaustive.tuning_seconds

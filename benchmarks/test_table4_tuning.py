@@ -1,6 +1,6 @@
 """Table IV — tuning times for sub-graphs and end-to-end models."""
 
-from conftest import show
+from conftest import QUICK, show
 
 from repro.experiments import table4_tuning_time
 from repro.gpu.specs import A100
@@ -8,7 +8,7 @@ from repro.utils import format_table
 
 
 def test_table4_tuning_times(run_once):
-    result = run_once(table4_tuning_time.run, A100, quick=False)
+    result = run_once(table4_tuning_time.run, A100, quick=QUICK)
     show(result)
     print()
     print(format_table(result.meta["e2e_headers"], result.meta["e2e_rows"]))

@@ -15,7 +15,7 @@ Layers (see docs/architecture.md):
 * :mod:`repro.gpu`        — the simulated hardware (A100 / RTX 3080)
 * :mod:`repro.ir`         — tensor IR: graphs, operators, ComputeChain
 * :mod:`repro.tiling`     — tiling expressions, schedules, DAG analysis
-* :mod:`repro.search`     — pruning rules, perf model, Algorithm 1, tuner
+* :mod:`repro.search`     — pruning rules, perf model, search engine, tuner
 * :mod:`repro.cache`      — persistent schedule cache + batch tuning
 * :mod:`repro.codegen`    — TIR / Triton-IR / PTX emission + interpreter
 * :mod:`repro.baselines`  — PyTorch, Relay, Ansor, BOLT, FlashAttention, Chimera
@@ -29,7 +29,15 @@ from repro.codegen import OperatorModule, compile_schedule, execute_schedule
 from repro.frontend import bert_encoder, compile_model, partition_graph
 from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
 from repro.ir import ComputeChain, Graph, attention_chain, gemm_chain
-from repro.search import MCFuserTuner, TuneReport, generate_space
+from repro.search import (
+    MCFuserTuner,
+    SearchStrategy,
+    TuneReport,
+    generate_space,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
 from repro.tiling import Schedule, TilingExpr, build_schedule
 from repro.workloads import attention_workload, gemm_workload
 
@@ -52,6 +60,10 @@ __all__ = [
     "MCFuserTuner",
     "TuneReport",
     "generate_space",
+    "SearchStrategy",
+    "register_strategy",
+    "make_strategy",
+    "strategy_names",
     "ScheduleCache",
     "BatchTuner",
     "default_cache",

@@ -16,7 +16,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.signature import workload_signature
+from repro.cache.signature import variant_key, workload_signature
 from repro.gpu.specs import GPUSpec
 from repro.search.tuner import MCFuserTuner, TuneReport
 
@@ -62,6 +62,10 @@ class BatchTuner:
         max_workers: Thread-pool width for concurrent tuning.
         seed: Base search seed (each tuner instance gets the same seed, so
             batch output equals sequential output).
+        strategy: Search-strategy name every tuner in the batch runs
+            (cache keys include it, so warmups stay strategy-faithful).
+        measure_workers: Per-tuner measurement-pool width (the inner
+            parallelism of each tuning run, orthogonal to ``max_workers``).
         **tuner_kwargs: Forwarded to every :class:`MCFuserTuner`
             (``population_size``, ``max_rounds``, ...).
     """
@@ -73,6 +77,8 @@ class BatchTuner:
         cache: "ScheduleCache | None" = None,
         max_workers: int = 4,
         seed: int = 0,
+        strategy: str = "evolutionary",
+        measure_workers: int = 1,
         **tuner_kwargs: object,
     ) -> None:
         if max_workers < 1:
@@ -82,6 +88,8 @@ class BatchTuner:
         self.cache = cache
         self.max_workers = max_workers
         self.seed = seed
+        self.strategy = strategy
+        self.measure_workers = measure_workers
         self.tuner_kwargs = dict(tuner_kwargs)
 
     def _tune_one(self, chain: "ComputeChain") -> TuneReport:
@@ -90,6 +98,8 @@ class BatchTuner:
             variant=self.variant,
             seed=self.seed,
             cache=self.cache,
+            strategy=self.strategy,
+            workers=self.measure_workers,
             **self.tuner_kwargs,  # type: ignore[arg-type]
         )
         return tuner.tune(chain)
@@ -102,8 +112,9 @@ class BatchTuner:
         schedule a signature gets (each unique chain is tuned independently
         with the same seed).
         """
+        sig_variant = variant_key(self.variant, self.strategy)
         signatures = [
-            workload_signature(chain, self.gpu, self.variant) for chain in chains
+            workload_signature(chain, self.gpu, sig_variant) for chain in chains
         ]
         representatives: dict[str, "ComputeChain"] = {}
         for sig, chain in zip(signatures, chains):

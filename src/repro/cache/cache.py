@@ -18,8 +18,10 @@ thread-safe (``BatchTuner`` tunes concurrently against one cache).
 The default persistent location is ``$REPRO_CACHE_DIR`` when set, else
 ``~/.cache/mcfuser-repro``; pass ``path=None`` for a memory-only cache.
 
-Keys cover the *workload* — chain structure, shapes, dtype, GPU spec, and
-tuner variant — but not the search seed or Algorithm-1 budget: the cache
+Keys cover the *workload* — chain structure, shapes, dtype, GPU spec,
+tuner variant, and search strategy (non-default strategies get a
+``variant+strategy`` key, see :func:`~repro.cache.signature.variant_key`)
+— but not the search seed or Algorithm-1 budget: the cache
 stores one best-known schedule per workload and serves it regardless of
 how a later caller would have searched. Callers that need a fresh search
 (seed-sensitivity studies, bigger budgets) must bypass the cache.
@@ -32,7 +34,7 @@ import os
 import threading
 from dataclasses import dataclass
 
-from repro.cache.signature import workload_signature
+from repro.cache.signature import DEFAULT_STRATEGY, variant_key, workload_signature
 from repro.cache.store import CacheEntry, LRUCache, PersistentStore
 from repro.tiling.expr import TilingExpr
 from repro.tiling.schedule import Schedule, build_schedule
@@ -170,11 +172,16 @@ class ScheduleCache:
         if not math.isfinite(report.best_time) or report.best_time <= 0:
             return None
         schedule = report.best_schedule
+        # Key by variant + strategy so entries stay strategy-faithful; the
+        # default strategy keeps the bare variant for backward compatibility.
+        variant = variant_key(
+            report.variant, getattr(report, "strategy", DEFAULT_STRATEGY)
+        )
         entry = CacheEntry(
-            signature=self.signature_for(chain, gpu, report.variant),
+            signature=self.signature_for(chain, gpu, variant),
             workload=chain.name,
             gpu=gpu.name,
-            variant=report.variant,
+            variant=variant,
             expr=schedule.expr.render(),
             tiles=dict(schedule.tiles),
             optimized=schedule.optimized,

@@ -27,11 +27,29 @@ import json
 
 __all__ = [
     "SIGNATURE_VERSION",
+    "DEFAULT_STRATEGY",
+    "variant_key",
     "chain_fingerprint",
     "gpu_fingerprint",
     "workload_signature",
     "schedule_signature",
 ]
+
+#: The search strategy whose results the bare variant key refers to.
+DEFAULT_STRATEGY = "evolutionary"
+
+
+def variant_key(variant: str, strategy: str = DEFAULT_STRATEGY) -> str:
+    """Compose the cache variant key from tuner variant and search strategy.
+
+    The default (evolutionary) strategy keeps the bare variant string, so
+    caches written before pluggable strategies existed keep hitting; any
+    other strategy is suffixed (``"mcfuser+random"``) — entries found by
+    one strategy are never served to a tuner running another.
+    """
+    if strategy == DEFAULT_STRATEGY:
+        return variant
+    return f"{variant}+{strategy}"
 
 #: Bump whenever the fingerprint layout changes; old cache entries keyed by
 #: a previous version can then never alias new ones.

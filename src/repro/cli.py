@@ -15,12 +15,18 @@ Commands:
 for the same workload/GPU is a pure lookup. Disable with ``--no-cache``;
 point at a non-default store with ``--cache-dir`` (or ``$REPRO_CACHE_DIR``).
 
+``tune`` and ``cache warmup`` accept ``--strategy`` (``evolutionary``,
+``random``, ``exhaustive``, ``annealing``) to pick the search strategy over
+the pruned space, and ``tune`` accepts ``--workers`` to parallelize the
+per-round top-n measurements; cached schedules are keyed per strategy.
+
 Examples::
 
     python -m repro tune S2 --gpu a100
+    python -m repro tune G4 --strategy annealing --workers 4
     python -m repro compare G4 --gpu rtx3080 --ansor-trials 256
     python -m repro experiments fig7
-    python -m repro cache warmup G1 G2 S1 --jobs 4
+    python -m repro cache warmup G1 G2 S1 --jobs 4 --strategy exhaustive
     python -m repro cache stats
 """
 
@@ -33,6 +39,7 @@ from repro.cache import BatchTuner, ScheduleCache, default_cache_dir
 from repro.codegen import compile_schedule
 from repro.gpu.specs import by_name
 from repro.ir.chain import ComputeChain
+from repro.search.engine.strategy import strategy_names
 from repro.search.tuner import MCFuserTuner
 from repro.utils import fmt_time, format_table
 from repro.workloads import ATTENTION_CONFIGS, GEMM_CHAIN_CONFIGS, attention_workload, gemm_workload
@@ -58,7 +65,13 @@ def cmd_tune(args: argparse.Namespace) -> int:
     gpu = by_name(args.gpu)
     chain = workload_by_name(args.workload)
     cache = None if args.no_cache else _open_cache(args)
-    report = MCFuserTuner(gpu, seed=args.seed, cache=cache).tune(chain)
+    report = MCFuserTuner(
+        gpu,
+        seed=args.seed,
+        cache=cache,
+        strategy=args.strategy,
+        workers=args.workers,
+    ).tune(chain)
     print(f"workload: {chain}")
     if report.cache_hit:
         print("cache: hit — schedule restored, no search performed")
@@ -69,7 +82,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
     print(f"time:  {fmt_time(report.best_time)}  ({report.tflops:.1f} TFLOP/s)")
     print(f"tuned in {fmt_time(report.tuning_seconds)} "
           f"({report.search.num_measurements} measurements, "
-          f"{report.search.rounds} rounds)")
+          f"{report.search.rounds} rounds, {report.strategy} strategy, "
+          f"{report.workers} worker(s))")
     print()
     print(report.best_schedule.pretty())
     if args.show_ptx:
@@ -119,6 +133,7 @@ def cmd_list(_: argparse.Namespace) -> int:
         print(f"  {name:4s} heads={cfg.heads} M={cfg.m} N={cfg.n} K={cfg.k} H={cfg.h}"
               f"  ({cfg.network})")
     print("GPUs: a100, rtx3080")
+    print(f"search strategies: {', '.join(strategy_names())}")
     from repro.experiments import ALL_EXPERIMENTS
 
     print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
@@ -179,6 +194,7 @@ def cmd_cache_warmup(args: argparse.Namespace) -> int:
         cache=cache,
         max_workers=args.jobs,
         seed=args.seed,
+        strategy=args.strategy,
         **tuner_kwargs,
     )
     result = batch.tune_all(chains)
@@ -199,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--seed", type=int, default=0,
                         help="search seed. Cached schedules are keyed by workload, "
                              "not seed — pass --no-cache to force a fresh search")
+    p_tune.add_argument("--strategy", default="evolutionary",
+                        choices=strategy_names(),
+                        help="search strategy over the pruned space "
+                             "(cached schedules are keyed per strategy)")
+    p_tune.add_argument("--workers", type=int, default=1,
+                        help="measurement thread-pool width per search round "
+                             "(results are deterministic for any width)")
     p_tune.add_argument("--show-ptx", action="store_true")
     p_tune.add_argument("--no-cache", action="store_true",
                         help="skip the persistent schedule cache")
@@ -239,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_warm.add_argument("--all", action="store_true")
     p_warm.add_argument("--gpu", default="a100")
     p_warm.add_argument("--seed", type=int, default=0)
+    p_warm.add_argument("--strategy", default="evolutionary",
+                        choices=strategy_names(),
+                        help="search strategy to warm the cache with "
+                             "(entries are keyed per strategy)")
     p_warm.add_argument("--jobs", type=int, default=4,
                         help="tuning thread-pool width")
     p_warm.add_argument("--population", type=int, default=None,

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig9_e2e,
     fig10_shmem,
     fig11_perf_model,
+    strategies,
     table1_comparison,
     table4_tuning_time,
 )
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "table1": table1_comparison,
     "table4": table4_tuning_time,
     "ablation": ablation,
+    "strategies": strategies,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

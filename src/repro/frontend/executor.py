@@ -27,6 +27,7 @@ from repro.baselines.library import (
     softmax_kernel,
     transpose_kernel,
 )
+from repro.cache.signature import variant_key
 from repro.codegen.runtime import GraphExecutorFactoryModule, OperatorModule, compile_schedule
 from repro.frontend.partition import Partition, partition_graph
 from repro.gpu.kernel import KernelLaunch
@@ -169,6 +170,8 @@ def compile_model(
     seed: int = 0,
     tuner_kwargs: dict | None = None,
     cache: "ScheduleCache | None" = None,
+    search_strategy: str = "evolutionary",
+    search_workers: int = 1,
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
@@ -178,6 +181,11 @@ def compile_model(
     call, identically shaped sub-graphs are deduplicated by workload
     signature regardless of caching. ``detail["cache_hits"]`` counts the
     distinct shapes served from the cache.
+
+    ``search_strategy``/``search_workers`` select how each MBCI sub-graph
+    is tuned (the engine's registered search strategies and the per-round
+    measurement pool width); the compilation *strategy* above chooses which
+    compiler stack handles which part of the graph.
     """
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
@@ -205,9 +213,16 @@ def compile_model(
         partition: Partition = partition_graph(graph, gpu)
         tuned: dict[str, OperatorModule] = {}
         for sg in partition.subgraphs:
-            key = sg.signature(gpu)
+            key = sg.signature(gpu, variant_key("mcfuser", search_strategy))
             if key not in tuned:
-                tuner = MCFuserTuner(gpu, seed=seed, cache=cache, **(tuner_kwargs or {}))
+                tuner = MCFuserTuner(
+                    gpu,
+                    seed=seed,
+                    cache=cache,
+                    strategy=search_strategy,
+                    workers=search_workers,
+                    **(tuner_kwargs or {}),
+                )
                 report = tuner.tune(sg.chain)
                 clock.seconds += report.tuning_seconds
                 cache_hits += int(report.cache_hit)

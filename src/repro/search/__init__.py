@@ -1,8 +1,22 @@
-"""Search layer: space generation, pruning rules, analytical performance
-model, heuristic (evolutionary) search, tuner, and the simulated tuning
-clock."""
+"""Search layer: the streaming engine (space pipeline, pluggable
+strategies, parallel measurement), pruning rules, analytical performance
+model, tuner, and the simulated tuning clock."""
 
-from repro.search.evolution import SearchResult, heuristic_search
+from repro.search.engine import (
+    STRATEGY_REGISTRY,
+    EvolutionarySearch,
+    ExhaustiveSearch,
+    ParallelEvaluator,
+    RandomSearch,
+    SearchLoop,
+    SearchResult,
+    SearchStrategy,
+    SimulatedAnnealingSearch,
+    make_strategy,
+    register_strategy,
+    strategy_names,
+)
+from repro.search.evolution import heuristic_search
 from repro.search.perf_model import AnalyticalModel, ChimeraModel, PerfEstimate, estimate_time
 from repro.search.pruning import (
     MIN_TILE,
@@ -40,6 +54,17 @@ __all__ = [
     "ChimeraModel",
     "heuristic_search",
     "SearchResult",
+    "SearchLoop",
+    "SearchStrategy",
+    "EvolutionarySearch",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "SimulatedAnnealingSearch",
+    "STRATEGY_REGISTRY",
+    "register_strategy",
+    "make_strategy",
+    "strategy_names",
+    "ParallelEvaluator",
     "MCFuserTuner",
     "TuneReport",
     "TuningClock",

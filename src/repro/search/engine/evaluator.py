@@ -1,0 +1,122 @@
+"""Parallel measurement executor: batched top-n measurements per round.
+
+Real tuners overlap candidate compilation + measurement across worker
+processes; our measurements run on the deterministic GPU simulator, so the
+executor parallelizes the *host-side* work with a thread pool and models
+the wall-clock cost of the batch explicitly.
+
+Determinism is a hard requirement (the whole reproduction is seeded):
+
+* **Results** depend only on the measurement function, which is pure per
+  candidate (the simulator derives jitter from the kernel's content, not
+  from call order), so any worker count returns the same times in the same
+  submission order.
+* **Billing** never reads the real clock. Each measurement costs
+  ``COSTS[kind] + repetitions x kernel_time``; the batch's wall-clock is
+  the makespan of assigning those costs greedily (submission order, each
+  task to the earliest-free worker) — a deterministic function of the
+  batch and the worker count. With ``workers=1`` the makespan equals the
+  serial sum, so a single-worker evaluator bills exactly what the old
+  serial loop billed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.search.tuning_cost import COSTS, TuningClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.space import Candidate
+
+__all__ = ["ParallelEvaluator", "batch_makespan"]
+
+
+def batch_makespan(costs: Sequence[float], workers: int) -> float:
+    """Deterministic wall-clock of running ``costs`` on ``workers`` workers.
+
+    Tasks are assigned in submission order, each to the worker that frees
+    up first — the schedule a thread pool converges to when tasks are
+    queued up front. Returns the finish time of the last worker.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not costs:
+        return 0.0
+    finish = [0.0] * min(workers, len(costs))
+    for cost in costs:
+        slot = min(range(len(finish)), key=lambda i: finish[i])
+        finish[slot] += cost
+    return max(finish)
+
+
+class ParallelEvaluator:
+    """Measures candidate batches on a worker pool with correct clock billing.
+
+    Args:
+        measure_fn: Measures one candidate, returning the kernel time in
+            seconds (``inf`` for launch failures). Must be thread-safe —
+            the GPU simulator is stateless, so the standard tuner path is.
+        workers: Thread-pool width. ``1`` measures serially (no pool).
+        clock: Optional :class:`TuningClock` billed per batch. ``None``
+            skips billing entirely (library callers that account for
+            measurement cost themselves).
+        repetitions: Kernel repetitions per measurement, billed as
+            accumulated runtime (launch failures bill zero runtime).
+        cost_kind: The :data:`~repro.search.tuning_cost.COSTS` bucket for
+            per-measurement host cost (compile + launch machinery).
+    """
+
+    def __init__(
+        self,
+        measure_fn: Callable[["Candidate"], float],
+        workers: int = 1,
+        clock: TuningClock | None = None,
+        repetitions: int = 100,
+        cost_kind: str = "triton_compile_measure",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if cost_kind not in COSTS:
+            raise KeyError(f"unknown tuning cost kind {cost_kind!r}")
+        self.measure_fn = measure_fn
+        self.workers = workers
+        self.clock = clock
+        self.repetitions = repetitions
+        self.cost_kind = cost_kind
+        #: Measurements executed so far (across all batches).
+        self.measurements = 0
+        #: Batches executed so far.
+        self.batches = 0
+
+    def measure(self, candidates: Sequence["Candidate"]) -> list[float]:
+        """Measure a batch; returns times aligned with ``candidates``.
+
+        Runs the measurement function across the pool, then bills the
+        deterministic makespan of the batch to the clock.
+        """
+        candidates = list(candidates)
+        if not candidates:
+            return []
+        if self.workers == 1 or len(candidates) == 1:
+            times = [self.measure_fn(c) for c in candidates]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.workers, len(candidates))
+            ) as pool:
+                times = list(pool.map(self.measure_fn, candidates))
+        self.measurements += len(candidates)
+        self.batches += 1
+        if self.clock is not None:
+            costs = [
+                COSTS[self.cost_kind]
+                + (0.0 if t == float("inf") else self.repetitions * t)
+                for t in times
+            ]
+            self.clock.charge(
+                self.cost_kind,
+                count=0.0,
+                runtime=batch_makespan(costs, self.workers),
+            )
+        return times

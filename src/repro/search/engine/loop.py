@@ -1,0 +1,188 @@
+"""SearchLoop: the shared driver every search strategy runs inside.
+
+Algorithm 1's skeleton — rank candidates, hardware-measure the best
+*unmeasured* top-n, track the best, stop on convergence — is strategy-
+independent; what differs between evolutionary, random, exhaustive, and
+annealing search is only *which* candidates get ranked each round. The
+loop therefore owns all the bookkeeping the old monolithic
+``heuristic_search`` kept inline:
+
+* the **measured cache** (re-measuring a program yields no information);
+* the **failed blacklist** (launch failures never re-enter the top-n);
+* the **(estimate, measured) pairs** behind the Fig. 11 correlation study;
+* the **convergence criterion** (relative best-time improvement below
+  epsilon, armed after ``min_rounds`` rounds);
+* measurement dispatch through a :class:`ParallelEvaluator`.
+
+Strategies implement three hooks (``begin`` / ``propose`` / ``evolve``)
+against this driver; see :mod:`repro.search.engine.strategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.search.engine.evaluator import ParallelEvaluator
+from repro.utils import rng_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.engine.strategy import SearchStrategy
+    from repro.search.space import Candidate, SearchSpace
+
+__all__ = ["SearchResult", "SearchLoop"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run (any strategy)."""
+
+    best: "Candidate"
+    best_time: float
+    rounds: int
+    num_estimates: int
+    num_measurements: int
+    converged: bool
+    #: (estimated, measured) pairs for every measured candidate — the raw
+    #: data behind the Fig. 11 correlation study.
+    pairs: list[tuple[float, float]] = field(default_factory=list)
+    measured: dict[tuple, float] = field(default_factory=dict)
+    #: Which registered strategy produced this result.
+    strategy: str = "evolutionary"
+
+
+class SearchLoop:
+    """Drives one strategy over a pruned space with shared bookkeeping.
+
+    Args:
+        space: The (lazy) pruned search space.
+        estimate_fn: Analytical model (cheap, called on every ranked
+            candidate; each call is counted into ``num_estimates``).
+        evaluator: Measurement executor for the per-round top-n batch.
+        population_size/top_n/epsilon/max_rounds/min_rounds: Algorithm-1
+            parameters, identical semantics to the paper's pseudo-code.
+        seed: Strategy randomness; the rng stream is derived from the
+            (strategy, chain, gpu, seed) tuple, so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        space: "SearchSpace",
+        estimate_fn: Callable[["Candidate"], float],
+        evaluator: ParallelEvaluator,
+        population_size: int = 512,
+        top_n: int = 8,
+        epsilon: float = 0.01,
+        max_rounds: int = 16,
+        min_rounds: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if not space.candidates:
+            raise ValueError(f"empty search space for chain {space.chain.name!r}")
+        self.space = space
+        self._estimate_fn = estimate_fn
+        self.evaluator = evaluator
+        self.population_size = min(population_size, len(space.candidates))
+        self.top_n = min(top_n, len(space.candidates))
+        self.epsilon = epsilon
+        self.max_rounds = max_rounds
+        self.min_rounds = min_rounds
+        self.seed = seed
+        # shared bookkeeping; rng is assigned by run() from the strategy's
+        # rng_key — accessing it before run() is a bug and fails loudly.
+        self.rng: np.random.Generator
+        self.measured: dict[tuple, float] = {}
+        self.failed: set[tuple] = set()
+        self.pairs: list[tuple[float, float]] = []
+        self.best: "Candidate | None" = None
+        self.best_time = float("inf")
+        self.num_estimates = 0
+        self.num_measurements = 0
+        self.rounds = 0
+        self.converged = False
+
+    # -- services strategies call back into -----------------------------------
+
+    def estimate(self, cand: "Candidate") -> float:
+        """Score one candidate with the analytical model (counted)."""
+        self.num_estimates += 1
+        return self._estimate_fn(cand)
+
+    def pick_unmeasured(
+        self, ranked: list[tuple["Candidate", float]]
+    ) -> list[tuple["Candidate", float]]:
+        """The best ``top_n`` candidates of ``ranked`` not yet measured.
+
+        Skips everything in the measured cache (which subsumes the failed
+        blacklist — failures are cached as ``inf``) and deduplicates within
+        the batch, so each round extends hardware knowledge strictly deeper
+        into the strategy's ranking.
+        """
+        picked: list[tuple["Candidate", float]] = []
+        seen: set[tuple] = set()
+        for cand, est in ranked:
+            key = cand.key
+            if key in self.measured or key in seen:
+                continue
+            picked.append((cand, est))
+            seen.add(key)
+            if len(picked) >= self.top_n:
+                break
+        return picked
+
+    # -- the driver ------------------------------------------------------------
+
+    def run(self, strategy: "SearchStrategy") -> SearchResult:
+        """Run ``strategy`` to convergence (or budget exhaustion)."""
+        self.rng = rng_for(*strategy.rng_key(self.space, self.seed))
+        strategy.begin(self)
+        while self.rounds < strategy.round_budget(self):
+            self.rounds += 1
+            ranked = strategy.propose(self)
+            picked = self.pick_unmeasured(ranked)
+            if not picked:
+                break  # every reachable candidate measured or failed
+            times = self.evaluator.measure([c for c, _ in picked])
+
+            round_best_time = float("inf")
+            round_best: "Candidate | None" = None
+            for (cand, est), t in zip(picked, times):
+                self.measured[cand.key] = t
+                self.num_measurements += 1
+                self.pairs.append((est, t))
+                if t == float("inf"):
+                    self.failed.add(cand.key)
+                if round_best is None or t < round_best_time:
+                    round_best_time, round_best = t, cand
+            assert round_best is not None
+
+            prev_best = self.best_time
+            if self.best is None or round_best_time < self.best_time:
+                self.best, self.best_time = round_best, round_best_time
+            if (
+                strategy.uses_convergence
+                and self.rounds >= self.min_rounds
+                and prev_best != float("inf")
+            ):
+                rel_improvement = (prev_best - round_best_time) / prev_best
+                if rel_improvement < self.epsilon:
+                    # A fresh round of measurements failed to improve the
+                    # best meaningfully: the search has converged.
+                    self.converged = True
+                    break
+            strategy.evolve(self)
+
+        assert self.best is not None
+        return SearchResult(
+            best=self.best,
+            best_time=self.best_time,
+            rounds=self.rounds,
+            num_estimates=self.num_estimates,
+            num_measurements=self.num_measurements,
+            converged=self.converged,
+            pairs=self.pairs,
+            measured=self.measured,
+            strategy=strategy.name,
+        )

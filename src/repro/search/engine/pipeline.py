@@ -1,0 +1,248 @@
+"""Streaming search-space generation: the Rule 1-4 stages as a generator
+pipeline (§III).
+
+The eager ``generate_space`` of early revisions enumerated every candidate,
+built a throwaway :class:`~repro.tiling.schedule.Schedule` per candidate for
+validation, discarded it, and let the tuner rebuild the same schedules again
+during estimation and measurement. This module replaces that with a
+composable generator pipeline::
+
+    expression_stage   Rule 1 dedup + Rule 2 class filter  -> TilingExpr
+    tile_stage         Rule 3 tile grid per expression     -> (expr, tiles)
+    schedule_stage     build_schedule ONCE per candidate   -> CandidatePair
+    validate_stage     semantics + candidate-level Rule 2  -> CandidatePair
+    rule4_stage        shared-memory estimate filter       -> CandidatePair
+
+Each stage yields :class:`CandidatePair` objects — the candidate together
+with its already-built schedule — so downstream consumers (the search
+strategies, the analytical model, the measurement executor) never build a
+schedule twice. The Fig. 7 pruning funnel is accumulated *incrementally* in
+a :class:`PruningFunnel` as pairs flow through; a fully drained pipeline
+yields exactly the counts the old eager implementation produced.
+
+:func:`stream_space` assembles the stages and wraps them in a lazy
+:class:`~repro.search.space.SearchSpace` view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+from repro.gpu.specs import GPUSpec
+from repro.ir.chain import ComputeChain
+from repro.search.pruning import (
+    PruningStats,
+    expression_classes,
+    rule2_candidate_ok,
+    rule2_class_survives,
+    rule3_tile_options,
+    rule4_ok,
+    unconstrained_tile_count,
+)
+from repro.tiling.enumeration import all_tilings
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import Schedule, build_schedule
+from repro.utils import prod
+
+__all__ = [
+    "CandidatePair",
+    "PruningFunnel",
+    "expression_stage",
+    "tile_stage",
+    "schedule_stage",
+    "validate_stage",
+    "rule4_stage",
+    "candidate_pipeline",
+    "stream_space",
+]
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """One surviving search-space point and its (single) built schedule."""
+
+    candidate: "Candidate"
+    schedule: Schedule
+
+    def __iter__(self):  # allow ``for cand, sched in pipeline``
+        return iter((self.candidate, self.schedule))
+
+
+@dataclass
+class PruningFunnel:
+    """Incrementally accumulated Fig. 7 funnel counts.
+
+    The expression-level counts (Rules 1-2 plus the analytic early-stage
+    sizes) are filled in by :func:`expression_stage` up front; the
+    enumerated counts (Rules 3-4) grow as candidates flow through the
+    pipeline. ``complete`` flips when the pipeline is fully drained —
+    :meth:`snapshot` before that point describes a partially generated
+    space.
+    """
+
+    expressions: int = 0
+    classes_rule1: int = 0
+    classes_rule2: int = 0
+    original: int = 0
+    after_rule1: int = 0
+    after_rule2: int = 0
+    after_rule3: int = 0
+    after_rule4: int = 0
+    complete: bool = False
+
+    def snapshot(self) -> PruningStats:
+        """Freeze the current counts into an immutable :class:`PruningStats`."""
+        return PruningStats(
+            expressions=self.expressions,
+            classes_rule1=self.classes_rule1,
+            classes_rule2=self.classes_rule2,
+            original=self.original,
+            after_rule1=self.after_rule1,
+            after_rule2=self.after_rule2,
+            after_rule3=self.after_rule3,
+            after_rule4=self.after_rule4,
+        )
+
+
+def expression_stage(
+    chain: ComputeChain,
+    funnel: PruningFunnel,
+    deep_only: bool = False,
+) -> Iterator[TilingExpr]:
+    """Rules 1-2 at the expression level; fills the funnel's analytic head.
+
+    Yields the canonical representative of every equivalence class that
+    survives Rule 2 for generic loop extents, in deterministic class order.
+    """
+    exprs = all_tilings(chain)
+    if deep_only:
+        exprs = [e for e in exprs if e.is_deep]
+    classes = expression_classes(chain)
+    if deep_only:
+        classes = {k: v for k, v in classes.items() if v.is_deep}
+    survivors = {
+        k: v for k, v in classes.items() if rule2_class_survives(chain, v)
+    }
+
+    raw_tiles = int(prod(unconstrained_tile_count(s) for s in chain.loops.values()))
+    funnel.expressions = len(exprs)
+    funnel.classes_rule1 = len(classes)
+    funnel.classes_rule2 = len(survivors)
+    funnel.original = len(exprs) * raw_tiles
+    funnel.after_rule1 = len(classes) * raw_tiles
+    funnel.after_rule2 = len(survivors) * raw_tiles
+
+    yield from survivors.values()
+
+
+def tile_stage(
+    chain: ComputeChain,
+    exprs: Iterator[TilingExpr],
+    options: dict[str, list[int]],
+) -> Iterator[tuple[TilingExpr, dict[str, int]]]:
+    """Rule 3: cross each surviving expression with its pruned tile grid."""
+    loops = chain.loop_names
+    for expr in exprs:
+        for combo in product(*[options[l] for l in loops]):
+            yield expr, dict(zip(loops, combo))
+
+
+def schedule_stage(
+    chain: ComputeChain,
+    points: Iterator[tuple[TilingExpr, dict[str, int]]],
+    optimize: bool = True,
+) -> Iterator[CandidatePair]:
+    """Expand each (expression, tiles) point into its schedule — built once,
+    carried with the candidate from here on."""
+    from repro.search.space import Candidate  # deferred: space imports us
+
+    for expr, tiles in points:
+        schedule = build_schedule(chain, expr, tiles, optimize=optimize)
+        yield CandidatePair(Candidate.make(expr, tiles), schedule)
+
+
+def validate_stage(
+    pairs: Iterator[CandidatePair],
+    funnel: PruningFunnel,
+) -> Iterator[CandidatePair]:
+    """Drop semantically invalid schedules and candidate-level Rule 2
+    violations; count survivors into ``after_rule3``."""
+    for pair in pairs:
+        if not pair.schedule.is_valid:
+            continue
+        if not rule2_candidate_ok(pair.schedule):
+            continue
+        funnel.after_rule3 += 1
+        yield pair
+
+
+def rule4_stage(
+    pairs: Iterator[CandidatePair],
+    gpu: GPUSpec,
+    funnel: PruningFunnel,
+) -> Iterator[CandidatePair]:
+    """Rule 4: shared-memory estimate filter; counts into ``after_rule4``."""
+    for pair in pairs:
+        if not rule4_ok(pair.schedule, gpu):
+            continue
+        funnel.after_rule4 += 1
+        yield pair
+
+
+def candidate_pipeline(
+    chain: ComputeChain,
+    gpu: GPUSpec,
+    funnel: PruningFunnel,
+    tile_options: dict[str, list[int]],
+    deep_only: bool = False,
+    optimize_schedules: bool = True,
+) -> Iterator[CandidatePair]:
+    """The full composed pipeline; marks ``funnel.complete`` when drained."""
+    exprs = expression_stage(chain, funnel, deep_only=deep_only)
+    points = tile_stage(chain, exprs, tile_options)
+    built = schedule_stage(chain, points, optimize=optimize_schedules)
+    survivors = rule4_stage(validate_stage(built, funnel), gpu, funnel)
+    yield from survivors
+    funnel.complete = True
+
+
+def stream_space(
+    chain: ComputeChain,
+    gpu: GPUSpec,
+    deep_only: bool = False,
+    optimize_schedules: bool = True,
+    max_candidates: int | None = None,
+) -> "SearchSpace":
+    """Build a lazy :class:`~repro.search.space.SearchSpace` over the
+    streaming pipeline.
+
+    Nothing is enumerated until the space is iterated (or an accessor that
+    needs the full set — ``candidates``, ``stats``, ``len`` — forces
+    materialization). Schedules built during validation are retained and
+    served by ``SearchSpace.schedule_for``, so estimation and measurement
+    never rebuild them.
+    """
+    from repro.search.space import SearchSpace  # deferred: space imports us
+
+    funnel = PruningFunnel()
+    options = {loop: rule3_tile_options(size) for loop, size in chain.loops.items()}
+    pairs = candidate_pipeline(
+        chain,
+        gpu,
+        funnel,
+        options,
+        deep_only=deep_only,
+        optimize_schedules=optimize_schedules,
+    )
+    return SearchSpace(
+        chain=chain,
+        gpu=gpu,
+        source=pairs,
+        funnel=funnel,
+        tile_options=options,
+        deep_only=deep_only,
+        optimized=optimize_schedules,
+        max_candidates=max_candidates,
+    )

@@ -1,68 +1,26 @@
 """Heuristic (evolutionary) search over the pruned space — Algorithm 1.
 
-The loop mirrors the paper's pseudo-code: estimate the whole population
-with the analytical model, *measure* only the top-n, stop when the best
-measured time converges (relative gap below ``epsilon``), otherwise mutate
-the population weighted by estimated fitness. Replacing Ansor's learned
-cost model with the analytical model and replacing the fixed trial budget
-with the convergence criterion are the two efficiency deltas the paper
-claims.
+The implementation lives in the search engine now
+(:mod:`repro.search.engine`): :class:`EvolutionarySearch` carries the
+paper's population loop, :class:`~repro.search.engine.loop.SearchLoop`
+the shared bookkeeping (measured cache, failed blacklist, convergence),
+and :class:`~repro.search.engine.evaluator.ParallelEvaluator` the top-n
+measurement dispatch. This module keeps the historical functional entry
+point: ``heuristic_search`` drives the engine with a single-worker
+evaluator and is bit-for-bit seeded-compatible with the pre-engine
+monolithic loop (same rng stream, same estimate/measurement order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
+from repro.search.engine.evaluator import ParallelEvaluator
+from repro.search.engine.loop import SearchLoop, SearchResult
+from repro.search.engine.strategy import EvolutionarySearch, mutate_candidate
 from repro.search.space import Candidate, SearchSpace
-from repro.utils import rng_for
 
 __all__ = ["SearchResult", "heuristic_search"]
-
-
-@dataclass
-class SearchResult:
-    """Outcome of one Algorithm-1 run."""
-
-    best: Candidate
-    best_time: float
-    rounds: int
-    num_estimates: int
-    num_measurements: int
-    converged: bool
-    #: (estimated, measured) pairs for every measured candidate — the raw
-    #: data behind the Fig. 11 correlation study.
-    pairs: list[tuple[float, float]] = field(default_factory=list)
-    measured: dict[tuple, float] = field(default_factory=dict)
-
-
-def _mutate(
-    space: SearchSpace,
-    cand: Candidate,
-    rng: np.random.Generator,
-    attempts: int = 8,
-) -> Candidate:
-    """Mutate one loop's tile size to a neighboring Rule-3 option, keeping
-    the result inside the pruned space (retry a few times, else keep)."""
-    loops = list(space.chain.loop_names)
-    for _ in range(attempts):
-        loop = loops[int(rng.integers(len(loops)))]
-        options = space.tile_options[loop]
-        if len(options) < 2:
-            continue
-        tiles = cand.tile_dict
-        idx = options.index(tiles[loop]) if tiles[loop] in options else 0
-        step = int(rng.choice((-1, 1)))
-        new_idx = min(max(idx + step, 0), len(options) - 1)
-        if new_idx == idx:
-            continue
-        tiles[loop] = options[new_idx]
-        mutated = Candidate.make(cand.expr, tiles)
-        if space.contains(mutated):
-            return mutated
-    return cand
 
 
 def heuristic_search(
@@ -86,94 +44,20 @@ def heuristic_search(
         epsilon: Relative convergence threshold on the best measured time
             (only armed after ``min_rounds`` rounds).
     """
-    if not space.candidates:
-        raise ValueError(f"empty search space for chain {space.chain.name!r}")
-    rng = rng_for("heuristic-search", space.chain.name, space.gpu.name, seed)
-    top_n = min(top_n, len(space.candidates))
-    population_size = min(population_size, len(space.candidates))
-
-    idx = rng.choice(len(space.candidates), size=population_size, replace=False)
-    population: list[Candidate] = [space.candidates[int(i)] for i in idx]
-
-    measured_cache: dict[tuple, float] = {}
-    failed: set[tuple] = set()  # launch failures — blacklisted from top-n
-    pairs: list[tuple[float, float]] = []
-    best: Candidate | None = None
-    best_time = float("inf")
-    num_estimates = 0
-    num_measurements = 0
-    converged = False
-    rounds = 0
-
-    while rounds < max_rounds:
-        rounds += 1
-        estimates = np.array([estimate_fn(c) for c in population])
-        num_estimates += len(population)
-        order = np.argsort(estimates)
-        # Measure the best *unmeasured* candidates: re-measuring a cached
-        # program yields no information, so each round extends hardware
-        # knowledge deeper into the model's ranking.
-        top_ids = []
-        seen_this_round: set[tuple] = set()
-        for i in order:
-            key = population[int(i)].key
-            if key in measured_cache or key in seen_this_round:
-                continue
-            top_ids.append(i)
-            seen_this_round.add(key)
-            if len(top_ids) >= top_n:
-                break
-        if not top_ids:
-            break  # population exhausted (everything measured or failed)
-
-        round_best_time = float("inf")
-        round_best: Candidate | None = None
-        for i in top_ids:
-            cand = population[int(i)]
-            measured_cache[cand.key] = measure_fn(cand)
-            num_measurements += 1
-            pairs.append((float(estimates[int(i)]), measured_cache[cand.key]))
-            t = measured_cache[cand.key]
-            if t == float("inf"):
-                failed.add(cand.key)
-            if round_best is None or t < round_best_time:
-                round_best_time, round_best = t, cand
-        assert round_best is not None
-
-        prev_best = best_time
-        if best is None or round_best_time < best_time:
-            best, best_time = round_best, round_best_time
-        if rounds >= min_rounds and prev_best != float("inf"):
-            rel_improvement = (prev_best - round_best_time) / prev_best
-            if rel_improvement < epsilon:
-                # A fresh round of measurements failed to improve the best
-                # meaningfully: the search has converged.
-                converged = True
-                break
-
-        # Next generation: fitness-weighted resampling + tile mutation,
-        # with a 10% fresh-random injection for exploration.
-        weights = 1.0 / np.maximum(estimates, 1e-12)
-        weights /= weights.sum()
-        n_fresh = max(1, population_size // 10)
-        chosen = rng.choice(len(population), size=population_size - n_fresh, p=weights)
-        population = [_mutate(space, population[int(i)], rng) for i in chosen]
-        fresh_ids = rng.choice(len(space.candidates), size=n_fresh, replace=True)
-        population += [space.candidates[int(i)] for i in fresh_ids]
-        # Known launch failures are replaced with fresh draws.
-        population = [
-            c if c.key not in failed else space.candidates[int(rng.integers(len(space.candidates)))]
-            for c in population
-        ]
-
-    assert best is not None
-    return SearchResult(
-        best=best,
-        best_time=best_time,
-        rounds=rounds,
-        num_estimates=num_estimates,
-        num_measurements=num_measurements,
-        converged=converged,
-        pairs=pairs,
-        measured=measured_cache,
+    evaluator = ParallelEvaluator(measure_fn, workers=1, clock=None)
+    loop = SearchLoop(
+        space,
+        estimate_fn,
+        evaluator,
+        population_size=population_size,
+        top_n=top_n,
+        epsilon=epsilon,
+        max_rounds=max_rounds,
+        min_rounds=min_rounds,
+        seed=seed,
     )
+    return loop.run(EvolutionarySearch())
+
+
+# Historical alias: the mutation helper moved to the engine.
+_mutate = mutate_candidate

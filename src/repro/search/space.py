@@ -1,34 +1,33 @@
-"""Search-space generation: expressions x tile sizes, pruned (§III).
+"""The pruned search space: a lazy view over the streaming pipeline (§III).
 
-``generate_space`` is the entry point: it enumerates tiling-expression
-classes (Rule 1), drops generically-overwhelming classes (Rule 2),
-enumerates Rule-3 tile grids, validates each candidate's schedule
-semantics and live-copy constraint, applies the Rule-4 shared-memory
-filter, and returns the surviving :class:`Candidate` list together with
-the full pruning funnel (Fig. 7).
+``generate_space`` remains the entry point, but it no longer eagerly
+enumerates anything: it wires up the Rule 1-4 generator pipeline
+(:mod:`repro.search.engine.pipeline`) and returns a :class:`SearchSpace`
+that materializes on demand. Consumers that stream (``iter_pairs``) touch
+each candidate exactly once; consumers that need the full set (tests, the
+experiment drivers, random sampling) force materialization through the
+``candidates`` / ``stats`` / ``len`` accessors and get the same candidate
+order and pruning funnel the old eager implementation produced.
+
+Schedules are built **once**, inside the pipeline's validation stage, and
+retained: ``schedule_for`` serves them from the space's schedule table, so
+estimation and measurement never pay the old build-twice cost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
-from itertools import product
+from functools import cached_property
+from typing import TYPE_CHECKING, Iterator
 
 from repro.gpu.specs import GPUSpec
 from repro.ir.chain import ComputeChain
-from repro.search.pruning import (
-    PruningStats,
-    expression_classes,
-    rule2_candidate_ok,
-    rule2_class_survives,
-    rule3_tile_options,
-    rule4_ok,
-    unconstrained_tile_count,
-)
-from repro.tiling.enumeration import all_tilings
+from repro.search.pruning import PruningStats
 from repro.tiling.expr import TilingExpr
 from repro.tiling.schedule import Schedule, build_schedule
-from repro.utils import prod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.engine.pipeline import CandidatePair, PruningFunnel
 
 __all__ = ["Candidate", "SearchSpace", "generate_space"]
 
@@ -57,31 +56,191 @@ class Candidate:
         return f"{self.expr.render()}[{tiles}]"
 
 
-@dataclass
 class SearchSpace:
-    """The pruned candidate set for one (chain, GPU) pair."""
+    """Lazy, immutable view over the pruned candidate pipeline.
 
-    chain: ComputeChain
-    gpu: GPUSpec
-    candidates: list[Candidate]
-    stats: PruningStats
-    tile_options: dict[str, list[int]]
-    deep_only: bool = False
+    Iterating the space (or ``iter_pairs``) pulls candidates through the
+    pipeline incrementally; the ``candidates`` tuple, ``stats``, ``len``
+    and ``contains`` force full materialization. Once materialized the
+    candidate set is frozen — there is no way to mutate it, so the key
+    index (`functools.cached_property`) can never go stale.
 
-    def schedule_for(self, cand: Candidate, optimize: bool = True) -> Schedule:
-        return build_schedule(self.chain, cand.expr, cand.tile_dict, optimize=optimize)
+    Construct through :func:`generate_space` (streaming) or
+    :meth:`from_candidates` (eager, for tests and restricted baselines).
+    """
+
+    def __init__(
+        self,
+        chain: ComputeChain,
+        gpu: GPUSpec,
+        source: "Iterator[CandidatePair]",
+        funnel: "PruningFunnel",
+        tile_options: dict[str, list[int]],
+        deep_only: bool = False,
+        optimized: bool = True,
+        max_candidates: int | None = None,
+    ) -> None:
+        self.chain = chain
+        self.gpu = gpu
+        self.tile_options = tile_options
+        self.deep_only = deep_only
+        #: Whether the pipeline built schedules with the extent-1 DAG
+        #: optimization (``schedule_for`` serves cached schedules only for
+        #: the matching ``optimize`` flag).
+        self.optimized = optimized
+        self._source = source
+        self._funnel = funnel
+        self._max_candidates = max_candidates
+        self._schedules: dict[tuple, Schedule] = {}
+        self._drained: list[Candidate] = []
+        self._candidates: tuple[Candidate, ...] | None = None
+
+    @classmethod
+    def from_candidates(
+        cls,
+        chain: ComputeChain,
+        gpu: GPUSpec,
+        candidates: "list[Candidate] | tuple[Candidate, ...]",
+        stats: PruningStats,
+        tile_options: dict[str, list[int]],
+        deep_only: bool = False,
+        optimized: bool = True,
+    ) -> "SearchSpace":
+        """Eagerly frozen space over an explicit candidate list."""
+        from repro.search.engine.pipeline import PruningFunnel
+
+        funnel = PruningFunnel(
+            expressions=stats.expressions,
+            classes_rule1=stats.classes_rule1,
+            classes_rule2=stats.classes_rule2,
+            original=stats.original,
+            after_rule1=stats.after_rule1,
+            after_rule2=stats.after_rule2,
+            after_rule3=stats.after_rule3,
+            after_rule4=stats.after_rule4,
+            complete=True,
+        )
+        space = cls(
+            chain=chain,
+            gpu=gpu,
+            source=iter(()),
+            funnel=funnel,
+            tile_options=tile_options,
+            deep_only=deep_only,
+            optimized=optimized,
+        )
+        space._candidates = tuple(candidates)
+        return space
+
+    # -- streaming -------------------------------------------------------------
+
+    def iter_pairs(self) -> "Iterator[tuple[Candidate, Schedule]]":
+        """Stream ``(candidate, schedule)`` pairs through the pipeline.
+
+        Already-materialized candidates are replayed from the schedule
+        table; the remainder comes straight off the generator stages. With
+        ``max_candidates`` set the deterministic stride requires the total
+        count, so the space materializes first.
+        """
+        if self._max_candidates is not None:
+            self.materialize()
+        if self._candidates is not None:
+            for cand in self._candidates:
+                yield cand, self.schedule_for(cand)
+            return
+        # Replay what earlier (possibly abandoned) iterations drained, then
+        # keep pulling from the shared source — interleaved iterators and a
+        # mid-stream materialize() all observe one consistent sequence.
+        i = 0
+        while True:
+            while i < len(self._drained):
+                cand = self._drained[i]
+                i += 1
+                yield cand, self._schedules[cand.key]
+            if self._candidates is not None:
+                return
+            try:
+                pair = next(self._source)
+            except StopIteration:
+                self._candidates = tuple(self._drained)
+                return
+            self._schedules[pair.candidate.key] = pair.schedule
+            self._drained.append(pair.candidate)
+
+    def __iter__(self) -> Iterator[Candidate]:
+        for cand, _ in self.iter_pairs():
+            yield cand
+
+    # -- materialization -------------------------------------------------------
+
+    def materialize(self) -> tuple[Candidate, ...]:
+        """Drain the pipeline; idempotent. Returns the frozen candidates.
+
+        Applies the optional ``max_candidates`` cap (deterministically
+        strided over the pruned set, as the eager implementation did);
+        schedules of dropped candidates are released.
+        """
+        if self._candidates is None:
+            for pair in self._source:
+                self._schedules[pair.candidate.key] = pair.schedule
+                self._drained.append(pair.candidate)
+            self._candidates = tuple(self._drained)
+        if self._max_candidates is not None:
+            cap = self._max_candidates
+            self._max_candidates = None
+            if len(self._candidates) > cap:
+                stride = len(self._candidates) / cap
+                kept = tuple(self._candidates[int(i * stride)] for i in range(cap))
+                keys = {c.key for c in kept}
+                self._schedules = {
+                    k: s for k, s in self._schedules.items() if k in keys
+                }
+                self._candidates = kept
+        return self._candidates
+
+    @property
+    def candidates(self) -> tuple[Candidate, ...]:
+        """The frozen candidate tuple (forces materialization)."""
+        return self.materialize()
+
+    @property
+    def stats(self) -> PruningStats:
+        """The complete Fig. 7 pruning funnel (forces materialization)."""
+        self.materialize()
+        return self._funnel.snapshot()
+
+    @property
+    def funnel(self) -> "PruningFunnel":
+        """The live, incrementally accumulated funnel (may be partial)."""
+        return self._funnel
 
     def __len__(self) -> int:
-        return len(self.candidates)
+        return len(self.materialize())
+
+    # -- lookups ---------------------------------------------------------------
+
+    def schedule_for(self, cand: Candidate, optimize: bool = True) -> Schedule:
+        """The schedule of ``cand`` — served from the pipeline's one-time
+        construction when the ``optimize`` flag matches, rebuilt otherwise."""
+        if optimize == self.optimized:
+            cached = self._schedules.get(cand.key)
+            if cached is not None:
+                return cached
+            schedule = build_schedule(
+                self.chain, cand.expr, cand.tile_dict, optimize=optimize
+            )
+            self._schedules[cand.key] = schedule
+            return schedule
+        return build_schedule(self.chain, cand.expr, cand.tile_dict, optimize=optimize)
 
     def contains(self, cand: Candidate) -> bool:
         return cand.key in self._keys
 
-    @property
-    def _keys(self) -> set[tuple]:
-        if not hasattr(self, "_key_cache"):
-            self._key_cache = {c.key for c in self.candidates}
-        return self._key_cache
+    @cached_property
+    def _keys(self) -> frozenset:
+        # Safe to cache permanently: materialize() freezes the candidate
+        # tuple, and there is no mutation path afterwards.
+        return frozenset(c.key for c in self.materialize())
 
 
 def generate_space(
@@ -91,7 +250,7 @@ def generate_space(
     optimize_schedules: bool = True,
     max_candidates: int | None = None,
 ) -> SearchSpace:
-    """Build the pruned search space for ``chain`` on ``gpu``.
+    """Build the (lazily) pruned search space for ``chain`` on ``gpu``.
 
     Args:
         deep_only: Restrict to deep tilings (the Chimera search space used
@@ -101,70 +260,12 @@ def generate_space(
         max_candidates: Optional hard cap (applied after pruning,
             deterministically strided) to bound test runtimes.
     """
-    exprs = all_tilings(chain)
-    if deep_only:
-        exprs = [e for e in exprs if e.is_deep]
-    n_exprs = len(exprs)
+    from repro.search.engine.pipeline import stream_space
 
-    # Rule 1: equivalence classes by per-block sub-tiling expression.
-    classes = expression_classes(chain)
-    if deep_only:
-        classes = {k: v for k, v in classes.items() if v.is_deep}
-    n_rule1 = len(classes)
-
-    # Rule 2 (expression level): drop generically overwhelming classes.
-    classes2 = {
-        k: v for k, v in classes.items() if rule2_class_survives(chain, v)
-    }
-    n_rule2 = len(classes2)
-
-    # Analytic counts of the un-enumerable early stages.
-    raw_tiles = int(prod(unconstrained_tile_count(s) for s in chain.loops.values()))
-    original = n_exprs * raw_tiles
-    after_rule1 = n_rule1 * raw_tiles
-    after_rule2 = n_rule2 * raw_tiles
-
-    # Rule 3: per-dimension tile options.
-    options = {loop: rule3_tile_options(size) for loop, size in chain.loops.items()}
-
-    # Enumerate candidates; validate semantics and candidate-level Rule 2.
-    loops = chain.loop_names
-    survivors3: list[tuple[Candidate, Schedule]] = []
-    for expr in classes2.values():
-        for combo in product(*[options[l] for l in loops]):
-            tiles = dict(zip(loops, combo))
-            sched = build_schedule(chain, expr, tiles, optimize=optimize_schedules)
-            if not sched.is_valid:
-                continue
-            if not rule2_candidate_ok(sched):
-                continue
-            survivors3.append((Candidate.make(expr, tiles), sched))
-    after_rule3 = len(survivors3)
-
-    # Rule 4: shared-memory estimate filter.
-    final = [(c, s) for c, s in survivors3 if rule4_ok(s, gpu)]
-    after_rule4 = len(final)
-
-    candidates = [c for c, _ in final]
-    if max_candidates is not None and len(candidates) > max_candidates:
-        stride = len(candidates) / max_candidates
-        candidates = [candidates[int(i * stride)] for i in range(max_candidates)]
-
-    stats = PruningStats(
-        expressions=n_exprs,
-        classes_rule1=n_rule1,
-        classes_rule2=n_rule2,
-        original=original,
-        after_rule1=after_rule1,
-        after_rule2=after_rule2,
-        after_rule3=after_rule3,
-        after_rule4=after_rule4,
-    )
-    return SearchSpace(
-        chain=chain,
-        gpu=gpu,
-        candidates=candidates,
-        stats=stats,
-        tile_options=options,
+    return stream_space(
+        chain,
+        gpu,
         deep_only=deep_only,
+        optimize_schedules=optimize_schedules,
+        max_candidates=max_candidates,
     )

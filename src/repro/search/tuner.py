@@ -1,9 +1,10 @@
 """MCFuserTuner: end-to-end tuning of one MBCI chain (§III + §IV).
 
-Pipeline: generate + prune the search space, run the heuristic search with
-the analytical model, measure top candidates on the (simulated) GPU, and
-return the best schedule with full accounting — simulated tuning seconds,
-pruning funnel, model-vs-measured pairs.
+Pipeline: stream + prune the search space (schedules built once inside the
+pipeline), run a pluggable search strategy with the analytical model,
+measure the per-round top-n through the parallel evaluator, and return the
+best schedule with full accounting — simulated tuning seconds, pruning
+funnel, model-vs-measured pairs.
 
 Two restricted variants implement baselines from the paper:
 
@@ -11,6 +12,13 @@ Two restricted variants implement baselines from the paper:
   point (§VI-A): Chimera's search space (deep tilings only, no extent-1
   DAG optimization) and Chimera's data-movement-only objective inside the
   same framework.
+
+Search strategies come from the engine registry
+(:mod:`repro.search.engine.strategy`): ``evolutionary`` (Algorithm 1,
+the default — behavior-identical to the historical tuner on seeded runs),
+``random``, ``exhaustive``, and ``annealing``. Cached schedules are keyed
+by (workload, GPU, variant, strategy), so an entry tuned under one
+strategy is never served to another.
 """
 
 from __future__ import annotations
@@ -18,11 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.cache.signature import variant_key
 from repro.gpu.occupancy import SharedMemoryExceeded
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.specs import GPUSpec
 from repro.ir.chain import ComputeChain
-from repro.search.evolution import SearchResult, heuristic_search
+from repro.search.engine.evaluator import ParallelEvaluator
+from repro.search.engine.loop import SearchLoop, SearchResult
+from repro.search.engine.strategy import SearchStrategy, make_strategy
 from repro.search.perf_model import AnalyticalModel, ChimeraModel
 from repro.search.pruning import PruningStats
 from repro.search.space import Candidate, SearchSpace, generate_space
@@ -58,6 +69,11 @@ class TuneReport:
     #: was rebuilt from a stored tiling decision with zero enumeration,
     #: zero model estimates, and zero hardware measurements.
     cache_hit: bool = False
+    #: Registered search strategy that produced (or originally produced,
+    #: for cache hits) this schedule.
+    strategy: str = "evolutionary"
+    #: Measurement worker-pool width the tuning run used.
+    workers: int = 1
 
     @property
     def tflops(self) -> float:
@@ -78,7 +94,14 @@ class MCFuserTuner:
         cache: Optional :class:`~repro.cache.cache.ScheduleCache`. When set,
             :meth:`tune` looks the workload up *before* generating a search
             space (a hit skips enumeration, pruning, and search entirely)
-            and stores the winning schedule afterwards.
+            and stores the winning schedule afterwards. Entries are keyed
+            by (workload, GPU, variant, strategy).
+        strategy: Registered search strategy name (``"evolutionary"``,
+            ``"random"``, ``"exhaustive"``, ``"annealing"``) or a
+            :class:`~repro.search.engine.strategy.SearchStrategy` instance.
+        workers: Measurement thread-pool width for the per-round top-n
+            batch. Results and accounting are deterministic for any width;
+            the simulated wall clock is billed as the batch makespan.
     """
 
     def __init__(
@@ -92,9 +115,13 @@ class MCFuserTuner:
         min_rounds: int = 5,
         seed: int = 0,
         cache: "ScheduleCache | None" = None,
+        strategy: "str | SearchStrategy" = "evolutionary",
+        workers: int = 1,
     ) -> None:
         if variant not in ("mcfuser", "chimera"):
             raise ValueError(f"unknown tuner variant {variant!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.gpu = gpu
         self.variant = variant
         self.population_size = population_size
@@ -104,7 +131,19 @@ class MCFuserTuner:
         self.min_rounds = min_rounds
         self.seed = seed
         self.cache = cache
+        self.strategy = make_strategy(strategy)
+        self.workers = workers
         self.simulator = GPUSimulator(gpu, seed=seed)
+
+    @property
+    def cache_variant(self) -> str:
+        """The cache-key variant string: tuner variant + search strategy.
+
+        The default strategy maps to the bare variant so caches populated
+        before strategies existed keep hitting; any other strategy gets its
+        own key space — cached entries stay strategy-faithful.
+        """
+        return variant_key(self.variant, self.strategy.name)
 
     # -- pieces ---------------------------------------------------------------
 
@@ -157,6 +196,7 @@ class MCFuserTuner:
             num_estimates=0,
             num_measurements=0,
             converged=True,
+            strategy=self.strategy.name,
         )
         return TuneReport(
             chain=chain,
@@ -169,6 +209,8 @@ class MCFuserTuner:
             pruning=empty_funnel,
             search=search,
             cache_hit=True,
+            strategy=self.strategy.name,
+            workers=self.workers,
         )
 
     # -- main entry -----------------------------------------------------------
@@ -177,11 +219,12 @@ class MCFuserTuner:
         """Search for the best fused kernel of ``chain``.
 
         With a cache attached, a previously tuned workload (same structure,
-        shapes, dtype, GPU, and variant — the name is irrelevant) returns
-        immediately with ``report.cache_hit`` set and zero tuning cost.
+        shapes, dtype, GPU, variant, and strategy — the name is irrelevant)
+        returns immediately with ``report.cache_hit`` set and zero tuning
+        cost.
         """
         if self.cache is not None:
-            entry = self.cache.get(chain, self.gpu, self.variant)
+            entry = self.cache.get(chain, self.gpu, self.cache_variant)
             if entry is not None:
                 return self._report_from_cache(chain, entry)
         report = self._tune_uncached(chain)
@@ -190,7 +233,7 @@ class MCFuserTuner:
         return report
 
     def _tune_uncached(self, chain: ComputeChain) -> TuneReport:
-        """The full enumerate → prune → search → measure pipeline."""
+        """The full stream → prune → search → measure pipeline."""
         clock = TuningClock()
         space = self.build_space(chain, clock)
         optimize = self.variant != "chimera"
@@ -198,27 +241,26 @@ class MCFuserTuner:
             ChimeraModel(self.gpu) if self.variant == "chimera" else AnalyticalModel(self.gpu)
         )
 
-        schedules: dict[tuple, Schedule] = {}
-
-        def schedule_of(cand: Candidate) -> Schedule:
-            if cand.key not in schedules:
-                schedules[cand.key] = space.schedule_for(cand, optimize=optimize)
-            return schedules[cand.key]
-
+        # Schedules were built once inside the streaming pipeline;
+        # space.schedule_for serves that construction for both the model
+        # and the measurement path.
         def estimate_fn(cand: Candidate) -> float:
             clock.charge("model_estimate")
-            return model(schedule_of(cand))
+            return model(space.schedule_for(cand, optimize=optimize))
 
-        def measure_fn(cand: Candidate) -> float:
-            t = self.measure_schedule(schedule_of(cand))
-            runtime = 0.0 if t == float("inf") else MEASURE_REPETITIONS * t
-            clock.charge("triton_compile_measure", runtime=runtime)
-            return t
+        def raw_measure(cand: Candidate) -> float:
+            return self.measure_schedule(space.schedule_for(cand, optimize=optimize))
 
-        result = heuristic_search(
+        evaluator = ParallelEvaluator(
+            raw_measure,
+            workers=self.workers,
+            clock=clock,
+            repetitions=MEASURE_REPETITIONS,
+        )
+        loop = SearchLoop(
             space,
             estimate_fn,
-            measure_fn,
+            evaluator,
             population_size=self.population_size,
             top_n=self.top_n,
             epsilon=self.epsilon,
@@ -226,15 +268,18 @@ class MCFuserTuner:
             min_rounds=self.min_rounds,
             seed=self.seed,
         )
+        result = loop.run(self.strategy)
         return TuneReport(
             chain=chain,
             gpu=self.gpu,
             variant=self.variant,
             best_candidate=result.best,
-            best_schedule=schedule_of(result.best),
+            best_schedule=space.schedule_for(result.best, optimize=optimize),
             best_time=result.best_time,
             tuning_seconds=clock.seconds,
             pruning=space.stats,
             search=result,
             clock=clock,
+            strategy=result.strategy,
+            workers=self.workers,
         )

@@ -32,6 +32,29 @@ class TestCommands:
         assert main(["tune", "G1", "--show-ptx"]) == 0
         assert ".entry" in capsys.readouterr().out
 
+    def test_tune_strategy_and_workers(self, capsys):
+        assert main(["tune", "G1", "--strategy", "random",
+                     "--workers", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "random strategy" in out and "2 worker(s)" in out
+
+    def test_tune_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "G1", "--strategy", "quantum"])
+
+    def test_list_shows_strategies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "evolutionary" in out and "annealing" in out
+
+    def test_cache_warmup_strategy(self, capsys, tmp_path):
+        assert main(["cache", "warmup", "G1", "--strategy", "random",
+                     "--max-rounds", "2", "--population", "32",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "warmed 1 unique workload" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "mcfuser+random" in capsys.readouterr().out
+
     def test_compare(self, capsys):
         assert main(["compare", "S4", "--ansor-trials", "64"]) == 0
         out = capsys.readouterr().out

@@ -129,6 +129,28 @@ class TestFig11:
             assert 0.55 < corr < 0.999  # paper band: 0.80-0.92
 
 
+class TestStrategies:
+    def test_quality_and_cost_ordering(self):
+        from repro.experiments import strategies
+
+        result = strategies.run(quick=True)
+        reports = result.meta["reports"]
+        for chain in ("G2", "S2"):
+            exhaustive = reports[(chain, "exhaustive")]
+            evo = reports[(chain, "evolutionary")]
+            # Exhaustive is ground truth; every strategy stays within 5% of
+            # the paper's Algorithm 1 (and never beats exhaustive).
+            for name in ("evolutionary", "random", "annealing"):
+                rep = reports[(chain, name)]
+                assert rep.best_time <= 1.05 * evo.best_time
+                assert rep.best_time >= exhaustive.best_time * 0.999
+            assert evo.tuning_seconds < exhaustive.tuning_seconds
+        # One row per (workload, strategy).
+        assert len(result.rows) == 2 * len(
+            {s for _, s in reports}
+        )
+
+
 class TestTables:
     def test_table1_probes(self):
         result = table1_comparison.run()

@@ -100,9 +100,16 @@ class TestFailureHandling:
 
     def test_empty_space_rejected(self, setup):
         space, estimate, measure, _ = setup
-        import copy
+        from repro.search.space import SearchSpace
 
-        empty = copy.copy(space)
-        empty.candidates = []
+        empty = SearchSpace.from_candidates(
+            space.chain, space.gpu, [], space.stats, space.tile_options
+        )
         with pytest.raises(ValueError):
             heuristic_search(empty, estimate, measure)
+
+    def test_candidates_frozen(self, setup):
+        space, *_ = setup
+        assert isinstance(space.candidates, tuple)
+        with pytest.raises(AttributeError):
+            space.candidates = []
