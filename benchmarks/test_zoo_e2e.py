@@ -1,0 +1,23 @@
+"""Workload-zoo end-to-end benchmark: the general partitioner's scenarios.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) runs one representative per new zoo
+family; the full run covers every model-level workload in the registry.
+"""
+
+from conftest import QUICK, show
+
+from repro.experiments import zoo_e2e
+
+
+def test_zoo_end_to_end(run_once):
+    result = run_once(zoo_e2e.run, quick=QUICK)
+    assert len(result.rows) >= (4 if QUICK else 10)
+    # every zoo model must fuse at least one group, except models whose
+    # point is a rejection diagnostic would still fuse their clean branch
+    for row in result.rows:
+        model, _, groups = row[0], row[1], row[2]
+        assert groups >= 1, f"{model} fused nothing"
+    # fusion must not lose to the library path on any zoo model
+    for row in result.rows:
+        assert float(row[-1]) >= 1.0, f"{row[0]} regressed vs relay"
+    show(result)

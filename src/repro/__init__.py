@@ -26,7 +26,12 @@ Layers (see docs/architecture.md):
 
 from repro.cache import BatchTuner, ScheduleCache, default_cache, workload_signature
 from repro.codegen import OperatorModule, compile_schedule, execute_schedule
-from repro.frontend import bert_encoder, compile_model, partition_graph
+from repro.frontend import (
+    bert_encoder,
+    compile_model,
+    legacy_partition_graph,
+    partition_graph,
+)
 from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
 from repro.ir import ComputeChain, Graph, attention_chain, gemm_chain
 from repro.search import (
@@ -39,7 +44,14 @@ from repro.search import (
     strategy_names,
 )
 from repro.tiling import Schedule, TilingExpr, build_schedule
-from repro.workloads import attention_workload, gemm_workload
+from repro.workloads import (
+    attention_workload,
+    build_workload,
+    gemm_workload,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __version__ = "1.0.0"
 
@@ -74,6 +86,11 @@ __all__ = [
     "bert_encoder",
     "compile_model",
     "partition_graph",
+    "legacy_partition_graph",
     "gemm_workload",
     "attention_workload",
+    "build_workload",
+    "get_workload",
+    "register_workload",
+    "workload_names",
 ]

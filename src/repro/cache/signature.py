@@ -69,6 +69,14 @@ def chain_fingerprint(chain) -> dict:
     block DAG (inputs/output/spatial/reduction/softmax/epilogue/scale), and
     tensor roles. Deliberately excludes ``chain.name``, which is a display
     label: identically shaped workloads must share cache entries.
+
+    Loop and tensor *names* do participate (they define the block DAG's
+    wiring), which is why the partitioner's linearizer names both
+    canonically — first-use order, attention rebuilt through the Table III
+    builder. Every identically shaped fusion group of a model (or of two
+    different models) therefore fingerprints identically and tunes once,
+    and groups matching the paper's patterns keep hitting cache entries
+    written by the chain-level G*/S* workloads.
     """
     return {
         "loops": sorted(chain.loops.items()),

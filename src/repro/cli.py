@@ -2,11 +2,17 @@
 
 Commands:
 
-* ``tune <workload>``      — tune one Table II/III workload and print the
-                             chosen schedule (``G1``..``G12``, ``S1``..``S9``).
+* ``tune <workload>``      — tune one registered workload. Chain workloads
+                             (``G1``..``G12``, ``S1``..``S9``) print the
+                             chosen schedule; model workloads (``ffn-base``,
+                             ``gqa-32x8``, ...) are partitioned and every
+                             fusion group is tuned.
+* ``partition <model>``    — partition a model workload and print its fusion
+                             groups and the per-anchor rejection diagnostics.
 * ``compare <workload>``   — run every baseline on a workload (one Fig. 8 row).
 * ``experiments [name]``   — run one or all experiment drivers.
-* ``list``                 — list workloads, GPUs and experiments.
+* ``list``                 — list workloads (chains + model zoo), GPUs and
+                             experiments.
 * ``cache stats``          — show the persistent schedule cache (entries, hits).
 * ``cache clear``          — wipe the persistent schedule cache.
 * ``cache warmup``         — batch-tune workloads into the cache up front.
@@ -42,7 +48,12 @@ from repro.ir.chain import ComputeChain
 from repro.search.engine.strategy import strategy_names
 from repro.search.tuner import MCFuserTuner
 from repro.utils import fmt_time, format_table
-from repro.workloads import ATTENTION_CONFIGS, GEMM_CHAIN_CONFIGS, attention_workload, gemm_workload
+from repro.workloads import (
+    ATTENTION_CONFIGS,
+    GEMM_CHAIN_CONFIGS,
+    get_workload,
+    iter_workloads,
+)
 
 __all__ = ["main", "build_parser", "workload_by_name"]
 
@@ -53,18 +64,54 @@ def _open_cache(args: argparse.Namespace) -> ScheduleCache:
 
 
 def workload_by_name(name: str) -> ComputeChain:
-    """Resolve ``G*``/``S*`` names to chains."""
-    if name.upper().startswith("G"):
-        return gemm_workload(name.upper())
-    if name.upper().startswith("S"):
-        return attention_workload(name.upper())
-    raise KeyError(f"unknown workload {name!r} (expected G1..G12 or S1..S9)")
+    """Resolve a chain-level workload name (``G*``, ``S*``) to its chain."""
+    spec = get_workload(name)
+    if spec.level != "chain":
+        raise KeyError(
+            f"workload {spec.name!r} is a model; use `repro tune {spec.name}` "
+            "or `repro partition` instead"
+        )
+    return spec.build()
+
+
+def _tune_model(args: argparse.Namespace, gpu, cache) -> int:
+    """Partition a model workload and tune every distinct fusion group."""
+    from repro.frontend.partition import partition_graph
+
+    graph = get_workload(args.workload).build()
+    partition = partition_graph(graph, gpu)
+    print(f"model: {graph}")
+    print(f"fusion groups: {len(partition.subgraphs)}  "
+          f"residual ops: {len(partition.rest)}  "
+          f"rejections: {partition.rejection_reasons() or 'none'}")
+    seen: dict[str, str] = {}
+    rows = []
+    for sg in partition.subgraphs:
+        key = sg.signature(gpu, "mcfuser")
+        if key in seen:
+            rows.append([sg.output, sg.kind, "=", seen[key], "(shape dedup)"])
+            continue
+        report = MCFuserTuner(
+            gpu, seed=args.seed, cache=cache, strategy=args.strategy, workers=args.workers
+        ).tune(sg.chain)
+        seen[key] = report.best_candidate.describe()
+        rows.append([
+            sg.output,
+            sg.kind,
+            "hit" if report.cache_hit else f"{report.search.num_measurements} meas",
+            report.best_candidate.describe(),
+            fmt_time(report.best_time),
+        ])
+    print(format_table(["group", "kind", "tuning", "best schedule", "kernel"], rows))
+    return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
     gpu = by_name(args.gpu)
-    chain = workload_by_name(args.workload)
     cache = None if args.no_cache else _open_cache(args)
+    if get_workload(args.workload).level == "model":
+        return _tune_model(args, gpu, cache)
+    chain = workload_by_name(args.workload)
     report = MCFuserTuner(
         gpu,
         seed=args.seed,
@@ -124,6 +171,40 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_partition(args: argparse.Namespace) -> int:
+    """Partition one model workload and print groups + rejection reasons."""
+    from repro.frontend.partition import partition_graph
+
+    gpu = by_name(args.gpu)
+    spec = get_workload(args.workload)
+    if spec.level != "model":
+        print(f"{spec.name} is a chain-level workload; nothing to partition")
+        return 1
+    graph = spec.build()
+    partition = partition_graph(graph, gpu, mbci_only=not args.all_chains)
+    print(f"{graph} on {gpu.name}")
+    if partition.subgraphs:
+        rows = [
+            [
+                sg.output,
+                sg.kind,
+                f"b={sg.chain.batch} " + ",".join(f"{l}={s}" for l, s in sg.chain.loops.items()),
+                len(sg.nodes),
+                f"{sg.chain.arithmetic_intensity():.0f}",
+            ]
+            for sg in partition.subgraphs
+        ]
+        print(format_table(["group", "kind", "shape", "ops", "phi"], rows))
+    else:
+        print("no fusion groups")
+    if partition.rejected:
+        print()
+        print("rejected anchors:")
+        rows = [[r.anchor, r.reason, r.detail] for r in partition.rejected]
+        print(format_table(["anchor", "reason", "detail"], rows))
+    return 0
+
+
 def cmd_list(_: argparse.Namespace) -> int:
     print("GEMM chains (Table II):")
     for name, cfg in GEMM_CHAIN_CONFIGS.items():
@@ -132,6 +213,9 @@ def cmd_list(_: argparse.Namespace) -> int:
     for name, cfg in ATTENTION_CONFIGS.items():
         print(f"  {name:4s} heads={cfg.heads} M={cfg.m} N={cfg.n} K={cfg.k} H={cfg.h}"
               f"  ({cfg.network})")
+    print("model zoo (general-DAG partitioner):")
+    for spec in iter_workloads(level="model"):
+        print(f"  {spec.name:14s} [{spec.family}] {spec.description}")
     print("GPUs: a100, rtx3080")
     print(f"search strategies: {', '.join(strategy_names())}")
     from repro.experiments import ALL_EXPERIMENTS
@@ -228,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--cache-dir", default=None,
                         help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/mcfuser-repro)")
     p_tune.set_defaults(fn=cmd_tune)
+
+    p_part = sub.add_parser(
+        "partition", help="partition a model workload and show fusion groups"
+    )
+    p_part.add_argument("workload")
+    p_part.add_argument("--gpu", default="a100")
+    p_part.add_argument("--all-chains", action="store_true",
+                        help="keep compute-bound chains too (mbci_only=False)")
+    p_part.set_defaults(fn=cmd_partition)
 
     p_cmp = sub.add_parser("compare", help="run all baselines on one workload")
     p_cmp.add_argument("workload")

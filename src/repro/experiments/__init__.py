@@ -10,6 +10,7 @@ Run all from the command line::
     python -m repro.experiments.fig11_perf_model
     python -m repro.experiments.table1_comparison
     python -m repro.experiments.table4_tuning_time
+    python -m repro.experiments.zoo_e2e
 
 or all at once with ``python -m repro.experiments``.
 """
@@ -25,6 +26,7 @@ from repro.experiments import (
     strategies,
     table1_comparison,
     table4_tuning_time,
+    zoo_e2e,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -38,6 +40,7 @@ ALL_EXPERIMENTS = {
     "table1": table1_comparison,
     "table4": table4_tuning_time,
     "ablation": ablation,
+    "zoo": zoo_e2e,
     "strategies": strategies,
 }
 

@@ -164,7 +164,7 @@ def _distinct_tuning_tasks(nodes: list[GraphNode], graph: Graph) -> int:
 
 
 def compile_model(
-    graph: Graph,
+    graph: Graph | str,
     gpu: GPUSpec,
     strategy: str = "mcfuser+relay",
     seed: int = 0,
@@ -175,18 +175,33 @@ def compile_model(
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
+    ``graph`` may be a :class:`Graph` or the name of a model-level workload
+    from the registry (``"ffn-base"``, ``"gqa-32x8"``, ``"bert-small"``,
+    ...; see :mod:`repro.workloads.zoo`).
+
     ``cache`` (a :class:`~repro.cache.cache.ScheduleCache`) makes MBCI
     sub-graph tuning persistent: a model recompiled in a later process pays
     zero tuning time for every shape the cache already holds. Within one
     call, identically shaped sub-graphs are deduplicated by workload
     signature regardless of caching. ``detail["cache_hits"]`` counts the
-    distinct shapes served from the cache.
+    distinct shapes served from the cache; for MCFuser strategies,
+    ``detail["rejections"]`` histograms why unfused anchors stayed residual.
 
     ``search_strategy``/``search_workers`` select how each MBCI sub-graph
     is tuned (the engine's registered search strategies and the per-round
     measurement pool width); the compilation *strategy* above chooses which
     compiler stack handles which part of the graph.
     """
+    if isinstance(graph, str):
+        from repro.workloads.registry import get_workload
+
+        spec = get_workload(graph)
+        if spec.level != "model":
+            raise ValueError(
+                f"workload {spec.name!r} is a {spec.level}-level workload; "
+                "compile_model needs a model (tune chains with MCFuserTuner)"
+            )
+        graph = spec.build()
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
     clock = TuningClock()
@@ -208,9 +223,11 @@ def compile_model(
     mbci_nodes: set[str] = set()
     n_subgraphs = 0
     cache_hits = 0
+    rejections: dict[str, int] = {}
     if use_mcfuser:
         clock.charge("graph_partition")
         partition: Partition = partition_graph(graph, gpu)
+        rejections = partition.rejection_reasons()
         tuned: dict[str, OperatorModule] = {}
         for sg in partition.subgraphs:
             key = sg.signature(gpu, variant_key("mcfuser", search_strategy))
@@ -279,5 +296,10 @@ def compile_model(
         tuning_seconds=clock.seconds,
         kernel_count=module.kernel_count(),
         mbci_subgraphs=n_subgraphs,
-        detail={"residual_ops": n_ops, "eager_ops": eager_ops, "cache_hits": cache_hits},
+        detail={
+            "residual_ops": n_ops,
+            "eager_ops": eager_ops,
+            "cache_hits": cache_hits,
+            "rejections": rejections,
+        },
     )

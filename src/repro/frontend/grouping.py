@@ -1,0 +1,295 @@
+"""MBCI fusion-group construction: classify operators, grow groups greedily.
+
+This is the first half of the general-DAG partitioner (the second half,
+lowering a grown group to a :class:`~repro.ir.chain.ComputeChain`, lives in
+:mod:`repro.frontend.linearize`). The paper's §V-B partitioner recognized
+two hard-coded patterns; this module generalizes it in the FusionStitching
+style:
+
+* **classify** — every node is an *anchor* (a tensor contraction that can
+  seed a group), *fusable* (an elementwise/normalization op a chain can
+  absorb in a specific role: ``Scale`` folds into a block's scale factor,
+  ``Softmax`` becomes the consuming contraction's online softmax,
+  ``relu``/``gelu`` become a block epilogue), or *opaque* (everything else
+  — a fusion barrier);
+* **grow** — starting from each unclaimed anchor in topological order,
+  follow single-consumer dataflow downstream, absorbing fusable ops and
+  further contractions while a caller-supplied legality probe (rank/batch
+  compatibility, loop budget, shared-memory footprint — see
+  ``partition.py``) keeps succeeding;
+* every anchor that fails to form a multi-block group produces a
+  structured :class:`Rejection` carrying the reason growth stopped, so
+  unfused operators are diagnosed instead of silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gpu.specs import GPUSpec
+from repro.ir.graph import Graph, GraphNode
+from repro.ir.ops import Activation, BatchMatmul, Dense, Op, Scale, Softmax
+
+__all__ = [
+    "NodeClass",
+    "classify_node",
+    "fusion_role",
+    "Segment",
+    "Rejection",
+    "GrowthResult",
+    "grow_group",
+    "is_contraction",
+]
+
+
+def is_contraction(op: Op) -> bool:
+    """Whether ``op`` is a tensor contraction that can anchor a fusion group."""
+    return isinstance(op, (Dense, BatchMatmul))
+
+
+def fusion_role(op: Op) -> str:
+    """The single source of the fusion vocabulary: ``"anchor"`` (tensor
+    contraction), ``"fusable"`` (elementwise op a chain block can absorb in
+    some position), or ``"opaque"`` (fusion barrier).
+
+    Both :func:`classify_node` and :func:`grow_group` consult this, so the
+    classify stage and the grower can never disagree about what is
+    absorbable — the grower only additionally decides whether the
+    *position* allows the absorption.
+    """
+    if is_contraction(op):
+        return "anchor"
+    if isinstance(op, (Scale, Softmax)) or (
+        isinstance(op, Activation) and op.fn in ("relu", "gelu")
+    ):
+        return "fusable"
+    return "opaque"
+
+
+@dataclass(frozen=True)
+class NodeClass:
+    """Roofline classification of one graph node on a target GPU.
+
+    ``kind`` is the fusion role: ``"anchor"`` (contraction), ``"fusable"``
+    (absorbable elementwise), or ``"opaque"`` (fusion barrier).
+    ``memory_bound`` is the per-op roofline test: arithmetic intensity
+    below the GPU ridge point ``P/W``.
+    """
+
+    kind: str
+    intensity: float
+    memory_bound: bool
+
+
+def classify_node(graph: Graph, node: GraphNode, gpu: GPUSpec) -> NodeClass:
+    """Classify one node by fusion role and per-op arithmetic intensity."""
+    op = node.op
+    kind = fusion_role(op)
+    shapes = graph.shapes
+    io = op.io_bytes(shapes)
+    intensity = op.flops(shapes) / io if io else 0.0
+    return NodeClass(kind=kind, intensity=intensity, memory_bound=intensity < gpu.flops_per_byte)
+
+
+@dataclass
+class Segment:
+    """One contraction of a growing group plus the elementwise ops folded
+    into its chain block.
+
+    ``scale`` multiplies the contraction result (absorbed ``Scale`` nodes),
+    ``epilogue`` is an absorbed ``relu``/``gelu``, and ``softmax_node`` is
+    the ``Softmax`` this contraction consumes through (becoming the block's
+    ``softmax_over``). ``absorbed`` lists the elementwise nodes folded in,
+    in dataflow order, so the group's node set is exact.
+    """
+
+    node: GraphNode
+    scale: float = 1.0
+    epilogue: str | None = None
+    softmax_node: GraphNode | None = None
+    absorbed: list[GraphNode] = field(default_factory=list)
+
+    @property
+    def output(self) -> str:
+        """The last materialized tensor of this segment."""
+        return self.absorbed[-1].output if self.absorbed else self.node.output
+
+    def nodes(self) -> list[GraphNode]:
+        """All graph nodes this segment absorbs, in dataflow order."""
+        out: list[GraphNode] = []
+        if self.softmax_node is not None:
+            out.append(self.softmax_node)
+        out.append(self.node)
+        out.extend(self.absorbed)
+        return out
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """Why an anchor (or a formed group) was not fused.
+
+    Attributes:
+        anchor: Output tensor of the contraction that seeded growth.
+        reason: Machine-readable cause (``"multi-consumer"``,
+            ``"unsupported-op"``, ``"rank-mismatch"``, ``"batch-mismatch"``,
+            ``"loop-budget"``, ``"block-budget"``, ``"footprint"``,
+            ``"compute-bound"``, ``"single-block"``, ...).
+        detail: Human-readable explanation.
+        nodes: The node outputs that would have participated.
+    """
+
+    anchor: str
+    reason: str
+    detail: str
+    nodes: tuple[str, ...] = ()
+
+
+@dataclass
+class GrowthResult:
+    """Outcome of growing from one anchor: a multi-block segment list, or a
+    rejection explaining why no group formed."""
+
+    segments: list[Segment] | None
+    rejection: Rejection | None
+
+
+def _segment_nodes(segments: list[Segment]) -> list[GraphNode]:
+    out: list[GraphNode] = []
+    for seg in segments:
+        out.extend(seg.nodes())
+    return out
+
+
+def _softmax_on_last_axis(graph: Graph, node: GraphNode) -> bool:
+    rank = len(graph.shape(node.output))
+    axis = node.op.axis  # type: ignore[attr-defined]
+    return axis == -1 or axis == rank - 1
+
+
+def grow_group(
+    graph: Graph,
+    anchor: GraphNode,
+    *,
+    feasible: Callable[[list[Segment]], str | None],
+    claimed: set[str],
+    consumers: dict[str, list[GraphNode]],
+) -> GrowthResult:
+    """Grow a fusion group downstream from ``anchor`` along single-consumer
+    dataflow.
+
+    ``feasible`` is the legality probe: given a tentative segment list it
+    returns ``None`` (legal) or a rejection reason string — the partitioner
+    supplies rank/batch compatibility, the loop budget, and the
+    shared-memory footprint bound through it. Growth is greedy: each
+    extension is committed as soon as it is legal, and stops at the first
+    multi-consumer edge, opaque operator, claimed node, or failed probe.
+
+    Returns segments (``>= 2`` contractions) or a :class:`Rejection`; a
+    lone contraction never fuses (the library's epilogue fusion already
+    covers single GEMMs), so it is reported as ``"single-block"`` with the
+    stopping cause in the detail.
+    """
+    base = feasible([Segment(node=anchor)])
+    if base is not None:
+        return GrowthResult(None, Rejection(anchor.output, base, f"anchor {anchor.output!r}: {base}"))
+    segments = [Segment(node=anchor)]
+    pending_softmax: GraphNode | None = None
+    cur = anchor.output
+    stop_reason = "dataflow-end"
+    stop_detail = f"{cur!r} has no consumers"
+    while True:
+        if cur in graph.outputs:
+            stop_reason = "graph-output"
+            stop_detail = f"{cur!r} is a graph output and must stay materialized"
+            break
+        nexts = consumers.get(cur, [])
+        if len(nexts) != 1:
+            if len(nexts) > 1:
+                stop_reason = "multi-consumer"
+                stop_detail = (
+                    f"{cur!r} feeds {len(nexts)} consumers "
+                    f"({', '.join(n.output for n in nexts)}); absorbing it would "
+                    "force a recompute or a DRAM round-trip"
+                )
+            else:
+                stop_reason = "dataflow-end"
+                stop_detail = f"{cur!r} has no consumers"
+            break
+        nxt = nexts[0]
+        if nxt.output in claimed:
+            stop_reason = "claimed"
+            stop_detail = f"{nxt.output!r} already belongs to another fusion group"
+            break
+        op = nxt.op
+        last = segments[-1]
+        if isinstance(op, Scale) and pending_softmax is None and last.epilogue is None:
+            last.scale *= op.factor
+            last.absorbed.append(nxt)
+            cur = nxt.output
+            continue
+        if (
+            isinstance(op, Activation)
+            and op.fn in ("relu", "gelu")
+            and pending_softmax is None
+            and last.epilogue is None
+        ):
+            last.epilogue = op.fn
+            last.absorbed.append(nxt)
+            cur = nxt.output
+            continue
+        if isinstance(op, Softmax) and pending_softmax is None:
+            if not _softmax_on_last_axis(graph, nxt):
+                stop_reason = "softmax-axis"
+                stop_detail = f"{nxt.output!r} normalizes a non-innermost axis"
+                break
+            pending_softmax = nxt
+            cur = nxt.output
+            continue
+        if is_contraction(op):
+            if pending_softmax is not None and op.inputs[0] != cur:
+                stop_reason = "softmax-position"
+                stop_detail = (
+                    f"{nxt.output!r} consumes the softmax tensor as a non-first "
+                    "operand; online softmax requires it first"
+                )
+                break
+            candidate = Segment(node=nxt, softmax_node=pending_softmax)
+            reason = feasible(segments + [candidate])
+            if reason is not None:
+                stop_reason = reason
+                stop_detail = f"absorbing {nxt.output!r} fails the {reason} check"
+                break
+            segments.append(candidate)
+            pending_softmax = None
+            cur = nxt.output
+            continue
+        if fusion_role(op) == "fusable":
+            # Absorbable op, wrong position: a second epilogue, a Scale
+            # after an epilogue/softmax, a softmax on a softmax, ...
+            stop_reason = "fusable-context"
+            stop_detail = (
+                f"{op.kind} {nxt.output!r} is absorbable but not in this "
+                "position (epilogue/softmax state already set)"
+            )
+        else:
+            stop_reason = "unsupported-op"
+            stop_detail = f"{op.kind} {nxt.output!r} has no chain-IR representation"
+        break
+    # A softmax with no consuming contraction cannot be expressed by the
+    # chain IR; it stays residual (growth backtracks it implicitly because
+    # it was never committed to a segment).
+    if pending_softmax is not None and stop_reason == "dataflow-end":
+        stop_reason = "dangling-softmax"
+        stop_detail = f"softmax {pending_softmax.output!r} has no consuming contraction"
+    if len(segments) < 2:
+        return GrowthResult(
+            None,
+            Rejection(
+                anchor.output,
+                "single-block" if stop_reason in ("dataflow-end", "graph-output") else stop_reason,
+                stop_detail,
+                nodes=tuple(n.output for n in _segment_nodes(segments)),
+            ),
+        )
+    return GrowthResult(segments, None)

@@ -1,0 +1,296 @@
+"""Lowering a grown fusion group to a :class:`~repro.ir.chain.ComputeChain`.
+
+The grower (:mod:`repro.frontend.grouping`) hands over a topologically
+ordered list of :class:`Segment`\\ s — contractions plus the elementwise ops
+folded into them. This module assigns chain loops and tensors so the
+existing tiling/search/codegen stack consumes the group unchanged:
+
+* loops are named canonically (``m, n, k, h``, then further single
+  letters), spatial-before-reduction per block, so identically shaped
+  groups produce identical chains — and therefore share one workload
+  signature, which is what lets the executor tune each shape once;
+* tensor *storage* order is preserved: a transposed operand keeps its
+  stored dims, and the chain's einsum handles the permutation, so binding
+  graph tensors to chain inputs is a pure reshape;
+* groups whose chain matches the paper's canonical attention shape are
+  rebuilt through :func:`attention_chain` so they keep the legacy tensor
+  names (``Q, K, S, V, O``) and stay signature-compatible with the Table
+  III workloads.
+
+Illegal groups raise :class:`LinearizeError` with a machine-readable
+``reason`` the grower converts into a structured rejection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.frontend.grouping import Segment
+from repro.ir.chain import ComputeBlock, ComputeChain, TensorRef, attention_chain
+from repro.ir.graph import Graph
+from repro.ir.ops import BatchMatmul, Dense
+
+__all__ = ["LinearizeError", "LinearizedGroup", "linearize_group", "LOOP_NAMES"]
+
+#: Canonical loop-name sequence: the paper's ``m, n, k, h`` first, then
+#: unambiguous single letters (the expression syntax is one char per loop).
+LOOP_NAMES = "mnkhabcdefgijlopqrstuvwxyz"
+
+#: Chain tensor names in first-use order; ``A..E`` reproduces the canonical
+#: GEMM-chain naming for two-contraction groups.
+TENSOR_NAMES = "ABCDEFGHIJLMNOPQRSTUVWXYZ"
+
+
+class LinearizeError(ValueError):
+    """A segment list has no chain-IR lowering; ``reason`` says why."""
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class LinearizedGroup:
+    """A fusion group lowered to chain IR, plus its graph-tensor binding.
+
+    ``inputs`` are graph tensor names positionally aligned with
+    ``chain.input_names()``; ``output`` is the graph tensor the chain's
+    final block produces. ``batched`` records whether graph tensors carry
+    the chain's batch axis themselves (rank-3 BatchMatmul groups) or need
+    a leading length-1 axis added when binding (rank-2 Dense groups).
+    Binding helpers live on :class:`~repro.frontend.partition.MBCISubgraph`,
+    the public surface these fields flow into.
+    """
+
+    chain: ComputeChain
+    inputs: tuple[str, ...]
+    output: str
+    batched: bool
+
+
+def _operand_layout(op, shapes) -> tuple[int, list[tuple[str, bool]]]:
+    """(batch, [(tensor, stored_transposed)]) for a contraction's operands.
+
+    ``stored_transposed`` means the tensor's storage order is
+    (reduction, spatial) for the first operand or (spatial, reduction) for
+    the second — i.e. the matmul reads it transposed.
+    """
+    if isinstance(op, BatchMatmul):
+        a, b = shapes[op.inputs[0]], shapes[op.inputs[1]]
+        if len(a) != 3 or len(b) != 3:
+            raise LinearizeError("rank-mismatch", f"{op.output!r}: BatchMatmul needs rank-3 operands")
+        return a[0], [(op.inputs[0], op.transpose_a), (op.inputs[1], op.transpose_b)]
+    if isinstance(op, Dense):
+        x, w = shapes[op.inputs[0]], shapes[op.inputs[1]]
+        if len(x) != 2 or len(w) != 2:
+            raise LinearizeError(
+                "rank-mismatch",
+                f"{op.output!r}: only rank-2 Dense lowers to a batch-1 chain",
+            )
+        return 1, [(op.inputs[0], False), (op.inputs[1], False)]
+    raise LinearizeError("unsupported-op", f"{op.kind} {op.output!r} is not a contraction")
+
+
+def _semantic_dims(shape: tuple[int, ...], transposed: bool, first: bool) -> tuple[int, int]:
+    """(spatial_extent, reduction_extent) of one operand."""
+    d1, d2 = shape[-2], shape[-1]
+    if first:  # X: (m, k) stored, (k, m) when transposed
+        return (d2, d1) if transposed else (d1, d2)
+    return (d1, d2) if transposed else (d2, d1)  # Z: (k, n) stored, (n, k) transposed
+
+
+class _Namer:
+    def __init__(self, alphabet: str) -> None:
+        self._alphabet = alphabet
+        self._next = 0
+
+    def fresh(self, used: set[str]) -> str:
+        while self._next < len(self._alphabet):
+            name = self._alphabet[self._next]
+            self._next += 1
+            if name not in used:
+                return name
+        raise LinearizeError("loop-budget", "group exceeds the loop-name alphabet")
+
+
+def linearize_group(graph: Graph, segments: list[Segment], name: str) -> LinearizedGroup:
+    """Lower ``segments`` (topological contraction order) to a chain.
+
+    Raises :class:`LinearizeError` when the group mixes ranks or batch
+    sizes, reuses a tensor under incompatible layouts, or softmaxes a dim
+    the consuming contraction does not reduce.
+    """
+    shapes = graph.shapes
+    batch, _ = _operand_layout(segments[0].node.op, shapes)
+    batched = isinstance(segments[0].node.op, BatchMatmul)
+
+    loops: dict[str, int] = {}
+    tensors: dict[str, TensorRef] = {}
+    chain_name_of: dict[str, str] = {}  # graph tensor -> chain tensor
+    origin: dict[str, str] = {}  # chain tensor -> graph tensor
+    loop_namer = _Namer(LOOP_NAMES)
+    tensor_names = iter(TENSOR_NAMES)
+    blocks: list[ComputeBlock] = []
+
+    def new_loop(extent: int) -> str:
+        loop = loop_namer.fresh(set(loops))
+        loops[loop] = extent
+        return loop
+
+    def add_tensor(graph_tensor: str, dims: tuple[str, ...], role: str) -> str:
+        existing = chain_name_of.get(graph_tensor)
+        if existing is not None:
+            if tensors[existing].dims != dims:
+                raise LinearizeError(
+                    "tensor-reuse",
+                    f"{graph_tensor!r} is used under two incompatible layouts",
+                )
+            return existing
+        try:
+            cname = next(tensor_names)
+        except StopIteration:
+            raise LinearizeError("block-budget", "group exceeds the tensor-name alphabet") from None
+        chain_name_of[graph_tensor] = cname
+        origin[cname] = graph_tensor
+        tensors[cname] = TensorRef(cname, dims, role)
+        return cname
+
+    for i, seg in enumerate(segments):
+        op = seg.node.op
+        if seg.softmax_node is not None:
+            # The softmax output aliases the tensor it normalizes: the chain
+            # realizes it as the consuming block's online softmax.
+            source = chain_name_of.get(seg.softmax_node.inputs[0])
+            if source is None:
+                raise LinearizeError(
+                    "softmax-position", "softmax input is not a group intermediate"
+                )
+            chain_name_of[seg.softmax_node.output] = source
+        seg_batch, operands = _operand_layout(op, shapes)
+        if (isinstance(op, BatchMatmul)) != batched:
+            raise LinearizeError(
+                "rank-mismatch",
+                f"{seg.node.output!r} mixes Dense and BatchMatmul tensor ranks",
+            )
+        if seg_batch != batch:
+            raise LinearizeError(
+                "batch-mismatch",
+                f"{seg.node.output!r}: batch {seg_batch} != group batch {batch}",
+            )
+        (a_name, a_t), (b_name, b_t) = operands
+        m_ext, k_ext_a = _semantic_dims(shapes[a_name], a_t, first=True)
+        n_ext, k_ext_b = _semantic_dims(shapes[b_name], b_t, first=False)
+        if k_ext_a != k_ext_b:  # pragma: no cover - shape inference catches this
+            raise LinearizeError("layout", f"{seg.node.output!r}: inner dims disagree")
+
+        # Resolve the three semantic loops, reusing loops of operands that
+        # are already chain tensors (the group's intermediates).
+        def operand_loops(tensor: str, transposed: bool, first: bool) -> tuple[str, str] | None:
+            cname = chain_name_of.get(tensor)
+            if cname is None:
+                return None
+            d1, d2 = tensors[cname].dims
+            if first:
+                return ((d2, d1) if transposed else (d1, d2))
+            return ((d1, d2) if transposed else (d2, d1))
+
+        a_known = operand_loops(a_name, a_t, first=True)
+        b_known = operand_loops(b_name, b_t, first=False)
+        m_loop = a_known[0] if a_known else None
+        k_loop = a_known[1] if a_known else (b_known[1] if b_known else None)
+        n_loop = b_known[0] if b_known else None
+        if a_known and b_known and a_known[1] != b_known[1]:
+            raise LinearizeError("layout", f"{seg.node.output!r}: operands contract different loops")
+        # Spatial loops first, then the reduction — the canonical order.
+        if m_loop is None:
+            m_loop = new_loop(m_ext)
+        if n_loop is None:
+            n_loop = new_loop(n_ext)
+        if k_loop is None:
+            k_loop = new_loop(k_ext_a)
+        if len({m_loop, n_loop, k_loop}) != 3:
+            raise LinearizeError("layout", f"{seg.node.output!r}: degenerate loop mapping")
+
+        if seg.softmax_node is not None:
+            # The softmaxed tensor is the first operand; its normalized axis
+            # is the innermost *storage* dim, which must be the contracted
+            # loop for the chain's online softmax to be equivalent.
+            a_cname = chain_name_of.get(a_name)
+            if a_cname is None:  # pragma: no cover - grower feeds softmax intermediates only
+                raise LinearizeError("softmax-position", "softmax input is not a group intermediate")
+            if tensors[a_cname].dims[-1] != k_loop:
+                raise LinearizeError(
+                    "softmax-axis",
+                    f"{seg.node.output!r} does not reduce the softmaxed axis",
+                )
+
+        a_dims = (k_loop, m_loop) if a_t else (m_loop, k_loop)
+        b_dims = (n_loop, k_loop) if b_t else (k_loop, n_loop)
+        add_tensor(a_name, a_dims, "input")
+        add_tensor(b_name, b_dims, "input")
+        role = "output" if i == len(segments) - 1 else "intermediate"
+        out_cname = add_tensor(seg.node.output, (m_loop, n_loop), role)
+
+        blocks.append(
+            ComputeBlock(
+                name=out_cname,
+                inputs=(chain_name_of[a_name], chain_name_of[b_name]),
+                output=out_cname,
+                spatial=(m_loop, n_loop),
+                reduction=(k_loop,),
+                softmax_over=k_loop if seg.softmax_node is not None else None,
+                epilogue=seg.epilogue,
+                scale=seg.scale,
+            )
+        )
+        # Elementwise ops folded into this segment keep the same chain
+        # tensor: alias their graph outputs to the block's output.
+        for absorbed in seg.absorbed:
+            chain_name_of[absorbed.output] = out_cname
+
+    chain = ComputeChain(name, loops, tuple(blocks), tensors, batch=batch, dtype="float16")
+    # Bind by position BEFORE canonical renaming: the rebuilt attention
+    # chain keeps the same input order (Q, K, V <-> first-use A, B, D).
+    input_binding = tuple(origin[cname] for cname in chain.input_names())
+    return LinearizedGroup(
+        chain=_canonicalize(chain),
+        inputs=input_binding,
+        output=segments[-1].output,
+        batched=batched,
+    )
+
+
+def _canonicalize(chain: ComputeChain) -> ComputeChain:
+    """Rebuild chains matching the paper's attention module through the
+    canonical builder so they keep the legacy ``Q K S V O`` tensor names —
+    and therefore the Table III workload signatures."""
+    if len(chain.blocks) != 2:
+        return chain
+    b1, b2 = chain.blocks
+    if b2.softmax_over is None or b1.softmax_over is not None:
+        return chain
+    if b1.epilogue is not None or b2.epilogue is not None or b2.scale != 1.0:
+        return chain
+    if b2.inputs[0] != b1.output:
+        return chain
+    m, n = chain.tensors[b1.output].dims
+    k, h = b1.reduction[0], b2.spatial[1]
+    q, kt = (chain.tensors[t] for t in b1.inputs)
+    v, o = chain.tensors[b2.inputs[1]], chain.tensors[b2.output]
+    if q.dims != (m, k) or kt.dims != (n, k) or v.dims != (n, h) or o.dims != (m, h):
+        return chain
+    if b2.reduction != (n,) or b2.softmax_over != n:
+        return chain
+    if not math.isclose(b1.scale, 1.0 / math.sqrt(chain.loops[k]), rel_tol=1e-9):
+        return chain
+    return attention_chain(
+        chain.batch,
+        chain.loops[m],
+        chain.loops[n],
+        chain.loops[k],
+        chain.loops[h],
+        name=chain.name,
+        dtype=chain.dtype,
+    )

@@ -24,7 +24,18 @@ from repro.ir.ops import (
     Transpose,
 )
 
-__all__ = ["BertConfig", "BERT_CONFIGS", "bert_encoder", "vit_encoder", "mlp_mixer"]
+__all__ = [
+    "BertConfig",
+    "BERT_CONFIGS",
+    "bert_encoder",
+    "vit_encoder",
+    "mlp_mixer",
+    "ffn_block",
+    "lora_linear",
+    "gqa_attention",
+    "cross_attention",
+    "residual_branch_block",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +133,143 @@ def vit_encoder(variant: str = "ViT-Base", tokens: int = 256) -> Graph:
     }
     cfg = table[variant]
     return bert_encoder(cfg, seq_len=tokens)
+
+
+# -- workload-zoo building blocks ---------------------------------------------
+#
+# The graphs below exercise the general-DAG partitioner beyond the paper's
+# two patterns: each contains at least one fusable MBCI group the legacy
+# matchers could not see. They deliberately use the *fusable* operator
+# vocabulary on the hot path (bias-free projections, chain-absorbable
+# activations) — the residual ops around them stay on the library path.
+
+
+def ffn_block(seq: int = 2048, hidden: int = 256, inner: int = 1024, act: str = "gelu") -> Graph:
+    """A transformer FFN/MLP block with a residual connection.
+
+    The ``Dense -> activation -> Dense`` core is a fusable GEMM chain with
+    an epilogue on the intermediate; the residual ``Add`` and the layer
+    norm stay residual (the input feeds both the FFN and the add — a
+    multi-consumer *group input*, which fusion permits).
+
+    Defaults are a long-sequence, modest-width block — the regime where
+    the fused kernel beats two library GEMMs (the activation-row traffic
+    dominates the weight traffic). Wide short-sequence FFNs still fuse but
+    re-read their weights per tile and favor the library path.
+    """
+    g = Graph(f"ffn-s{seq}h{hidden}i{inner}")
+    x = g.add_input("input", (seq, hidden))
+    w1 = g.add_param("fc1.weight", (hidden, inner))
+    w2 = g.add_param("fc2.weight", (inner, hidden))
+    h = g.add(Dense((x, w1), "fc1"))
+    h = g.add(Activation((h,), "act", fn=act))
+    h = g.add(Dense((h, w2), "fc2"))
+    r = g.add(Add((x, h), "residual"))
+    gamma = g.add_param("ln.gamma", (hidden,))
+    beta = g.add_param("ln.beta", (hidden,))
+    out = g.add(LayerNorm((r, gamma, beta), "ln"))
+    g.mark_output(out)
+    return g
+
+
+def lora_linear(seq: int = 512, hidden: int = 1024, rank: int = 16, alpha: float = 32.0) -> Graph:
+    """A LoRA-augmented projection: ``y = x W0 + (alpha/r) * (x A) B``.
+
+    The frozen base projection is a single (library) GEMM; the low-rank
+    update ``(x A) B`` is a skinny GEMM chain with a folded scale — exactly
+    the memory-bound shape fusion wins on (the rank-``r`` intermediate
+    round-trips through DRAM unfused).
+    """
+    g = Graph(f"lora-s{seq}h{hidden}r{rank}")
+    x = g.add_input("input", (seq, hidden))
+    w0 = g.add_param("base.weight", (hidden, hidden))
+    a = g.add_param("lora.A", (hidden, rank))
+    b = g.add_param("lora.B", (rank, hidden))
+    base = g.add(Dense((x, w0), "base"))
+    down = g.add(Dense((x, a), "lora.down"))
+    up = g.add(Dense((down, b), "lora.up"))
+    scaled = g.add(Scale((up,), "lora.scaled", factor=alpha / rank))
+    out = g.add(Add((base, scaled), "merged"))
+    g.mark_output(out)
+    return g
+
+
+def gqa_attention(
+    q_heads: int = 32,
+    kv_heads: int = 8,
+    seq: int = 256,
+    head_dim: int = 64,
+) -> Graph:
+    """Grouped-query attention: ``q_heads`` query heads share ``kv_heads``
+    K/V heads.
+
+    Query heads of one group are folded into the sequence axis (the
+    standard GQA kernel batching), so the fusable core is one attention
+    chain with batch ``kv_heads`` and ``M = group_size * seq`` — a Table
+    III shape the legacy matcher never saw.
+    """
+    if q_heads % kv_heads:
+        raise ValueError(f"q_heads {q_heads} not divisible by kv_heads {kv_heads}")
+    group = q_heads // kv_heads
+    g = Graph(f"gqa-q{q_heads}kv{kv_heads}s{seq}d{head_dim}")
+    q = g.add_input("q", (q_heads, seq, head_dim))
+    k = g.add_input("k", (kv_heads, seq, head_dim))
+    v = g.add_input("v", (kv_heads, seq, head_dim))
+    qg = g.add(Reshape((q,), "q.grouped", shape=(kv_heads, group * seq, head_dim)))
+    s = g.add(BatchMatmul((qg, k), "scores", transpose_b=True))
+    sc = g.add(Scale((s,), "scaled", factor=head_dim**-0.5))
+    p = g.add(Softmax((sc,), "probs", axis=-1))
+    o = g.add(BatchMatmul((p, v), "context"))
+    out = g.add(Reshape((o,), "context.split", shape=(q_heads, seq, head_dim)))
+    g.mark_output(out)
+    return g
+
+
+def cross_attention(
+    heads: int = 12,
+    q_seq: int = 256,
+    kv_seq: int = 1024,
+    head_dim: int = 64,
+) -> Graph:
+    """Encoder-decoder cross-attention: queries attend over a *different*
+    (typically longer) encoder sequence, so ``M != N``."""
+    g = Graph(f"xattn-h{heads}q{q_seq}kv{kv_seq}d{head_dim}")
+    q = g.add_input("q", (heads, q_seq, head_dim))
+    k = g.add_input("k", (heads, kv_seq, head_dim))
+    v = g.add_input("v", (heads, kv_seq, head_dim))
+    s = g.add(BatchMatmul((q, k), "scores", transpose_b=True))
+    sc = g.add(Scale((s,), "scaled", factor=head_dim**-0.5))
+    p = g.add(Softmax((sc,), "probs", axis=-1))
+    o = g.add(BatchMatmul((p, v), "context"))
+    g.mark_output(o)
+    return g
+
+
+def residual_branch_block(batch: int = 4, seq: int = 512, width: int = 128) -> Graph:
+    """A multi-branch residual block with one fusable and one fanned-out
+    branch.
+
+    Branch one is a clean two-GEMM chain (fuses). Branch two's first GEMM
+    output feeds both its second GEMM *and* a probe head — a
+    multi-consumer intermediate, so the branch must stay unfused and the
+    partitioner must say why (``Partition.rejected``).
+    """
+    g = Graph(f"resbranch-b{batch}s{seq}w{width}")
+    x = g.add_input("input", (batch, seq, width))
+    w1 = g.add_param("br1.w1", (batch, width, width))
+    w2 = g.add_param("br1.w2", (batch, width, width))
+    u1 = g.add_param("br2.w1", (batch, width, width))
+    u2 = g.add_param("br2.w2", (batch, width, width))
+    c1 = g.add(BatchMatmul((x, w1), "br1.c"))
+    e1 = g.add(BatchMatmul((c1, w2), "br1.e"))
+    c2 = g.add(BatchMatmul((x, u1), "br2.c"))
+    e2 = g.add(BatchMatmul((c2, u2), "br2.e"))
+    probe = g.add(Softmax((c2,), "br2.probe", axis=-1))  # second consumer of br2.c
+    merged = g.add(Add((e1, e2), "branches"))
+    out = g.add(Add((merged, x), "residual"))
+    g.mark_output(out)
+    g.mark_output(probe)
+    return g
 
 
 def mlp_mixer(tokens: int = 512, channels: int = 256, layers: int = 8, token_inner: int = 64) -> Graph:

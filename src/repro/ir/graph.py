@@ -96,6 +96,48 @@ class Graph:
     def consumers(self, tensor: str) -> list[GraphNode]:
         return [n for n in self.nodes if tensor in n.inputs]
 
+    def consumer_map(self) -> dict[str, list[GraphNode]]:
+        """Tensor -> consuming nodes, one pass over the graph.
+
+        The partitioner queries consumers for every node; building the index
+        once keeps partitioning linear in graph size. The mapping is a
+        snapshot — rebuild after ``add``.
+        """
+        out: dict[str, list[GraphNode]] = {}
+        for node in self.nodes:
+            for t in dict.fromkeys(node.inputs):  # dedupe: x+x is one consumer
+                out.setdefault(t, []).append(node)
+        return out
+
+    def reaches(
+        self,
+        source: str,
+        targets: set[str],
+        consumers: dict[str, list[GraphNode]] | None = None,
+    ) -> bool:
+        """Whether ``source``'s value flows (transitively) into any target.
+
+        Used by the partitioner's contraction-acyclicity check: an external
+        input of a fusion group must not depend on a tensor the group
+        produces. Pass a prebuilt ``consumer_map()`` to avoid re-indexing
+        the graph on every query.
+        """
+        if not targets:
+            return False
+        if consumers is None:
+            consumers = self.consumer_map()
+        seen: set[str] = set()
+        frontier = [source]
+        while frontier:
+            tensor = frontier.pop()
+            if tensor in targets:
+                return True
+            if tensor in seen:
+                continue
+            seen.add(tensor)
+            frontier.extend(n.output for n in consumers.get(tensor, []))
+        return False
+
     def total_flops(self) -> float:
         return sum(n.op.flops(self._shapes) for n in self.nodes)
 

@@ -146,6 +146,23 @@ def _build_tree(
                 return i
         return None
 
+    def consumer_limit(scope: LoopScope, block: str) -> int:
+        """First body element containing a compute that consumes ``block``'s
+        output — statements of ``block`` must be inserted before it.
+
+        Matters when the DAG optimization collapses every loop of a
+        producer to extent 1: its statements re-home to a scope whose body
+        already holds the (deeper-homed) consumer, and a plain append would
+        run the producer after the consumer.
+        """
+        out = chain.block(block).output
+        limit = len(scope.body)
+        for consumer in chain.consumers_of(out):
+            idx = element_with_compute(scope, consumer.name)
+            if idx is not None:
+                limit = min(limit, idx)
+        return limit
+
     def _insert_statements(scope: LoopScope) -> None:
         here = scope.loop
         for block in chain.blocks:
@@ -176,7 +193,7 @@ def _build_tree(
                 if stmt.kind == "load":
                     anchor = element_with_compute(scope, stmt.block)
                     if anchor is None:
-                        scope.body.append(stmt)
+                        scope.body.insert(consumer_limit(scope, stmt.block), stmt)
                     else:
                         scope.body.insert(anchor, stmt)
                 elif stmt.kind == "compute":
@@ -191,7 +208,7 @@ def _build_tree(
                     for i, item in enumerate(scope.body):
                         if isinstance(item, Statement) and item.kind == "load" and item.block == stmt.block:
                             pos = max(pos, i)
-                    scope.body.insert(pos + 1, stmt)
+                    scope.body.insert(min(pos + 1, consumer_limit(scope, stmt.block)), stmt)
                 else:  # store: after the producing compute
                     idx = element_with_compute(scope, stmt.block)
                     scope.body.insert(len(scope.body) if idx is None else idx + 1, stmt)
@@ -330,6 +347,23 @@ class Schedule:
                             f"{self.describe()}: compute {block.name} inside "
                             f"unfinished reduction loop {r!r} of producer {producer.name}"
                         )
+        # Producer-before-consumer in program order: a compute whose
+        # producer's compute appears later in the statement walk reads a
+        # tile that does not exist yet (the failure mode the DAG
+        # optimization can create when a producer's loops all collapse).
+        compute_pos = {
+            s.block: i for i, s in enumerate(self.statements()) if s.kind == "compute"
+        }
+        for block in self.chain.blocks:
+            for tensor in block.inputs:
+                producer = self.chain.producer_of(tensor)
+                if producer is None:
+                    continue
+                if compute_pos[producer.name] > compute_pos[block.name]:
+                    raise InvalidScheduleError(
+                        f"{self.describe()}: compute {block.name} precedes its "
+                        f"producer {producer.name} in program order"
+                    )
 
     @property
     def is_valid(self) -> bool:

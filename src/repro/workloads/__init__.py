@@ -1,7 +1,23 @@
-"""Benchmark workloads: the paper's Table II and Table III configurations."""
+"""Benchmark workloads: Table II/III chains plus the model-level zoo.
+
+Importing this package populates the registry (see ``registry.py``): the
+paper's G1-G12 GEMM chains and S1-S9 attention modules at chain level, and
+the workload zoo's FFN, LoRA, GQA, cross-attention, residual-branch, and
+encoder graphs at model level.
+"""
 
 from repro.workloads.attention import ATTENTION_CONFIGS, attention_workload, attention_workloads
 from repro.workloads.gemm_chains import GEMM_CHAIN_CONFIGS, gemm_workload, gemm_workloads
+from repro.workloads.registry import (
+    WorkloadSpec,
+    build_workload,
+    get_workload,
+    iter_workloads,
+    register_workload,
+    workload_families,
+    workload_names,
+)
+from repro.workloads.zoo import MODEL_ZOO_FAMILIES
 
 __all__ = [
     "GEMM_CHAIN_CONFIGS",
@@ -10,4 +26,12 @@ __all__ = [
     "ATTENTION_CONFIGS",
     "attention_workload",
     "attention_workloads",
+    "WorkloadSpec",
+    "register_workload",
+    "get_workload",
+    "build_workload",
+    "workload_names",
+    "iter_workloads",
+    "workload_families",
+    "MODEL_ZOO_FAMILIES",
 ]

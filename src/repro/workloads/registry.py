@@ -1,0 +1,116 @@
+"""Workload registry: one namespace for every benchmarkable workload.
+
+Two levels of workload exist:
+
+* **chain** — a single :class:`~repro.ir.chain.ComputeChain` (the paper's
+  Table II GEMM chains and Table III attention modules): tuned directly.
+* **model** — a whole operator :class:`~repro.ir.graph.Graph` (encoders
+  and the workload zoo's FFN/LoRA/GQA/cross-attention/residual-branch
+  blocks): partitioned first, then each fusion group is tuned.
+
+The registry is what ``compile_model`` (by-name compilation), the CLI
+(``tune``/``partition``/``list``), the ``zoo`` experiment driver, and the
+benchmark smoke job share, so a workload registered once is reachable
+everywhere — including user-registered ones via :func:`register_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.ir.chain import ComputeChain
+from repro.ir.graph import Graph
+
+__all__ = [
+    "WorkloadSpec",
+    "register_workload",
+    "get_workload",
+    "build_workload",
+    "workload_names",
+    "iter_workloads",
+    "workload_families",
+]
+
+Builder = Callable[[], Union[ComputeChain, Graph]]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload.
+
+    Attributes:
+        name: Registry key (case-insensitive lookup, stored as given).
+        level: ``"chain"`` or ``"model"``.
+        family: Workload family (``"gemm_chain"``, ``"attention"``,
+            ``"ffn"``, ``"lora"``, ``"gqa"``, ``"cross_attention"``,
+            ``"residual_branch"``, ``"encoder"``, ...).
+        description: One line for ``repro list`` and the README table.
+        source: Where the shape comes from (paper table, model family).
+        builder: Zero-argument callable producing the chain or graph.
+    """
+
+    name: str
+    level: str
+    family: str
+    description: str
+    source: str
+    builder: Builder = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.level not in ("chain", "model"):
+            raise ValueError(f"workload {self.name!r}: bad level {self.level!r}")
+
+    def build(self) -> ComputeChain | Graph:
+        return self.builder()
+
+
+_REGISTRY: dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Register a workload; the name must be new (case-insensitively)."""
+    key = spec.name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"workload {spec.name!r} already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def build_workload(name: str) -> ComputeChain | Graph:
+    """Build the chain or graph a workload names."""
+    return get_workload(name).build()
+
+
+def workload_names(level: str | None = None, family: str | None = None) -> list[str]:
+    """Registered names, optionally filtered by level and/or family."""
+    return [spec.name for spec in iter_workloads(level=level, family=family)]
+
+
+def iter_workloads(level: str | None = None, family: str | None = None) -> list[WorkloadSpec]:
+    """Registered specs in registration order, optionally filtered."""
+    return [
+        spec
+        for spec in _REGISTRY.values()
+        if (level is None or spec.level == level)
+        and (family is None or spec.family == family)
+    ]
+
+
+def workload_families(level: str | None = None) -> list[str]:
+    """Distinct families in registration order."""
+    seen: list[str] = []
+    for spec in iter_workloads(level=level):
+        if spec.family not in seen:
+            seen.append(spec.family)
+    return seen

@@ -1,0 +1,199 @@
+"""The workload zoo: every registered chain and model workload.
+
+Chain-level entries are the paper's Table II / Table III configurations;
+model-level entries are whole graphs for the general-DAG partitioner —
+the four new families the legacy pattern matchers could not fuse
+(transformer FFN/MLP blocks, LoRA-augmented GEMMs, grouped-query and
+cross-attention, residual multi-branch blocks) plus the end-to-end
+encoders. Model builders import lazily so the zoo can be imported from
+anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.attention import ATTENTION_CONFIGS, attention_workload
+from repro.workloads.gemm_chains import GEMM_CHAIN_CONFIGS, gemm_workload
+from repro.workloads.registry import WorkloadSpec, register_workload
+
+__all__ = ["MODEL_ZOO_FAMILIES"]
+
+#: The model-level families the general partitioner is expected to fuse.
+MODEL_ZOO_FAMILIES = ("ffn", "lora", "gqa", "cross_attention", "residual_branch")
+
+
+def _chain(name: str, family: str, description: str, source: str, build) -> None:
+    register_workload(
+        WorkloadSpec(
+            name=name,
+            level="chain",
+            family=family,
+            description=description,
+            source=source,
+            builder=build,
+        )
+    )
+
+
+def _model(name: str, family: str, description: str, source: str, build) -> None:
+    register_workload(
+        WorkloadSpec(
+            name=name,
+            level="model",
+            family=family,
+            description=description,
+            source=source,
+            builder=build,
+        )
+    )
+
+
+for _name, _cfg in GEMM_CHAIN_CONFIGS.items():
+    _chain(
+        _name,
+        "gemm_chain",
+        f"batch GEMM chain b={_cfg[0]} M={_cfg[1]} N={_cfg[2]} K={_cfg[3]} H={_cfg[4]}",
+        "Table II",
+        lambda n=_name: gemm_workload(n),
+    )
+
+for _name, _acfg in ATTENTION_CONFIGS.items():
+    _chain(
+        _name,
+        "attention",
+        f"self-attention heads={_acfg.heads} M={_acfg.m} N={_acfg.n} "
+        f"K={_acfg.k} H={_acfg.h}",
+        f"Table III ({_acfg.network})",
+        lambda n=_name: attention_workload(n),
+    )
+
+
+def _build_ffn_base():
+    from repro.frontend.models import ffn_block
+
+    return ffn_block(seq=2048, hidden=256, inner=1024)
+
+
+def _build_ffn_narrow():
+    from repro.frontend.models import ffn_block
+
+    return ffn_block(seq=2048, hidden=128, inner=512)
+
+
+def _build_lora_base():
+    from repro.frontend.models import lora_linear
+
+    return lora_linear(seq=512, hidden=1024, rank=16)
+
+
+def _build_lora_rank64():
+    from repro.frontend.models import lora_linear
+
+    return lora_linear(seq=256, hidden=2048, rank=64)
+
+
+def _build_gqa():
+    from repro.frontend.models import gqa_attention
+
+    return gqa_attention(q_heads=32, kv_heads=8, seq=256, head_dim=64)
+
+
+def _build_xattn():
+    from repro.frontend.models import cross_attention
+
+    return cross_attention(heads=12, q_seq=256, kv_seq=1024, head_dim=64)
+
+
+def _build_resbranch():
+    from repro.frontend.models import residual_branch_block
+
+    return residual_branch_block(batch=4, seq=512, width=128)
+
+
+def _build_bert_small():
+    from repro.frontend.models import bert_encoder
+
+    return bert_encoder("Bert-Small", 512)
+
+
+def _build_vit_base():
+    from repro.frontend.models import vit_encoder
+
+    return vit_encoder("ViT-Base", tokens=256)
+
+
+def _build_mixer():
+    from repro.frontend.models import mlp_mixer
+
+    return mlp_mixer(tokens=256, channels=128, layers=4, token_inner=64)
+
+
+_model(
+    "ffn-base",
+    "ffn",
+    "long-sequence FFN: seq 2048, Dense 256->1024 -> gelu -> Dense 1024->256",
+    "transformer MLP",
+    _build_ffn_base,
+)
+_model(
+    "ffn-narrow",
+    "ffn",
+    "long-sequence FFN: seq 2048, Dense 128->512 -> gelu -> Dense 512->128",
+    "transformer MLP",
+    _build_ffn_narrow,
+)
+_model(
+    "lora-base",
+    "lora",
+    "LoRA update (x A) B with rank 16 beside a frozen 1024x1024 base GEMM",
+    "LoRA fine-tuning",
+    _build_lora_base,
+)
+_model(
+    "lora-rank64",
+    "lora",
+    "LoRA update (x A) B with rank 64 beside a frozen 2048x2048 base GEMM",
+    "LoRA fine-tuning",
+    _build_lora_rank64,
+)
+_model(
+    "gqa-32x8",
+    "gqa",
+    "grouped-query attention: 32 query heads sharing 8 KV heads, seq 256",
+    "Llama-style GQA",
+    _build_gqa,
+)
+_model(
+    "xattn-enc-dec",
+    "cross_attention",
+    "cross-attention: 256 decoder queries over a 1024-token encoder",
+    "encoder-decoder",
+    _build_xattn,
+)
+_model(
+    "resbranch",
+    "residual_branch",
+    "two-branch residual block; one branch fuses, one is fanout-blocked",
+    "multi-branch nets",
+    _build_resbranch,
+)
+_model(
+    "bert-small",
+    "encoder",
+    "4-layer BERT encoder, seq 512 (attention cores fuse)",
+    "Fig. 9",
+    _build_bert_small,
+)
+_model(
+    "vit-base",
+    "encoder",
+    "12-layer ViT encoder, 256 tokens",
+    "Table III S4",
+    _build_vit_base,
+)
+_model(
+    "mlp-mixer",
+    "encoder",
+    "4-layer MLP-Mixer; token-mixing Dense pairs fuse as GEMM chains",
+    "Table III S7-S9",
+    _build_mixer,
+)

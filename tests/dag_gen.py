@@ -1,0 +1,167 @@
+"""Seeded random operator-DAG generators for partitioner property tests.
+
+Two generators:
+
+* :func:`random_graph` — arbitrary DAGs over the full operator vocabulary
+  (contractions, elementwise, softmax, layout ops) with random fanout.
+  Used to check partitioner *invariants*: these graphs contain plenty of
+  structures the partitioner must refuse, and every refusal must carry a
+  diagnosis.
+* :func:`pattern_graph` — random compositions of exactly the two legacy
+  patterns (attention, GEMM chain) glued with the opaque ops real models
+  use between them. Used for *differential parity*: the general
+  partitioner must produce the same fusion groups as the legacy oracle.
+
+Both are pure functions of their seed, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ir.graph import Graph
+from repro.ir.ops import (
+    Activation,
+    Add,
+    BatchMatmul,
+    LayerNorm,
+    Scale,
+    Softmax,
+    Transpose,
+)
+
+__all__ = ["random_graph", "pattern_graph"]
+
+_DIMS = (16, 32, 48, 64, 128)
+
+
+def random_graph(seed: int, max_ops: int = 14) -> Graph:
+    """A random rank-3 operator DAG; pure function of ``seed``.
+
+    All tensors share one batch size so contractions compose. Operands are
+    drawn from the whole tensor pool, so multi-consumer fanout (and
+    therefore partial fusion and rejections) arises naturally.
+    """
+    rng = random.Random(seed)
+    batch = rng.choice((1, 2, 4))
+    g = Graph(f"dag{seed}")
+    pool: list[str] = []
+    fresh = 0
+
+    def new_input() -> str:
+        nonlocal fresh
+        name = f"t{fresh}"
+        fresh += 1
+        g.add_input(name, (batch, rng.choice(_DIMS), rng.choice(_DIMS)))
+        pool.append(name)
+        return name
+
+    for _ in range(rng.randint(2, 4)):
+        new_input()
+
+    n_ops = rng.randint(3, max_ops)
+    for i in range(n_ops):
+        kind = rng.choices(
+            ("bmm", "scale", "softmax", "activation", "add", "transpose", "layernorm"),
+            weights=(8, 2, 2, 2, 2, 1, 1),
+        )[0]
+        t = rng.choice(pool)
+        shape = g.shape(t)
+        out = f"op{i}"
+        if kind == "bmm":
+            transpose_a = rng.random() < 0.2
+            transpose_b = rng.random() < 0.3
+            k = shape[1] if transpose_a else shape[2]
+            other_shape = (batch, rng.choice(_DIMS), k) if transpose_b else (
+                batch, k, rng.choice(_DIMS)
+            )
+            # reuse a compatible pool tensor sometimes, else a fresh input
+            compatible = [p for p in pool if g.shape(p) == other_shape]
+            if compatible and rng.random() < 0.5:
+                other = rng.choice(compatible)
+            else:
+                other = f"t{fresh}"
+                fresh += 1
+                g.add_input(other, other_shape)
+            g.add(BatchMatmul((t, other), out, transpose_a=transpose_a, transpose_b=transpose_b))
+        elif kind == "scale":
+            g.add(Scale((t,), out, factor=rng.choice((0.5, 0.125, 2.0))))
+        elif kind == "softmax":
+            g.add(Softmax((t,), out, axis=-1))
+        elif kind == "activation":
+            g.add(Activation((t,), out, fn=rng.choice(("relu", "gelu", "tanh"))))
+        elif kind == "add":
+            same = [p for p in pool if g.shape(p) == shape]
+            g.add(Add((t, rng.choice(same)), out))
+        elif kind == "transpose":
+            g.add(Transpose((t,), out, axes=(0, 2, 1)))
+        else:  # layernorm
+            gamma = f"t{fresh}"
+            fresh += 1
+            g.add_param(gamma, (shape[-1],))
+            beta = f"t{fresh}"
+            fresh += 1
+            g.add_param(beta, (shape[-1],))
+            g.add(LayerNorm((t, gamma, beta), out))
+        pool.append(out)
+
+    consumed = {t for node in g.nodes for t in node.inputs}
+    sinks = [node.output for node in g.nodes if node.output not in consumed]
+    for s in sinks or [g.nodes[-1].output]:
+        g.mark_output(s)
+    return g
+
+
+def pattern_graph(seed: int, max_patterns: int = 4) -> Graph:
+    """Random stack of the two legacy patterns, glued like real models do.
+
+    Each pattern is followed by an opaque op (Transpose / Add / LayerNorm)
+    or ends the graph — never by an op the general partitioner could fold —
+    so the legacy oracle and the general partitioner must agree exactly.
+    """
+    rng = random.Random(seed)
+    g = Graph(f"pattern{seed}")
+    fresh = 0
+
+    def inp(shape: tuple[int, ...]) -> str:
+        nonlocal fresh
+        name = f"in{fresh}"
+        fresh += 1
+        g.add_input(name, shape)
+        return name
+
+    outputs: list[str] = []
+    for p in range(rng.randint(1, max_patterns)):
+        batch = rng.choice((1, 4, 8))
+        m, n = rng.choice(_DIMS), rng.choice(_DIMS)
+        k, h = rng.choice(_DIMS[:4]), rng.choice(_DIMS[:4])
+        # occasionally huge, to exercise the compute-bound rejection on
+        # both partitioners identically
+        if rng.random() < 0.15:
+            m = n = k = h = 2048
+        prefix = f"p{p}"
+        if rng.random() < 0.5:  # attention
+            q = inp((batch, m, k))
+            kk = inp((batch, n, k))
+            v = inp((batch, n, h))
+            s = g.add(BatchMatmul((q, kk), f"{prefix}.s", transpose_b=True))
+            cur = s
+            if rng.random() < 0.7:
+                cur = g.add(Scale((cur,), f"{prefix}.sc", factor=k**-0.5))
+            cur = g.add(Softmax((cur,), f"{prefix}.p", axis=-1))
+            cur = g.add(BatchMatmul((cur, v), f"{prefix}.o"))
+        else:  # GEMM chain
+            a = inp((batch, m, k))
+            b = inp((batch, k, n))
+            d = inp((batch, n, h))
+            c = g.add(BatchMatmul((a, b), f"{prefix}.c"))
+            cur = g.add(BatchMatmul((c, d), f"{prefix}.e"))
+        glue = rng.choice(("none", "transpose", "add"))
+        if glue == "transpose":
+            cur = g.add(Transpose((cur,), f"{prefix}.t", axes=(0, 2, 1)))
+        elif glue == "add":
+            cur = g.add(Add((cur, cur), f"{prefix}.a"))
+        outputs.append(cur)
+    for out in outputs:
+        g.mark_output(out)
+    return g

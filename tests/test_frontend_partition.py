@@ -2,11 +2,12 @@
 
 import pytest
 
+from repro.frontend.grouping import classify_node
 from repro.frontend.models import bert_encoder
-from repro.frontend.partition import partition_graph
-from repro.gpu.specs import A100
+from repro.frontend.partition import min_footprint_fits, partition_graph
+from repro.gpu.specs import A100, GENERIC
 from repro.ir.graph import Graph
-from repro.ir.ops import Add, BatchMatmul, Scale, Softmax
+from repro.ir.ops import Activation, Add, BatchMatmul, BiasAdd, Dense, Scale, Softmax
 
 
 class TestBertPartition:
@@ -94,3 +95,144 @@ class TestPatternEdgeCases:
         g.mark_output("e")
         assert partition_graph(g, A100, mbci_only=True).subgraphs == []
         assert len(partition_graph(g, A100, mbci_only=False).subgraphs) == 1
+
+
+class TestRejectionDiagnostics:
+    """Unfused anchors are diagnosed, never silently dropped."""
+
+    def _fanout_graph(self):
+        g = Graph("fanout")
+        g.add_input("a", (2, 64, 64))
+        g.add_input("b", (2, 64, 64))
+        g.add_input("d", (2, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.add(Add(("c", "c"), "probe"))  # second consumer of c
+        g.mark_output("e")
+        g.mark_output("probe")
+        return g
+
+    def test_multi_consumer_intermediate_is_diagnosed(self):
+        p = partition_graph(self._fanout_graph(), A100)
+        assert p.subgraphs == []
+        reasons = {r.anchor: r for r in p.rejected}
+        assert reasons["c"].reason == "multi-consumer"
+        assert "2 consumers" in reasons["c"].detail
+
+    def test_every_rejection_carries_a_reason(self):
+        for graph in (self._fanout_graph(), bert_encoder("Bert-Small", 64)):
+            p = partition_graph(graph, A100)
+            for rej in p.rejected:
+                assert rej.reason and rej.detail, rej
+                assert rej.anchor in {n.output for n in graph.nodes}
+
+    def test_rejection_histogram(self):
+        p = partition_graph(bert_encoder("Bert-Small", 64), A100)
+        # q/k/v/out projections + 2 FFN Denses per layer stop at BiasAdd
+        assert p.rejection_reasons() == {"unsupported-op": 24}
+
+    def test_compute_bound_rejection_reason(self):
+        g = Graph("big")
+        g.add_input("a", (1, 4096, 4096))
+        g.add_input("b", (1, 4096, 4096))
+        g.add_input("d", (1, 4096, 4096))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.mark_output("e")
+        p = partition_graph(g, A100)
+        assert [r.reason for r in p.rejected] == ["compute-bound"]
+        assert p.rejected[0].nodes == ("c", "e")
+
+    def test_graph_output_intermediate_blocks_absorption(self):
+        g = Graph("marked")
+        g.add_input("a", (2, 64, 64))
+        g.add_input("b", (2, 64, 64))
+        g.add_input("d", (2, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.mark_output("c")  # c must stay materialized
+        g.mark_output("e")
+        p = partition_graph(g, A100)
+        assert p.subgraphs == []
+        reasons = {r.anchor: r for r in p.rejected}
+        assert "graph output" in reasons["c"].detail
+
+
+class TestGeneralGrowth:
+    """Structures beyond the legacy patterns."""
+
+    def test_dense_chain_with_epilogue_fuses(self):
+        g = Graph("ffn-ish")
+        g.add_input("x", (512, 128))
+        g.add_param("w1", (128, 256))
+        g.add_param("w2", (256, 128))
+        g.add(Dense(("x", "w1"), "fc1"))
+        g.add(Activation(("fc1",), "act", fn="gelu"))
+        g.add(Dense(("act", "w2"), "fc2"))
+        g.mark_output("fc2")
+        p = partition_graph(g, A100)
+        assert len(p.subgraphs) == 1
+        sg = p.subgraphs[0]
+        assert sg.nodes == ("fc1", "act", "fc2")
+        assert sg.chain.blocks[0].epilogue == "gelu"
+        assert not sg.batched  # rank-2 Dense group binds with a unit batch
+
+    def test_three_gemm_chain_fuses(self):
+        g = Graph("tri")
+        g.add_input("a", (2, 128, 64))
+        for i, name in enumerate(("b", "d", "f")):
+            g.add_input(name, (2, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.add(BatchMatmul(("e", "f"), "g"))
+        g.mark_output("g")
+        p = partition_graph(g, A100)
+        assert len(p.subgraphs) == 1
+        assert p.subgraphs[0].kind == "chain3"
+        assert len(p.subgraphs[0].chain.blocks) == 3
+
+    def test_block_budget_stops_growth(self):
+        g = Graph("quad")
+        g.add_input("a", (2, 128, 64))
+        for name in ("b", "d", "f", "i"):
+            g.add_input(name, (2, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(BatchMatmul(("c", "d"), "e"))
+        g.add(BatchMatmul(("e", "f"), "g"))
+        g.add(BatchMatmul(("g", "i"), "j"))
+        g.mark_output("j")
+        p = partition_graph(g, A100)
+        # first three fuse, the fourth remains (budget), and is diagnosed
+        assert len(p.subgraphs) == 1
+        assert len(p.subgraphs[0].chain.blocks) == 3
+        assert {r.reason for r in p.rejected} == {"single-block"}
+        narrow = partition_graph(g, A100, max_blocks=2)
+        assert len(narrow.subgraphs[0].chain.blocks) == 2
+
+    def test_dense_batchmatmul_mix_rejected(self):
+        g = Graph("mix")
+        g.add_input("a", (2, 64, 64))
+        g.add_input("b", (2, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        # rank-2 Dense cannot join a batched group: c is rank-3
+        p = partition_graph(g, A100)
+        assert [r.reason for r in p.rejected] == ["single-block"]
+
+    def test_mbci_classification(self):
+        g = Graph("cls")
+        g.add_input("a", (1, 64, 64))
+        g.add_input("b", (1, 64, 64))
+        g.add(BatchMatmul(("a", "b"), "c"))
+        g.add(Softmax(("c",), "p"))
+        node_c, node_p = g.nodes
+        assert classify_node(g, node_c, A100).kind == "anchor"
+        assert classify_node(g, node_p, A100).kind == "fusable"
+        assert classify_node(g, node_p, A100).memory_bound
+
+    def test_footprint_bound_scales_with_gpu(self):
+        chain = partition_graph(
+            bert_encoder("Bert-Small", 64), A100
+        ).subgraphs[0].chain
+        assert min_footprint_fits(chain, A100)
+        tiny = GENERIC.with_overrides(shared_mem_per_block=512, shared_mem_per_sm=512)
+        assert not min_footprint_fits(chain, tiny)

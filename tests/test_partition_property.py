@@ -1,0 +1,174 @@
+"""Property-based tests for the general-DAG partitioner.
+
+A seeded random-DAG generator (``dag_gen.random_graph``) drives invariant
+checks over arbitrary operator graphs:
+
+* every node lands in exactly one fusion group or the remainder;
+* the contracted graph (groups as super-nodes) is acyclic;
+* every emitted ComputeChain is topologically valid and numerically
+  equivalent to the graph ops it absorbs;
+* group shared-memory floors respect the GPU bound;
+* every rejection carries a machine-readable reason and a detail.
+
+A fixed seed sweep always runs; when Hypothesis is installed the same
+invariants are additionally explored with its shrinking search.
+"""
+
+import numpy as np
+import pytest
+
+from dag_gen import random_graph
+from repro.frontend.grouping import classify_node
+from repro.frontend.partition import (
+    MAX_GROUP_BLOCKS,
+    MAX_GROUP_LOOPS,
+    min_footprint_fits,
+    partition_graph,
+)
+from repro.gpu.specs import A100, GENERIC
+from repro.ir.graph import Graph
+
+KNOWN_REASONS = {
+    "multi-consumer",
+    "unsupported-op",
+    "fusable-context",
+    "rank-mismatch",
+    "batch-mismatch",
+    "loop-budget",
+    "block-budget",
+    "footprint",
+    "compute-bound",
+    "single-block",
+    "dangling-softmax",
+    "softmax-position",
+    "softmax-axis",
+    "graph-output",
+    "claimed",
+    "tensor-reuse",
+    "layout",
+    "cycle",
+    "dataflow-end",
+}
+
+
+def check_partition_invariants(graph: Graph, gpu=A100) -> None:
+    """Assert every partitioner invariant on one graph."""
+    partition = partition_graph(graph, gpu)
+    all_outputs = [n.output for n in graph.nodes]
+
+    # 1. exact coverage: every node in exactly one group or the remainder
+    claimed: list[str] = []
+    for sg in partition.subgraphs:
+        claimed.extend(sg.nodes)
+    assert len(claimed) == len(set(claimed)), "groups overlap"
+    rest = [n.output for n in partition.rest]
+    assert sorted(claimed + rest) == sorted(all_outputs), "coverage broken"
+
+    # 2. contracted graph is acyclic: Kahn topo-sort over super-nodes
+    component: dict[str, object] = {}
+    for i, sg in enumerate(partition.subgraphs):
+        for t in sg.nodes:
+            component[t] = f"group{i}"
+    for t in rest:
+        component[t] = t
+    edges: dict[object, set[object]] = {c: set() for c in set(component.values())}
+    indeg: dict[object, int] = {c: 0 for c in edges}
+    for node in graph.nodes:
+        dst = component[node.output]
+        for t in node.inputs:
+            src = component.get(t)
+            if src is None or src == dst:
+                continue
+            if dst not in edges[src]:
+                edges[src].add(dst)
+                indeg[dst] += 1
+    ready = [c for c, d in indeg.items() if d == 0]
+    seen = 0
+    while ready:
+        c = ready.pop()
+        seen += 1
+        for nxt in edges[c]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    assert seen == len(edges), "contracted graph has a cycle"
+
+    # 3. chains are topologically valid and numerically faithful
+    env = graph.execute(graph.random_feed(seed=0, scale=0.05))
+    for sg in partition.subgraphs:
+        chain = sg.chain
+        produced: set[str] = set()
+        for block in chain.blocks:
+            for t in block.inputs:
+                if chain.tensors[t].role == "intermediate":
+                    assert t in produced, f"{chain.name}: {t} consumed before produced"
+            produced.add(block.output)
+        assert chain.tensors[chain.output].role == "output"
+        assert len(sg.inputs) == len(chain.input_names())
+        ref = chain.reference(sg.bind_inputs(env))[chain.output]
+        np.testing.assert_allclose(
+            sg.extract_output(ref, graph),
+            env[sg.output],
+            rtol=1e-4,
+            atol=1e-5,
+            err_msg=f"{chain.name} diverges from the graph ops it absorbed",
+        )
+
+        # 4. resource budgets
+        assert len(chain.blocks) <= MAX_GROUP_BLOCKS
+        assert len(chain.loops) <= MAX_GROUP_LOOPS
+        assert min_footprint_fits(chain, gpu), f"{chain.name} violates the shm bound"
+
+    # 5. every rejection is diagnosed
+    contraction_outputs = {
+        n.output for n in graph.nodes if classify_node(graph, n, gpu).kind == "anchor"
+    }
+    for rej in partition.rejected:
+        assert rej.reason in KNOWN_REASONS, f"unknown reason {rej.reason!r}"
+        assert rej.detail, "rejection without a detail"
+        assert rej.anchor in contraction_outputs, "rejection anchored off-contraction"
+
+
+class TestRandomDagInvariants:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_invariants_hold(self, seed):
+        check_partition_invariants(random_graph(seed))
+
+    def test_generator_is_deterministic(self):
+        a, b = random_graph(7), random_graph(7)
+        assert [repr(n.op) for n in a.nodes] == [repr(n.op) for n in b.nodes]
+        assert a.shapes == b.shapes
+
+    def test_generator_produces_fusable_and_rejected(self):
+        """Across the sweep the generator must exercise both outcomes."""
+        fused = rejected = 0
+        for seed in range(40):
+            p = partition_graph(random_graph(seed), A100)
+            fused += len(p.subgraphs)
+            rejected += len(p.rejected)
+        assert fused > 0 and rejected > 0
+
+    def test_small_gpu_tightens_footprint(self):
+        """Groups legal on the A100 can be footprint-rejected on a tiny GPU;
+        invariants must hold either way."""
+        tiny = GENERIC.with_overrides(
+            shared_mem_per_block=2 * 1024, shared_mem_per_sm=2 * 1024
+        )
+        for seed in range(10):
+            check_partition_invariants(random_graph(seed), gpu=tiny)
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+class TestHypothesisInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_invariants_hold(self, seed):
+        check_partition_invariants(random_graph(seed))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000), max_ops=st.integers(3, 24))
+    def test_invariants_hold_varying_size(self, seed, max_ops):
+        check_partition_invariants(random_graph(seed, max_ops=max_ops))
