@@ -11,26 +11,86 @@ Setting ``REPRO_BENCH_QUICK=1`` switches the heavy modules to the drivers'
 ``quick`` workload lists and reduced Ansor budgets — the CI smoke job uses
 this so the perf harnesses are exercised on every push without the full
 runtime. Leave it unset for the paper-faithful numbers.
+
+**Summary artifacts.** Each session writes per-suite JSON summaries —
+``BENCH_core.json`` (the paper-reproduction suites) and ``BENCH_serve.json``
+(the serving load generator) — into ``$REPRO_BENCH_OUT`` (default:
+this directory). Wall time is recorded for every benchmark run through the
+``run_once`` fixture; modules can attach richer metrics (throughput,
+hit rates, ...) with :func:`record_bench`. CI uploads both files so the
+perf trajectory is inspectable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 import pytest
 
 #: Quick mode for the CI smoke job (reduced workload lists + budgets).
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
+#: Where the per-suite summary artifacts are written.
+ARTIFACT_DIR = os.environ.get("REPRO_BENCH_OUT") or os.path.dirname(__file__)
+
+#: suite name -> {benchmark name -> metrics dict}; flushed at session end.
+_RECORDS: dict[str, dict[str, dict]] = {}
+
+
+def record_bench(suite: str, name: str, **metrics) -> None:
+    """Attach metrics to this session's ``BENCH_<suite>.json`` artifact.
+
+    ``suite`` is ``"core"`` or ``"serve"``; later calls with the same
+    ``name`` merge (and override) keys, so a module can record its wall
+    time through ``run_once`` and richer numbers separately.
+    """
+    _RECORDS.setdefault(suite, {}).setdefault(name, {}).update(metrics)
+
+
+def _suite_for(node) -> str:
+    """The serve load generator feeds the serving artifact; the paper
+    reproduction modules feed the core one."""
+    return "serve" if "serve" in node.module.__name__ else "core"
+
 
 @pytest.fixture
-def run_once(benchmark):
+def run_once(benchmark, request):
     """Run a callable exactly once under the benchmark clock."""
 
     def _run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        t0 = time.perf_counter()
+        out = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        record_bench(
+            _suite_for(request.node),
+            request.node.name,
+            seconds=time.perf_counter() - t0,
+        )
+        return out
 
     return _run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<suite>.json`` per suite that actually ran."""
+    for suite, benchmarks in _RECORDS.items():
+        doc = {
+            "schema": 1,
+            "suite": suite,
+            "quick": QUICK,
+            "created_at": time.time(),
+            "python": platform.python_version(),
+            "benchmarks": benchmarks,
+        }
+        path = os.path.join(ARTIFACT_DIR, f"BENCH_{suite}.json")
+        try:
+            os.makedirs(ARTIFACT_DIR, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+        except OSError:  # an unwritable artifact dir must not fail the run
+            pass
 
 
 def show(result) -> None:

@@ -1,0 +1,57 @@
+"""Serving-layer benchmark: Zipf replay load against the compile service.
+
+This is the PR's acceptance artifact: 32 concurrent clients over 8
+distinct zoo signatures (quick mode: 8 clients over 4). Beyond timing the
+run, it *asserts* the serving guarantees — each signature tuned exactly
+once, coalesce rate >= 75%, a reported warm-hit p50, and telemetry
+counters that reconcile with the generator's request count — and records
+throughput/latency/hit-rate into ``BENCH_serve.json``.
+"""
+
+from conftest import QUICK, record_bench, show
+
+from repro.experiments import serve_load
+
+
+def test_serve_load(run_once):
+    clients = 8 if QUICK else 32
+    signatures = 4 if QUICK else 8
+    result = run_once(
+        serve_load.run,
+        clients=clients,
+        requests_per_client=4 if QUICK else 8,
+        signatures=signatures,
+        quick=QUICK,
+    )
+    show(result)
+    m = result.meta
+
+    # acceptance: exactly one tune per distinct signature (full coalescing)
+    assert m["tunes"] == signatures
+    assert all(row[2] == 1 for row in result.rows), "a signature tuned twice"
+    if not QUICK:
+        # acceptance: >= 75% of cold-path requests coalesced onto a running
+        # tune. Quick mode shrinks the cold window below what a meaningful
+        # rate floor needs, so the smoke job checks everything but this.
+        assert m["coalesce_rate"] >= 0.75
+    # acceptance: warm-hit p50 latency is measured and sane
+    assert m["warm_p50_us"] > 0
+    # acceptance: the service accounted for every issued request
+    assert m["reconciled"]
+    assert m["errors"] == 0 and m["failed_requests"] == 0 and m["shed"] == 0
+
+    record_bench(
+        "serve",
+        "test_serve_load",
+        clients=m["clients"],
+        requests=m["requests"],
+        signatures=m["signatures"],
+        throughput_rps=m["throughput_rps"],
+        coalesce_rate=m["coalesce_rate"],
+        warm_p50_us=m["warm_p50_us"],
+        warm_p95_us=m["warm_p95_us"],
+        cold_p50_ms=m["cold_p50_ms"],
+        cold_p95_ms=m["cold_p95_ms"],
+        tunes=m["tunes"],
+        cache_hits=m["cache_hits"],
+    )

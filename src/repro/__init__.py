@@ -20,6 +20,7 @@ Layers (see docs/architecture.md):
 * :mod:`repro.codegen`    — TIR / Triton-IR / PTX emission + interpreter
 * :mod:`repro.baselines`  — PyTorch, Relay, Ansor, BOLT, FlashAttention, Chimera
 * :mod:`repro.frontend`   — model builders, partitioner, end-to-end executor
+* :mod:`repro.serving`    — compile service: coalescing, tiered cache, telemetry
 * :mod:`repro.workloads`  — Tables II and III
 * :mod:`repro.experiments`— one driver per paper figure/table
 """
@@ -43,6 +44,7 @@ from repro.search import (
     register_strategy,
     strategy_names,
 )
+from repro.serving import CompileService, MetricsRegistry, TieredCache
 from repro.tiling import Schedule, TilingExpr, build_schedule
 from repro.workloads import (
     attention_workload,
@@ -80,6 +82,9 @@ __all__ = [
     "BatchTuner",
     "default_cache",
     "workload_signature",
+    "CompileService",
+    "TieredCache",
+    "MetricsRegistry",
     "OperatorModule",
     "compile_schedule",
     "execute_schedule",

@@ -131,24 +131,35 @@ class ScheduleCache:
         Returns the :class:`CacheEntry` on a hit (memory first, then disk,
         with disk hits promoted into the LRU), else ``None``.
         """
-        signature = self.signature_for(chain, gpu, variant)
+        return self.lookup(self.signature_for(chain, gpu, variant))[0]
+
+    def lookup(self, signature: str) -> tuple[CacheEntry | None, str | None]:
+        """Recording lookup by precomputed signature: ``(entry, layer)``.
+
+        ``layer`` names where the hit was found (``"memory"`` or
+        ``"disk"``; ``None`` on a miss) — the serving layer's tiered cache
+        computes signatures once up front and needs the layer label for its
+        per-tier hit counters. Accounting is identical to :meth:`get`.
+        """
         with self._lock:
             entry = self._memory.get(signature)
+            layer = "memory" if entry is not None else None
             if entry is None and self._store is not None:
                 entry = self._store.get(signature)
                 if entry is not None:
+                    layer = "disk"
                     self._memory.put(signature, entry)
             if entry is None:
                 self.misses += 1
                 if self._store is not None:
                     self._store.record_miss()
-                return None
+                return None, None
             self.hits += 1
             if self._store is not None:
                 self._store.record_hit(entry)
             else:
                 entry.hits += 1
-            return entry
+            return entry, layer
 
     def peek(self, signature: str) -> CacheEntry | None:
         """Non-recording lookup by raw signature.
@@ -157,11 +168,21 @@ class ScheduleCache:
         recency — it is a planning query (used by the partitioner and the
         warmup command to see what work remains), not a tuning-path lookup.
         """
+        return self.peek_tiered(signature)[0]
+
+    def peek_tiered(self, signature: str) -> tuple[CacheEntry | None, str | None]:
+        """:meth:`peek`, plus which layer held the entry (``"memory"``/
+        ``"disk"``; ``None`` on a miss) — the serving layer's locked
+        re-check needs the label for its per-tier hit counters."""
         with self._lock:
             entry = self._memory.peek(signature)
-            if entry is None and self._store is not None:
+            if entry is not None:
+                return entry, "memory"
+            if self._store is not None:
                 entry = self._store.get(signature)
-            return entry
+                if entry is not None:
+                    return entry, "disk"
+            return None, None
 
     def put(self, chain, gpu, report) -> CacheEntry | None:
         """Store the result of one tuning run (a ``TuneReport``).

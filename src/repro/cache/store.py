@@ -19,8 +19,10 @@ just the current session.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -174,13 +176,25 @@ class PersistentStore:
     ``<path>.corrupt`` and replaced by an empty store — the cache must
     degrade, never break tuning. If the directory is unwritable, the store
     silently runs memory-only.
+
+    The store is also safe under concurrent *threads*: a re-entrant lock
+    serializes get/put/flush, and each flush writes through a per-call
+    temp file (pid + thread id + sequence number), so two threads sharing
+    one instance — or two instances sharing one path — can never interleave
+    a partially written document into the visible file and trip the
+    corruption-recovery path.
     """
+
+    #: Distinguishes concurrent temp files within one process (two threads
+    #: flushing "simultaneously" must never share a temp path).
+    _flush_seq = itertools.count()
 
     def __init__(self, path: str | os.PathLike, max_entries: int = 512) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.path = os.fspath(path)
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         # counters already reflected on disk; (self.hits - _flushed_hits) is
@@ -231,44 +245,50 @@ class PersistentStore:
         Unwritable targets degrade silently (the store keeps working in
         memory; counters stay pending for a later successful flush).
         """
-        disk_entries, disk_hits, disk_misses = self._read_disk()
-        # Keep entries another process added since we loaded; ours win when
-        # both processes tuned the same signature.
-        merged = {**disk_entries, **self._entries}
-        self._entries = merged
-        self._evict()
-        hits = disk_hits + (self.hits - self._flushed_hits)
-        misses = disk_misses + (self.misses - self._flushed_misses)
-        doc = {
-            "schema": SCHEMA_VERSION,
-            "hits": hits,
-            "misses": misses,
-            "entries": {sig: e.to_json() for sig, e in self._entries.items()},
-        }
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        try:
-            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.path)
-        except OSError:
+        with self._lock:
+            disk_entries, disk_hits, disk_misses = self._read_disk()
+            # Keep entries another process added since we loaded; ours win
+            # when both processes tuned the same signature.
+            merged = {**disk_entries, **self._entries}
+            self._entries = merged
+            self._evict()
+            hits = disk_hits + (self.hits - self._flushed_hits)
+            misses = disk_misses + (self.misses - self._flushed_misses)
+            doc = {
+                "schema": SCHEMA_VERSION,
+                "hits": hits,
+                "misses": misses,
+                "entries": {sig: e.to_json() for sig, e in self._entries.items()},
+            }
+            tmp = (
+                f"{self.path}.tmp.{os.getpid()}"
+                f".{threading.get_ident()}.{next(self._flush_seq)}"
+            )
             try:
-                os.unlink(tmp)
+                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(doc, fh, indent=1, sort_keys=True)
+                os.replace(tmp, self.path)
             except OSError:
-                pass
-            return
-        self.hits = self._flushed_hits = hits
-        self.misses = self._flushed_misses = misses
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return
+            self.hits = self._flushed_hits = hits
+            self.misses = self._flushed_misses = misses
 
     # -- access --------------------------------------------------------------
 
     def get(self, signature: str) -> CacheEntry | None:
-        return self._entries.get(signature)
+        with self._lock:
+            return self._entries.get(signature)
 
     def put(self, entry: CacheEntry) -> None:
-        self._entries[entry.signature] = entry
-        self._evict()
-        self.flush()
+        with self._lock:
+            self._entries[entry.signature] = entry
+            self._evict()
+            self.flush()
 
     def record_hit(self, entry: CacheEntry) -> None:
         """Persist one lookup served by ``entry`` (refreshes its LRU stamp).
@@ -279,10 +299,11 @@ class PersistentStore:
         bounded by ``max_entries``; a process that finds per-hit writes too
         hot should shrink the store, not batch the counters.
         """
-        entry.hits += 1
-        entry.last_used = time.time()
-        self.hits += 1
-        self.flush()
+        with self._lock:
+            entry.hits += 1
+            entry.last_used = time.time()
+            self.hits += 1
+            self.flush()
 
     def record_miss(self) -> None:
         """Count a miss without touching the disk.
@@ -293,7 +314,8 @@ class PersistentStore:
         with no subsequent store (e.g. an untunable chain) stays pending
         until any later flush.
         """
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
 
     def _evict(self) -> None:
         while len(self._entries) > self.max_entries:
@@ -301,22 +323,28 @@ class PersistentStore:
             del self._entries[oldest.signature]
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self._flushed_hits = 0
-        self._flushed_misses = 0
-        try:
-            os.unlink(self.path)
-        except OSError:
-            pass
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self._flushed_hits = 0
+            self._flushed_misses = 0
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
 
     def entries(self) -> list[CacheEntry]:
         """All entries, most recently used first (for ``cache stats``)."""
-        return sorted(self._entries.values(), key=lambda e: e.last_used, reverse=True)
+        with self._lock:
+            return sorted(
+                self._entries.values(), key=lambda e: e.last_used, reverse=True
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, signature: str) -> bool:
-        return signature in self._entries
+        with self._lock:
+            return signature in self._entries

@@ -13,9 +13,15 @@ Commands:
 * ``experiments [name]``   — run one or all experiment drivers.
 * ``list``                 — list workloads (chains + model zoo), GPUs and
                              experiments.
-* ``cache stats``          — show the persistent schedule cache (entries, hits).
+* ``cache stats``          — show the persistent schedule cache (entries, hits,
+                             per-variant and per-tier breakdowns).
 * ``cache clear``          — wipe the persistent schedule cache.
 * ``cache warmup``         — batch-tune workloads into the cache up front.
+* ``serve``                — run the compile service under a Zipf replay load
+                             (N client threads over the zoo serving mix) and
+                             persist a telemetry snapshot.
+* ``metrics``              — print the last serving session's telemetry
+                             snapshot as JSON.
 
 ``tune`` consults the persistent schedule cache by default: the second run
 for the same workload/GPU is a pure lookup. Disable with ``--no-cache``;
@@ -34,11 +40,15 @@ Examples::
     python -m repro experiments fig7
     python -m repro cache warmup G1 G2 S1 --jobs 4 --strategy exhaustive
     python -m repro cache stats
+    python -m repro serve --clients 32 --requests 8
+    python -m repro metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 
 from repro.baselines import default_baselines
 from repro.cache import BatchTuner, ScheduleCache, default_cache_dir
@@ -61,6 +71,13 @@ __all__ = ["main", "build_parser", "workload_by_name"]
 def _open_cache(args: argparse.Namespace) -> ScheduleCache:
     """The persistent cache selected by ``--cache-dir`` / environment."""
     return ScheduleCache(args.cache_dir or default_cache_dir())
+
+
+def _metrics_path(args: argparse.Namespace) -> str:
+    """Where ``serve`` persists (and ``metrics`` reads) the telemetry snapshot."""
+    from repro.serving.telemetry import SNAPSHOT_FILENAME
+
+    return os.path.join(args.cache_dir or default_cache_dir(), SNAPSHOT_FILENAME)
 
 
 def workload_by_name(name: str) -> ComputeChain:
@@ -225,6 +242,8 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 
 def cmd_cache_stats(args: argparse.Namespace) -> int:
+    from repro.serving.telemetry import load_snapshot
+
     cache = _open_cache(args)
     stats = cache.stats()
     print(f"cache: {stats.path}")
@@ -248,6 +267,40 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         print(format_table(
             ["workload", "gpu", "variant", "expr", "kernel", "tuned in", "hits"], rows
         ))
+        # per-variant rollup: how each (tuner variant + strategy) key space
+        # is populated and how much simulated tuning it cost to fill.
+        by_variant: dict[str, list] = {}
+        for e in entries:
+            agg = by_variant.setdefault(e.variant, [0, 0, 0.0])
+            agg[0] += 1
+            agg[1] += e.hits
+            agg[2] += e.tuning_seconds
+        print()
+        print("per-variant:")
+        print(format_table(
+            ["variant", "entries", "hits", "tuning cost"],
+            [
+                [variant, n, hits, fmt_time(cost)]
+                for variant, (n, hits, cost) in sorted(by_variant.items())
+            ],
+        ))
+    snapshot = load_snapshot(_metrics_path(args))
+    if snapshot is not None:
+        counters = snapshot.get("counters", {})
+        tiers = [
+            [tier, counters.get(f"serve.hits.{tier}", 0)]
+            for tier in ("hot", "memory", "disk")
+        ]
+        served = sum(n for _, n in tiers)
+        requests = counters.get("serve.requests", 0)
+        print()
+        print("per-tier (last serving session):")
+        print(format_table(["tier", "hits"], tiers))
+        rate = f"{served / requests:.0%}" if requests else "-"
+        print(f"requests: {requests}   tier hit rate: {rate}")
+        print(f"coalesced: {counters.get('serve.coalesced', 0)}   "
+              f"tunes: {counters.get('serve.tunes', 0)}   "
+              f"shed: {counters.get('serve.shed', 0)}")
     return 0
 
 
@@ -286,6 +339,59 @@ def cmd_cache_warmup(args: argparse.Namespace) -> int:
           f"({result.duplicates} duplicate(s), {result.cache_hits} already cached) "
           f"in {fmt_time(result.tuning_seconds)} simulated tuning time")
     print(f"cache now holds {cache.stats().disk_entries} entries at {cache.path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile service under the Zipf replay load generator."""
+    from repro.experiments import serve_load
+    from repro.serving.telemetry import MetricsRegistry, save_snapshot
+    from repro.serving.tiers import TieredCache
+
+    cache = None if args.no_cache else _open_cache(args)
+    tuner_kwargs: dict | None = None
+    if args.population is not None or args.max_rounds is not None:
+        tuner_kwargs = {}
+        if args.population is not None:
+            tuner_kwargs["population_size"] = args.population
+        if args.max_rounds is not None:
+            tuner_kwargs["max_rounds"] = args.max_rounds
+            tuner_kwargs["min_rounds"] = min(args.max_rounds, 5)
+    registry = MetricsRegistry()
+    result = serve_load.run(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        workload_names=args.workloads or None,
+        signatures=args.signatures,
+        zipf_s=args.zipf,
+        seed=args.seed,
+        service_workers=args.workers,
+        gpu=by_name(args.gpu),
+        cache=TieredCache(cache, telemetry=registry),
+        tuner_kwargs=tuner_kwargs,
+        telemetry=registry,
+        quick=args.quick,
+    )
+    print(result.table())
+    m = result.meta
+    for line in serve_load.summary_lines(m):
+        print(line)
+    path = save_snapshot(m["snapshot"], _metrics_path(args))
+    print(f"metrics snapshot written to {path}  (view with `repro metrics`)")
+    clean = m["reconciled"] and not m["errors"] and not m["failed_requests"]
+    return 0 if clean else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the persisted telemetry snapshot of the last serving session."""
+    from repro.serving.telemetry import load_snapshot
+
+    path = _metrics_path(args)
+    snapshot = load_snapshot(path)
+    if snapshot is None:
+        print(f"no metrics snapshot at {path}; run `repro serve` first")
+        return 1
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
     return 0
 
 
@@ -370,6 +476,44 @@ def build_parser() -> argparse.ArgumentParser:
                              "--population: the cache serves what warmup stored)")
     p_warm.add_argument("--cache-dir", default=None)
     p_warm.set_defaults(fn=cmd_cache_warmup)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile service under a Zipf replay load and report "
+             "throughput/latency/hit-rate",
+    )
+    p_serve.add_argument("--clients", type=int, default=32,
+                         help="concurrent client threads")
+    p_serve.add_argument("--requests", type=int, default=8,
+                         help="requests each client issues")
+    p_serve.add_argument("--signatures", type=int, default=8,
+                         help="distinct workload signatures in the default mix")
+    p_serve.add_argument("--workloads", nargs="*", default=None,
+                         help="explicit chain-level workload mix "
+                              "(overrides --signatures)")
+    p_serve.add_argument("--zipf", type=float, default=1.1,
+                         help="Zipf exponent of the request skew")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="service tune worker-pool width")
+    p_serve.add_argument("--gpu", default="a100")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--quick", action="store_true",
+                         help="CI smoke mode: fewer clients/requests, reduced "
+                              "tune budget")
+    p_serve.add_argument("--population", type=int, default=None,
+                         help="override Algorithm-1 population size for cold tunes")
+    p_serve.add_argument("--max-rounds", type=int, default=None,
+                         help="override Algorithm-1 round limit for cold tunes")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve from a memory-only cache (cold every run)")
+    p_serve.add_argument("--cache-dir", default=None)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="print the last serving session's telemetry snapshot"
+    )
+    p_metrics.add_argument("--cache-dir", default=None)
+    p_metrics.set_defaults(fn=cmd_metrics)
     return parser
 
 

@@ -11,6 +11,7 @@ Run all from the command line::
     python -m repro.experiments.table1_comparison
     python -m repro.experiments.table4_tuning_time
     python -m repro.experiments.zoo_e2e
+    python -m repro.experiments.serve_load
 
 or all at once with ``python -m repro.experiments``.
 """
@@ -23,6 +24,7 @@ from repro.experiments import (
     fig9_e2e,
     fig10_shmem,
     fig11_perf_model,
+    serve_load,
     strategies,
     table1_comparison,
     table4_tuning_time,
@@ -42,6 +44,7 @@ ALL_EXPERIMENTS = {
     "ablation": ablation,
     "zoo": zoo_e2e,
     "strategies": strategies,
+    "serve": serve_load,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]

@@ -1,0 +1,253 @@
+"""Serve-load experiment: Zipf-replay load generator for the compile service.
+
+This is the serving layer's benchmark artifact. N client threads release
+from a start barrier and replay a Zipf-distributed request mix over M
+distinct zoo workload signatures against one
+:class:`~repro.serving.service.CompileService`. The skew mirrors fleet
+traffic — a few hot shapes dominate, a long tail trickles — which is
+exactly the regime request coalescing and the hot cache tier exist for.
+
+Each client's *first* request is assigned round-robin over the mix so
+every signature is exercised and the opening burst maximally overlaps;
+the remaining requests are Zipf samples. The run asserts nothing itself —
+it reports, and the benchmark/CI layer asserts:
+
+* **one tune per signature** — concurrent identical requests coalesce;
+* **coalesce rate** — ``coalesced / (coalesced + tunes)`` among requests
+  that found no cache entry;
+* **warm-hit p50 latency** — the hot-tier fast path, in microseconds;
+* **reconciliation** — the telemetry counters sum exactly to the number
+  of requests the generator issued (the service lost nothing).
+
+Run it standalone (``python -m repro.experiments.serve_load``), through
+the CLI (``repro serve``), or under the benchmark suite
+(``benchmarks/test_serve_load.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, print_header
+from repro.gpu.specs import A100, GPUSpec
+from repro.serving.service import CompileService, ServeResult
+from repro.serving.telemetry import MetricsRegistry
+from repro.workloads import build_workload, serve_mix
+
+__all__ = ["run", "main", "QUICK_TUNER_KWARGS"]
+
+#: Reduced Algorithm-1 budget for quick mode (CI smoke) runs.
+QUICK_TUNER_KWARGS = dict(population_size=64, top_n=4, max_rounds=2, min_rounds=1)
+
+#: Request sources that mean "served from a cache tier".
+_CACHE_SOURCES = ("hot", "memory", "disk")
+
+
+def _zipf_pmf(n: int, s: float) -> np.ndarray:
+    """Bounded Zipf probabilities over ranks ``1..n`` (exponent ``s``)."""
+    weights = 1.0 / np.arange(1, n + 1, dtype=float) ** s
+    return weights / weights.sum()
+
+
+def run(
+    clients: int = 32,
+    requests_per_client: int = 8,
+    workload_names: list[str] | None = None,
+    signatures: int = 8,
+    zipf_s: float = 1.1,
+    seed: int = 0,
+    service_workers: int = 4,
+    gpu: GPUSpec = A100,
+    cache=None,
+    tuner_kwargs: dict | None = None,
+    telemetry: MetricsRegistry | None = None,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Replay a Zipf workload mix from concurrent clients; report the service.
+
+    Args:
+        clients: Concurrent client threads (all released from one barrier).
+        requests_per_client: Requests each client issues back-to-back.
+        workload_names: Chain-level registry names to mix; defaults to
+            ``serve_mix(signatures)``.
+        signatures: Size of the default mix (distinct workload signatures).
+        zipf_s: Zipf exponent of the request skew (larger = hotter head).
+        seed: Base RNG seed (client ``i`` derives its own stream).
+        service_workers: Tune worker-pool width of the service.
+        gpu: Target GPU spec.
+        cache: Optional :class:`~repro.serving.tiers.TieredCache` or
+            :class:`~repro.cache.cache.ScheduleCache`; default memory-only.
+        tuner_kwargs: Tuner budget for cold tunes (quick mode defaults to
+            :data:`QUICK_TUNER_KWARGS`).
+        telemetry: Registry to record into (created if omitted).
+        quick: CI smoke mode — fewer clients/requests, reduced tune budget.
+
+    Returns:
+        An :class:`ExperimentResult` with one row per workload and a
+        ``meta`` dict carrying the aggregate numbers plus the full
+        telemetry ``snapshot`` (what ``repro serve`` persists for
+        ``repro metrics``).
+    """
+    if quick:
+        clients = min(clients, 8)
+        requests_per_client = min(requests_per_client, 4)
+        if tuner_kwargs is None:
+            tuner_kwargs = QUICK_TUNER_KWARGS
+    names = list(workload_names) if workload_names else serve_mix(signatures)
+    chains = {name: build_workload(name) for name in names}
+    registry = telemetry if telemetry is not None else MetricsRegistry()
+    service = CompileService(
+        gpu,
+        cache=cache,
+        workers=service_workers,
+        telemetry=registry,
+        seed=seed,
+        tuner_kwargs=tuner_kwargs or {},
+    )
+
+    pmf = _zipf_pmf(len(names), zipf_s)
+    barrier = threading.Barrier(clients)
+    records: list[list[ServeResult]] = [[] for _ in range(clients)]
+    failures: list[BaseException] = []
+
+    def client(i: int) -> None:
+        rng = np.random.default_rng(seed * 7919 + i)
+        # round-robin first request: every signature sees the cold burst
+        plan = [names[i % len(names)]] + [
+            names[j]
+            for j in rng.choice(len(names), size=requests_per_client - 1, p=pmf)
+        ]
+        barrier.wait()
+        for name in plan:
+            try:
+                records[i].append(service.submit(chains[name]).result())
+            except BaseException as exc:  # noqa: BLE001 - reported, not raised
+                failures.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    # close first: it drains the queue and joins the workers, so the
+    # snapshot below is final (no in-flight observation can race it)
+    service.close()
+    snapshot = service.metrics()
+
+    results = [r for batch in records for r in batch]
+    issued = clients * requests_per_client
+    counters = snapshot["counters"]
+    tunes = counters.get("serve.tunes", 0)
+    coalesced = counters.get("serve.coalesced", 0)
+    shed = counters.get("serve.shed", 0)
+    errors = counters.get("serve.errors", 0)
+    hits = sum(counters.get(f"serve.hits.{t}", 0) for t in _CACHE_SOURCES)
+    cold_path = coalesced + tunes
+    coalesce_rate = coalesced / cold_path if cold_path else float("nan")
+    warm = snapshot["histograms"].get("serve.latency.warm", {})
+    cold = snapshot["histograms"].get("serve.latency.cold", {})
+    # the service must account for every issued request, exactly
+    reconciled = (
+        counters.get("serve.requests", 0) == issued
+        and hits + coalesced + tunes + shed + errors == issued
+        and len(results) + len(failures) == issued
+    )
+
+    rows = []
+    for name in names:
+        mine = [r for r in results if r.workload == chains[name].name]
+        n_tuned = sum(r.source == "tuned" for r in mine)
+        n_coal = sum(r.source == "coalesced" for r in mine)
+        n_warm = sum(r.source in _CACHE_SOURCES for r in mine)
+        warm_lat = sorted(r.latency_seconds for r in mine if r.source in _CACHE_SOURCES)
+        p50 = warm_lat[len(warm_lat) // 2] * 1e6 if warm_lat else float("nan")
+        rows.append([
+            name,
+            len(mine),
+            n_tuned,
+            n_coal,
+            n_warm,
+            f"{p50:.0f}" if warm_lat else "-",
+        ])
+
+    meta = {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "signatures": len(names),
+        "zipf_s": zipf_s,
+        "requests": issued,
+        "wall_seconds": wall,
+        "throughput_rps": issued / wall if wall > 0 else float("nan"),
+        "tunes": tunes,
+        "coalesced": coalesced,
+        "cache_hits": hits,
+        "shed": shed,
+        # failed tunes (the serve.errors counter) vs requests that raised:
+        # one failed tune fails its creator plus every coalesced rider
+        "errors": errors,
+        "failed_requests": len(failures),
+        "coalesce_rate": coalesce_rate,
+        "warm_p50_us": (warm.get("p50") or float("nan")) * 1e6,
+        "warm_p95_us": (warm.get("p95") or float("nan")) * 1e6,
+        "cold_p50_ms": (cold.get("p50") or float("nan")) * 1e3,
+        "cold_p95_ms": (cold.get("p95") or float("nan")) * 1e3,
+        "reconciled": reconciled,
+        "snapshot": snapshot,
+    }
+    return ExperimentResult(
+        name="serve_load",
+        headers=["workload", "requests", "tuned", "coalesced", "warm hits", "warm p50 (us)"],
+        rows=rows,
+        meta=meta,
+    )
+
+
+def fmt_stat(value: float, spec: str, suffix: str = "") -> str:
+    """Format a summary number; nan (no samples on that path) prints ``-``."""
+    import math
+
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return format(value, spec) + suffix
+
+
+def summary_lines(meta: dict) -> list[str]:
+    """The human-readable roll-up printed by ``main()`` and ``repro serve``."""
+    return [
+        f"{meta['requests']} requests from {meta['clients']} clients over "
+        f"{meta['signatures']} signatures in {meta['wall_seconds']:.2f}s "
+        f"({meta['throughput_rps']:.0f} req/s)",
+        f"tunes: {meta['tunes']}  coalesced: {meta['coalesced']} "
+        f"(rate {fmt_stat(meta['coalesce_rate'], '.0%')})  "
+        f"cache hits: {meta['cache_hits']}  "
+        f"shed: {meta['shed']}  failed tunes: {meta['errors']} "
+        f"({meta['failed_requests']} requests)",
+        f"latency: warm p50 {fmt_stat(meta['warm_p50_us'], '.0f', 'us')} / "
+        f"p95 {fmt_stat(meta['warm_p95_us'], '.0f', 'us')}   "
+        f"cold p50 {fmt_stat(meta['cold_p50_ms'], '.1f', 'ms')} / "
+        f"p95 {fmt_stat(meta['cold_p95_ms'], '.1f', 'ms')}",
+        f"telemetry reconciled with issued requests: {meta['reconciled']}",
+    ]
+
+
+def main(quick: bool | None = None) -> ExperimentResult:
+    """Run with defaults and print the serving report."""
+    import os
+
+    if quick is None:
+        quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    result = run(quick=quick)
+    print_header("Serve load (Zipf replay against CompileService)")
+    print(result.table())
+    for line in summary_lines(result.meta):
+        print(f"  {line}")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -52,6 +52,7 @@ from repro.utils import prod
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.cache import ScheduleCache
+    from repro.serving.service import CompileService
 
 __all__ = ["E2EResult", "compile_model", "STRATEGIES"]
 
@@ -172,6 +173,7 @@ def compile_model(
     cache: "ScheduleCache | None" = None,
     search_strategy: str = "evolutionary",
     search_workers: int = 1,
+    service: "CompileService | None" = None,
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
@@ -191,6 +193,16 @@ def compile_model(
     is tuned (the engine's registered search strategies and the per-round
     measurement pool width); the compilation *strategy* above chooses which
     compiler stack handles which part of the graph.
+
+    ``service`` (a :class:`~repro.serving.service.CompileService`) routes
+    MBCI sub-graph tuning through the compile service instead of a private
+    tuner: requests coalesce with other callers of the same service, hit
+    its tiered cache, and show up in its telemetry. The service owns the
+    cache in that mode (the ``cache`` argument is ignored) and must target
+    the same ``gpu``. ``detail["served"]`` histograms the per-sub-graph
+    outcome sources (``tuned``/``coalesced``/``hot``/...), and
+    ``detail["cache_hits"]`` counts sub-graph *requests* served from a
+    cache tier.
     """
     if isinstance(graph, str):
         from repro.workloads.registry import get_workload
@@ -224,7 +236,40 @@ def compile_model(
     n_subgraphs = 0
     cache_hits = 0
     rejections: dict[str, int] = {}
-    if use_mcfuser:
+    served: dict[str, int] = {}
+    if use_mcfuser and service is not None:
+        if service.gpu != gpu:
+            raise ValueError(
+                f"service targets {service.gpu.name}, compile_model asked for "
+                f"{gpu.name}; one service serves one GPU"
+            )
+        clock.charge("graph_partition")
+        partition = partition_graph(graph, gpu)
+        rejections = partition.rejection_reasons()
+        # Submit every group up front (identical shapes coalesce or hit the
+        # service's tiered cache), then collect in partition order.
+        tickets = [
+            service.submit(
+                sg.chain,
+                strategy=search_strategy,
+                seed=seed,
+                measure_workers=search_workers,
+                tuner_kwargs=tuner_kwargs,
+            )
+            for sg in partition.subgraphs
+        ]
+        for sg, ticket in zip(partition.subgraphs, tickets):
+            result = ticket.result()
+            served[result.source] = served.get(result.source, 0) + 1
+            if result.source == "tuned":
+                # coalesced riders share the tune; bill its cost once.
+                clock.seconds += result.report.tuning_seconds
+            cache_hits += result.source in ("hot", "memory", "disk")
+            module.add_module(compile_schedule(result.report.best_schedule, gpu))
+            mbci_nodes.update(sg.nodes)
+            n_subgraphs += 1
+        residual_nodes = [n for n in graph.nodes if n.output not in mbci_nodes]
+    elif use_mcfuser:
         clock.charge("graph_partition")
         partition: Partition = partition_graph(graph, gpu)
         rejections = partition.rejection_reasons()
@@ -301,5 +346,6 @@ def compile_model(
             "eager_ops": eager_ops,
             "cache_hits": cache_hits,
             "rejections": rejections,
+            "served": served,
         },
     )

@@ -31,7 +31,7 @@ from repro.search.pruning import (
     unconstrained_tile_count,
 )
 from repro.search.space import Candidate, SearchSpace, generate_space
-from repro.search.tuner import MCFuserTuner, TuneReport
+from repro.search.tuner import MCFuserTuner, TuneReport, report_from_entry
 from repro.search.tuning_cost import COSTS, TuningClock
 
 __all__ = [
@@ -67,6 +67,7 @@ __all__ = [
     "ParallelEvaluator",
     "MCFuserTuner",
     "TuneReport",
+    "report_from_entry",
     "TuningClock",
     "COSTS",
 ]

@@ -39,13 +39,13 @@ from repro.search.pruning import PruningStats
 from repro.search.space import Candidate, SearchSpace, generate_space
 from repro.search.tuning_cost import TuningClock
 from repro.tiling.expr import TilingExpr
-from repro.tiling.schedule import Schedule
+from repro.tiling.schedule import Schedule, build_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports us)
     from repro.cache.cache import ScheduleCache
     from repro.cache.store import CacheEntry
 
-__all__ = ["TuneReport", "MCFuserTuner", "MEASURE_REPETITIONS"]
+__all__ = ["TuneReport", "MCFuserTuner", "MEASURE_REPETITIONS", "report_from_entry"]
 
 #: Kernel repetitions per hardware measurement (billed to the tuning clock).
 MEASURE_REPETITIONS = 100
@@ -79,6 +79,63 @@ class TuneReport:
     def tflops(self) -> float:
         """Achieved TFLOP/s of the chosen kernel (useful work only)."""
         return self.chain.total_flops() / self.best_time / 1e12
+
+
+def report_from_entry(
+    chain: ComputeChain,
+    gpu: GPUSpec,
+    entry: "CacheEntry",
+    variant: str = "mcfuser",
+    strategy: str = "evolutionary",
+    workers: int = 1,
+) -> TuneReport:
+    """Materialize a :class:`TuneReport` from a cached tiling decision.
+
+    The schedule is re-expanded deterministically from the stored
+    (expression, tiles) pair — no enumeration, no model estimates, no
+    measurements; pruning and search accounting are all zeros. Shared by
+    :class:`MCFuserTuner` (warm ``tune()``) and the serving layer's
+    :class:`~repro.serving.service.CompileService`, which resolves cache
+    hits without constructing a tuner. ``chain`` must have the structure
+    the entry was created from; callers guarantee that by having matched
+    the workload signature.
+    """
+    expr = TilingExpr.parse(entry.expr)
+    schedule = build_schedule(chain, expr, dict(entry.tiles), optimize=entry.optimized)
+    candidate = Candidate.make(expr, dict(entry.tiles))
+    empty_funnel = PruningStats(
+        expressions=0,
+        classes_rule1=0,
+        classes_rule2=0,
+        original=0,
+        after_rule1=0,
+        after_rule2=0,
+        after_rule3=0,
+        after_rule4=0,
+    )
+    search = SearchResult(
+        best=candidate,
+        best_time=entry.best_time,
+        rounds=0,
+        num_estimates=0,
+        num_measurements=0,
+        converged=True,
+        strategy=strategy,
+    )
+    return TuneReport(
+        chain=chain,
+        gpu=gpu,
+        variant=variant,
+        best_candidate=candidate,
+        best_schedule=schedule,
+        best_time=entry.best_time,
+        tuning_seconds=0.0,
+        pruning=empty_funnel,
+        search=search,
+        cache_hit=True,
+        strategy=strategy,
+        workers=workers,
+    )
 
 
 class MCFuserTuner:
@@ -170,45 +227,12 @@ class MCFuserTuner:
     # -- cache integration ------------------------------------------------------
 
     def _report_from_cache(self, chain: ComputeChain, entry: "CacheEntry") -> TuneReport:
-        """Materialize a TuneReport from a cache entry — no search, no space.
-
-        The schedule is re-expanded deterministically from the stored
-        (expression, tiles) decision; pruning and search accounting are all
-        zeros because no enumeration or measurement happened.
-        """
-        assert self.cache is not None
-        schedule = self.cache.schedule_for(entry, chain)
-        candidate = Candidate.make(TilingExpr.parse(entry.expr), dict(entry.tiles))
-        empty_funnel = PruningStats(
-            expressions=0,
-            classes_rule1=0,
-            classes_rule2=0,
-            original=0,
-            after_rule1=0,
-            after_rule2=0,
-            after_rule3=0,
-            after_rule4=0,
-        )
-        search = SearchResult(
-            best=candidate,
-            best_time=entry.best_time,
-            rounds=0,
-            num_estimates=0,
-            num_measurements=0,
-            converged=True,
-            strategy=self.strategy.name,
-        )
-        return TuneReport(
-            chain=chain,
-            gpu=self.gpu,
+        """Materialize a TuneReport from a cache entry — no search, no space."""
+        return report_from_entry(
+            chain,
+            self.gpu,
+            entry,
             variant=self.variant,
-            best_candidate=candidate,
-            best_schedule=schedule,
-            best_time=entry.best_time,
-            tuning_seconds=0.0,
-            pruning=empty_funnel,
-            search=search,
-            cache_hit=True,
             strategy=self.strategy.name,
             workers=self.workers,
         )

@@ -1,0 +1,511 @@
+"""CompileService: the in-process fusion compile service.
+
+Production traffic hits the same handful of workload shapes from many
+callers at once, so the serving layer's job is to make sure *concurrent
+identical requests share one tuning run* and everything else is a cache
+hit. The service composes the pieces the earlier layers provide:
+
+* **signature-first admission** — the workload signature is computed at
+  submit time, before any queueing, so deduplication happens at the door;
+* **tiered cache** (:class:`~repro.serving.tiers.TieredCache`) — hot-tier
+  hits resolve inline on the caller's thread, never touching the queue;
+* **request coalescing** — a submit whose signature is already being tuned
+  attaches to the in-flight job and shares its result (futures fan-out);
+* **worker pool with lanes** — a bounded priority queue feeds N worker
+  threads; ``interactive`` requests overtake ``background`` warmup ones,
+  and a full queue load-sheds (the ticket fails with :class:`QueueFull`
+  instead of stalling the caller);
+* **telemetry** — every outcome is counted in a
+  :class:`~repro.serving.telemetry.MetricsRegistry`.
+
+Request accounting invariant (error-free runs)::
+
+    serve.requests == serve.hits.{hot,memory,disk} + serve.coalesced
+                      + serve.tunes + serve.shed
+
+(a failed tune moves its *creating* request from ``tunes`` to
+``errors``; coalesced riders stay counted under ``coalesced``). The load
+generator (:mod:`repro.experiments.serve_load`) reconciles its own request
+count against this identity.
+
+Typical use::
+
+    with CompileService(A100, cache=TieredCache(default_cache())) as svc:
+        svc.prefetch(["G1", "S2"])                  # background warmup lane
+        result = svc.compile("G4")                  # interactive
+        print(result.source, result.report.best_time)
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cache.signature import variant_key
+from repro.gpu.specs import GPUSpec
+from repro.search.tuner import MCFuserTuner, TuneReport, report_from_entry
+from repro.serving.telemetry import MetricsRegistry
+from repro.serving.tiers import TieredCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.frontend.partition import Partition
+    from repro.ir.chain import ComputeChain
+    from repro.ir.graph import Graph
+
+__all__ = [
+    "LANES",
+    "QueueFull",
+    "ServiceClosed",
+    "ServeResult",
+    "ServeTicket",
+    "ModelTicket",
+    "CompileService",
+]
+
+#: Request lanes, highest priority first.
+LANES = ("interactive", "background")
+
+_LANE_PRIORITY = {"interactive": 0, "background": 1}
+_SENTINEL_PRIORITY = 9
+
+
+class QueueFull(RuntimeError):
+    """The bounded tune queue was full and the request was load-shed."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service was closed; no new requests are admitted."""
+
+
+@dataclass
+class ServeResult:
+    """One served compile request.
+
+    Attributes:
+        signature: Workload signature the request resolved under.
+        report: The tuned (or cache-restored) :class:`TuneReport`.
+        source: How the request was satisfied — ``"hot"``/``"memory"``/
+            ``"disk"`` (cache tier), ``"tuned"`` (this request triggered
+            the tune), or ``"coalesced"`` (rode along on another request's
+            in-flight tune).
+        latency_seconds: Wall time from submit to resolution.
+        lane: Admission lane of the request.
+        workload: Chain name at submit time (diagnostic only).
+    """
+
+    signature: str
+    report: TuneReport
+    source: str
+    latency_seconds: float
+    lane: str
+    workload: str
+
+
+class ServeTicket:
+    """Handle for one submitted request; resolves to a :class:`ServeResult`."""
+
+    def __init__(self, signature: str, lane: str, workload: str) -> None:
+        self.signature = signature
+        self.lane = lane
+        self.workload = workload
+        self.submitted_at = time.perf_counter()
+        self._future: "Future[ServeResult]" = Future()
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> ServeResult:
+        """Block for the result; raises :class:`QueueFull` if load-shed."""
+        return self._future.result(timeout)
+
+    # -- service side --------------------------------------------------------
+
+    def _resolve(self, report: TuneReport, source: str, histogram=None) -> ServeResult:
+        """Complete the ticket; ``histogram`` (a latency histogram) is
+        observed *before* the waiter is woken, so telemetry sampled at
+        client-unblock time already includes this request."""
+        result = ServeResult(
+            signature=self.signature,
+            report=report,
+            source=source,
+            latency_seconds=time.perf_counter() - self.submitted_at,
+            lane=self.lane,
+            workload=self.workload,
+        )
+        if histogram is not None:
+            histogram.observe(result.latency_seconds)
+        self._future.set_result(result)
+        return result
+
+    def _fail(self, exc: BaseException) -> None:
+        self._future.set_exception(exc)
+
+
+@dataclass
+class ModelTicket:
+    """Aggregate ticket for a model-level request (one per fusion group)."""
+
+    partition: "Partition"
+    tickets: list[ServeTicket]
+
+    def results(self, timeout: float | None = None) -> list[ServeResult]:
+        """Block for every fusion group, in partition order."""
+        return [t.result(timeout) for t in self.tickets]
+
+    def done(self) -> bool:
+        return all(t.done() for t in self.tickets)
+
+
+@dataclass
+class _Job:
+    """One in-flight tune: a signature plus every ticket waiting on it."""
+
+    signature: str
+    chain: "ComputeChain"
+    variant: str
+    strategy: str
+    seed: int
+    measure_workers: int
+    tuner_kwargs: dict
+    tickets: list[ServeTicket] = field(default_factory=list)
+
+
+class CompileService:
+    """In-process fusion compile service (coalescing + tiers + lanes).
+
+    Args:
+        gpu: Target hardware description shared by every request.
+        cache: A :class:`TieredCache`, a bare
+            :class:`~repro.cache.cache.ScheduleCache` (wrapped in a tiered
+            cache), or ``None`` for a fresh memory-only tiered cache.
+        workers: Tune worker-thread count.
+        queue_limit: Bounded tune-queue depth; submits beyond it load-shed
+            (the ticket fails with :class:`QueueFull`).
+        telemetry: Metrics registry; one is created when omitted.
+        seed: Default search seed for tunes triggered by this service.
+        tuner_kwargs: Default :class:`MCFuserTuner` overrides
+            (``population_size``, ``max_rounds``, ...) for every tune.
+        tune_fn: Override for the tune step itself (tests inject slow or
+            instrumented tunes); receives the internal job and must return
+            a :class:`TuneReport`. Defaults to a fresh ``MCFuserTuner``
+            per job, *without* a cache — the service owns all cache
+            interaction.
+    """
+
+    def __init__(
+        self,
+        gpu: GPUSpec,
+        cache=None,
+        workers: int = 4,
+        queue_limit: int = 256,
+        telemetry: MetricsRegistry | None = None,
+        seed: int = 0,
+        tuner_kwargs: dict | None = None,
+        tune_fn=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.gpu = gpu
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        if isinstance(cache, TieredCache):
+            self.tiered = cache
+            if self.tiered.telemetry is None:
+                self.tiered.telemetry = self.telemetry
+        else:  # a bare ScheduleCache or None
+            self.tiered = TieredCache(cache, telemetry=self.telemetry)
+        self.seed = seed
+        self.tuner_kwargs = dict(tuner_kwargs or {})
+        self._tune_fn = tune_fn if tune_fn is not None else self._default_tune
+        self.queue_limit = queue_limit
+        # maxsize is queue_limit plus room for one shutdown sentinel per
+        # worker, so close() can never be shed by a full queue.
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue(
+            maxsize=queue_limit + workers
+        )
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Job] = {}
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"compile-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- context management ---------------------------------------------------
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop admitting requests, drain the queue, join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            # sentinel priority sorts after every real job: pending work
+            # drains before the workers exit.
+            self._queue.put((_SENTINEL_PRIORITY, next(self._seq), None))
+        for thread in self._workers:
+            thread.join()
+
+    # -- admission -------------------------------------------------------------
+
+    def _resolve_chain(self, workload) -> "ComputeChain":
+        if isinstance(workload, str):
+            from repro.workloads.registry import get_workload
+
+            spec = get_workload(workload)
+            if spec.level != "chain":
+                raise ValueError(
+                    f"workload {spec.name!r} is model-level; use submit_model()"
+                )
+            return spec.build()
+        return workload
+
+    def submit(
+        self,
+        workload,
+        lane: str = "interactive",
+        variant: str = "mcfuser",
+        strategy: str = "evolutionary",
+        seed: int | None = None,
+        measure_workers: int = 1,
+        tuner_kwargs: dict | None = None,
+    ) -> ServeTicket:
+        """Admit one chain request; returns immediately with a ticket.
+
+        ``workload`` is a :class:`ComputeChain` or a chain-level registry
+        name. The signature is computed up front; a hot/warm cache hit
+        resolves the ticket before this method returns, a signature already
+        in flight coalesces onto the running tune, and only genuinely new
+        work is queued. A full queue fails the ticket with
+        :class:`QueueFull` (load shedding) rather than blocking.
+        """
+        if lane not in LANES:
+            raise ValueError(f"unknown lane {lane!r}; pick from {LANES}")
+        chain = self._resolve_chain(workload)
+        cache_variant = variant_key(variant, strategy)
+        signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
+        ticket = ServeTicket(signature, lane, chain.name)
+        self.telemetry.counter("serve.requests").inc()
+        self.telemetry.counter(f"serve.requests.{lane}").inc()
+
+        # Fast path: resolve cache hits inline, without ever queueing.
+        entry, tier = self.tiered.lookup(signature)
+        if entry is not None:
+            report = report_from_entry(
+                chain, self.gpu, entry, variant=variant, strategy=strategy
+            )
+            self.telemetry.counter(f"serve.hits.{tier}").inc()
+            ticket._resolve(report, tier, self.telemetry.histogram("serve.latency.warm"))
+            return ticket
+
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("CompileService is closed")
+            job = self._inflight.get(signature)
+            if job is not None:
+                job.tickets.append(ticket)
+                self.telemetry.counter("serve.coalesced").inc()
+                return ticket
+            # A cacheable tune may have finished between the unlocked
+            # lookup and here; the cache is written before the in-flight
+            # entry is removed, so a locked re-check closes the race
+            # without a second recorded lookup. (Non-cacheable results —
+            # chains with no finite measurement — leave nothing behind by
+            # design: their waiters were all resolved by fan-out, and a
+            # later request legitimately re-tunes.)
+            entry = self.tiered.hot.get(signature)
+            recheck_tier = "hot"
+            if entry is None:
+                entry, recheck_tier = self.tiered.cache.peek_tiered(signature)
+                if entry is not None:
+                    self.tiered.hot.put(signature, entry)
+            if entry is not None:
+                report = report_from_entry(
+                    chain, self.gpu, entry, variant=variant, strategy=strategy
+                )
+                self.telemetry.counter(f"serve.hits.{recheck_tier}").inc()
+                ticket._resolve(
+                    report, recheck_tier, self.telemetry.histogram("serve.latency.warm")
+                )
+                return ticket
+            job = _Job(
+                signature=signature,
+                chain=chain,
+                variant=variant,
+                strategy=strategy,
+                seed=self.seed if seed is None else seed,
+                measure_workers=measure_workers,
+                tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
+                tickets=[ticket],
+            )
+            try:
+                # Enforce the advertised bound ourselves: maxsize leaves
+                # headroom for shutdown sentinels, which must never be shed.
+                if self._queue.qsize() >= self.queue_limit:
+                    raise queue.Full
+                self._queue.put_nowait((_LANE_PRIORITY[lane], next(self._seq), job))
+            except queue.Full:
+                self.telemetry.counter("serve.shed").inc()
+                self.telemetry.counter(f"serve.shed.{lane}").inc()
+                ticket._fail(
+                    QueueFull(
+                        f"tune queue full ({self.queue_limit} pending); "
+                        f"request for {chain.name!r} shed"
+                    )
+                )
+                return ticket
+            self._inflight[signature] = job
+            self.telemetry.gauge("serve.queue.depth").inc()
+            self.telemetry.gauge("serve.inflight").inc()
+        return ticket
+
+    def compile(self, workload, timeout: float | None = None, **kwargs) -> ServeResult:
+        """Blocking convenience: :meth:`submit` + ``result()``."""
+        return self.submit(workload, **kwargs).result(timeout)
+
+    def submit_model(
+        self,
+        model,
+        lane: str = "interactive",
+        strategy: str = "evolutionary",
+        tuner_kwargs: dict | None = None,
+    ) -> ModelTicket:
+        """Admit a whole model: partition, then submit every fusion group.
+
+        ``model`` is a :class:`~repro.ir.graph.Graph` or a model-level
+        registry name. Identically shaped groups coalesce or hit the cache
+        by construction — the service sees one signature per shape.
+        """
+        from repro.frontend.partition import partition_graph
+
+        if isinstance(model, str):
+            from repro.workloads.registry import get_workload
+
+            spec = get_workload(model)
+            if spec.level != "model":
+                raise ValueError(
+                    f"workload {spec.name!r} is chain-level; use submit()"
+                )
+            model = spec.build()
+        partition = partition_graph(model, self.gpu)
+        tickets = [
+            self.submit(
+                sg.chain, lane=lane, strategy=strategy, tuner_kwargs=tuner_kwargs
+            )
+            for sg in partition.subgraphs
+        ]
+        return ModelTicket(partition=partition, tickets=tickets)
+
+    def prefetch(
+        self,
+        workloads: "Sequence[str | ComputeChain] | None" = None,
+        lane: str = "background",
+        strategy: str = "evolutionary",
+        tuner_kwargs: dict | None = None,
+    ) -> list[ServeTicket]:
+        """Warm the cache over the workload registry on the background lane.
+
+        ``workloads`` may mix chain names, model names (expanded into their
+        fusion groups), and :class:`ComputeChain` objects; ``None`` means
+        every chain-level registry entry. Returns the submitted tickets —
+        callers that just want the cache warm can drop them, callers that
+        need completion can wait on them.
+        """
+        from repro.workloads.registry import get_workload, workload_names
+
+        names = workloads if workloads is not None else workload_names(level="chain")
+        tickets: list[ServeTicket] = []
+        for item in names:
+            if isinstance(item, str) and get_workload(item).level == "model":
+                tickets.extend(
+                    self.submit_model(
+                        item, lane=lane, strategy=strategy, tuner_kwargs=tuner_kwargs
+                    ).tickets
+                )
+            else:
+                tickets.append(
+                    self.submit(
+                        item, lane=lane, strategy=strategy, tuner_kwargs=tuner_kwargs
+                    )
+                )
+        return tickets
+
+    # -- the worker side -------------------------------------------------------
+
+    def _default_tune(self, job: _Job) -> TuneReport:
+        tuner = MCFuserTuner(
+            self.gpu,
+            variant=job.variant,
+            seed=job.seed,
+            strategy=job.strategy,
+            workers=job.measure_workers,
+            **job.tuner_kwargs,
+        )
+        return tuner.tune(job.chain)
+
+    def _worker_loop(self) -> None:
+        while True:
+            _, _, job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            self.telemetry.gauge("serve.queue.depth").dec()
+            try:
+                self._run_job(job)
+            finally:
+                self.telemetry.gauge("serve.inflight").dec()
+                self._queue.task_done()
+
+    def _run_job(self, job: _Job) -> None:
+        try:
+            report = self._tune_fn(job)
+            self.tiered.put(job.chain, self.gpu, report)
+        except Exception as exc:  # noqa: BLE001 - a tune failure must fan out
+            self.telemetry.counter("serve.errors").inc()
+            with self._lock:
+                self._inflight.pop(job.signature, None)
+                tickets = list(job.tickets)
+            for ticket in tickets:
+                ticket._fail(exc)
+            return
+        # For cacheable results the hot tier holds the entry before the
+        # in-flight record is removed, so post-removal submits hit the
+        # cache — a signature is never tuned twice. A *non-cacheable*
+        # result (no finite measurement) stores nothing: its waiters are
+        # resolved below, and later requests re-tune, which is the only
+        # sane behavior for a result the cache cannot represent.
+        with self._lock:
+            self._inflight.pop(job.signature, None)
+            tickets = list(job.tickets)
+        self.telemetry.counter("serve.tunes").inc()
+        self.telemetry.histogram("serve.tune.simulated_seconds").observe(
+            report.tuning_seconds
+        )
+        cold = self.telemetry.histogram("serve.latency.cold")
+        for i, ticket in enumerate(tickets):
+            ticket._resolve(report, "tuned" if i == 0 else "coalesced", cold)
+
+    # -- observability ---------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Telemetry snapshot plus cache-tier sizes (JSON-able)."""
+        snapshot = self.telemetry.snapshot()
+        snapshot["cache"] = self.tiered.stats()
+        return snapshot

@@ -1,0 +1,268 @@
+"""Serving telemetry: counters, gauges, and latency histograms.
+
+The compile service records everything observable about itself into a
+:class:`MetricsRegistry` — request counts per lane, cache hits per tier,
+coalesce/shed/tune counts, queue depth, and latency distributions. The
+registry is deliberately small and dependency-free (no Prometheus client):
+instruments are created on first use, every update is thread-safe, and the
+whole registry snapshots to a plain-JSON dict so ``repro metrics`` can
+print it and the load generator can reconcile its own request count
+against the service's counters.
+
+Instrument semantics:
+
+* :class:`Counter` — monotonically non-decreasing (``inc`` rejects negative
+  deltas); the stress tests assert snapshots never go backwards.
+* :class:`Gauge` — a point-in-time value (queue depth, in-flight tunes).
+* :class:`Histogram` — streaming count/sum/min/max plus a bounded sample
+  window for percentile estimates (p50/p90/p95/p99). The window keeps the
+  most recent :data:`Histogram.WINDOW` observations — at serving scale the
+  recent distribution is the one worth alerting on.
+
+Snapshots persist as JSON (:func:`save_snapshot` / :func:`load_snapshot`);
+``repro serve`` writes one next to the schedule cache so a later
+``repro metrics`` or ``repro cache stats`` process can report the last
+serving session's tier breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SNAPSHOT_FILENAME",
+    "save_snapshot",
+    "load_snapshot",
+]
+
+#: File name ``repro serve`` persists its registry snapshot under (inside
+#: the cache directory), read back by ``repro metrics``/``cache stats``.
+SNAPSHOT_FILENAME = "serve_metrics.json"
+
+
+class Counter:
+    """Monotonically non-decreasing event count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value (queue depth, in-flight work)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+def _interpolated_percentile(samples: list[float], q: float) -> float | None:
+    """Linear-interpolated percentile of pre-sorted ``samples`` (None if empty)."""
+    if not samples:
+        return None
+    rank = (len(samples) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return samples[lo]
+    return samples[lo] + (samples[hi] - samples[lo]) * (rank - lo)
+
+
+class Histogram:
+    """Latency/size distribution: streaming stats + recent-sample window."""
+
+    kind = "histogram"
+
+    #: Bounded percentile window (most recent observations).
+    WINDOW = 4096
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._window: deque[float] = deque(maxlen=self.WINDOW)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self._window.append(value)
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the sample window (nan if empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            samples = sorted(self._window)
+        value = _interpolated_percentile(samples, q)
+        return float("nan") if value is None else value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            samples = sorted(self._window)
+            count, total = self.count, self.sum
+            lo, hi = self.min, self.max
+
+        def pct(q: float) -> float | None:
+            return _interpolated_percentile(samples, q)
+
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count if count else None,
+            "min": lo if count else None,
+            "max": hi if count else None,
+            "p50": pct(50),
+            "p90": pct(90),
+            "p95": pct(95),
+            "p99": pct(99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotable as JSON.
+
+    One registry per :class:`~repro.serving.service.CompileService`; the
+    load generator and the CLI read the same object. Instrument names are
+    dotted paths (``"serve.hits.hot"``); re-requesting a name returns the
+    same instrument, and requesting it as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self.created_at = time.time()
+
+    def _get(self, cls, name: str, help: str):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, help)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {inst.kind}, requested {cls.kind}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter/gauge (KeyError if absent)."""
+        with self._lock:
+            inst = self._instruments[name]
+        if isinstance(inst, Histogram):
+            raise TypeError(f"metric {name!r} is a histogram; use snapshot()")
+        return inst.value
+
+    def snapshot(self) -> dict:
+        """JSON-able view: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+
+        Counters in one snapshot are always >= the same counters in an
+        earlier snapshot of the same registry (monotonicity is enforced at
+        ``inc`` time), which is what lets the stress tests sample snapshots
+        mid-run.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(instruments.items()):
+            out[inst.kind + "s"][name] = inst.snapshot()
+        out["created_at"] = self.created_at
+        out["snapshot_at"] = time.time()
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def save_snapshot(snapshot: dict, path: str | os.PathLike) -> str:
+    """Persist a registry snapshot atomically; returns the path written."""
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: str | os.PathLike) -> dict | None:
+    """Read a persisted snapshot; ``None`` when absent or unreadable."""
+    try:
+        with open(os.fspath(path), encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc if isinstance(doc, dict) else None

@@ -17,7 +17,7 @@ from repro.workloads.registry import (
     workload_families,
     workload_names,
 )
-from repro.workloads.zoo import MODEL_ZOO_FAMILIES
+from repro.workloads.zoo import MODEL_ZOO_FAMILIES, serve_mix
 
 __all__ = [
     "GEMM_CHAIN_CONFIGS",
@@ -34,4 +34,5 @@ __all__ = [
     "iter_workloads",
     "workload_families",
     "MODEL_ZOO_FAMILIES",
+    "serve_mix",
 ]

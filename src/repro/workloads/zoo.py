@@ -15,10 +15,35 @@ from repro.workloads.attention import ATTENTION_CONFIGS, attention_workload
 from repro.workloads.gemm_chains import GEMM_CHAIN_CONFIGS, gemm_workload
 from repro.workloads.registry import WorkloadSpec, register_workload
 
-__all__ = ["MODEL_ZOO_FAMILIES"]
+__all__ = ["MODEL_ZOO_FAMILIES", "serve_mix"]
 
 #: The model-level families the general partitioner is expected to fuse.
 MODEL_ZOO_FAMILIES = ("ffn", "lora", "gqa", "cross_attention", "residual_branch")
+
+#: Chain-level serving mix, interleaving GEMM chains and attention modules
+#: across small/large shapes — the default request population of the serve
+#: load generator and the ``repro serve`` demo.
+_SERVE_MIX = ("G1", "S1", "G4", "S2", "G7", "S3", "G2", "S5", "G10", "S7", "G12", "S9")
+
+
+def serve_mix(count: int = 8) -> list[str]:
+    """The first ``count`` workloads of the serving mix (distinct signatures).
+
+    Every name is a chain-level registry entry with a distinct workload
+    signature, so a load generator replaying this mix exercises ``count``
+    distinct cache keys. Counts beyond the curated list extend with the
+    remaining chain-level registry entries.
+    """
+    if count < 1:
+        raise ValueError(f"serve mix needs >= 1 workload, got {count}")
+    mix = list(_SERVE_MIX)
+    if count > len(mix):
+        from repro.workloads.registry import workload_names
+
+        mix.extend(n for n in workload_names(level="chain") if n not in _SERVE_MIX)
+    if count > len(mix):
+        raise ValueError(f"only {len(mix)} chain-level workloads exist, asked {count}")
+    return mix[:count]
 
 
 def _chain(name: str, family: str, description: str, source: str, build) -> None:
