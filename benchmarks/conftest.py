@@ -13,8 +13,9 @@ this so the perf harnesses are exercised on every push without the full
 runtime. Leave it unset for the paper-faithful numbers.
 
 **Summary artifacts.** Each session writes per-suite JSON summaries —
-``BENCH_core.json`` (the paper-reproduction suites) and ``BENCH_serve.json``
-(the serving load generator) — into ``$REPRO_BENCH_OUT`` (default:
+``BENCH_core.json`` (the paper-reproduction suites), ``BENCH_serve.json``
+(the serving load generator) and ``BENCH_exec.json`` (the execution-backend
+microbenchmark) — into ``$REPRO_BENCH_OUT`` (default:
 this directory). Wall time is recorded for every benchmark run through the
 ``run_once`` fixture; modules can attach richer metrics (throughput,
 hit rates, ...) with :func:`record_bench`. CI uploads both files so the
@@ -51,9 +52,14 @@ def record_bench(suite: str, name: str, **metrics) -> None:
 
 
 def _suite_for(node) -> str:
-    """The serve load generator feeds the serving artifact; the paper
-    reproduction modules feed the core one."""
-    return "serve" if "serve" in node.module.__name__ else "core"
+    """The serve load generator feeds the serving artifact, the exec-backend
+    microbenchmark the exec one; the paper reproduction modules feed core."""
+    name = node.module.__name__
+    if "serve" in name:
+        return "serve"
+    if "exec" in name:
+        return "exec"
+    return "core"
 
 
 @pytest.fixture

@@ -1,0 +1,106 @@
+"""Execution-backend microbenchmark: vectorized vs scalar interpreter.
+
+Measures functional execution of tuned-style schedules for the attention
+module and the three-GEMM chain on both backends, asserts the acceptance
+criterion — the vectorized backend is at least ``MIN_SPEEDUP`` x faster
+while agreeing with ``ComputeChain.reference`` — and records the numbers
+into the ``BENCH_exec.json`` artifact (uploaded by CI next to the core and
+serve summaries).
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the shapes so the scalar
+interpreter stays under ~1 s per workload; full mode uses the
+paper-scale sequence lengths.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import QUICK, record_bench
+
+from repro.codegen.interpreter import execute_schedule, resolve_exec_backend
+from repro.ir.chain import attention_chain, gemm3_chain
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+#: Acceptance floor: vectorized must beat scalar by at least this factor.
+MIN_SPEEDUP = 10.0
+
+#: fp32 agreement with the unfused reference.
+RTOL, ATOL = 1e-3, 1e-4
+
+
+def _attention_case():
+    """FlashAttention-style flat tiling over a multi-head attention module."""
+    m = 512 if QUICK else 1024
+    chain = attention_chain(8, m, m, 32, 32, name=f"bench-attn-{m}")
+    tiles = {"m": 16, "n": 16, "k": 32, "h": 32}
+    return chain, "mn(k,h)", tiles
+
+
+def _gemm3_case():
+    """Three chained GEMMs (MLP stack) under a deep tiling."""
+    m = 1024
+    batch = 1 if QUICK else 2
+    chain = gemm3_chain(batch, m, 256, 64, 64, 64, name=f"bench-g3-b{batch}")
+    tiles = {"m": 16, "n": 16, "k": 16, "h": 64, "p": 64}
+    return chain, "mnkhp", tiles
+
+
+CASES = {"attention": _attention_case, "gemm3": _gemm3_case}
+
+
+def _time_backend(schedule, inputs, backend, repeats):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = execute_schedule(schedule, inputs, backend=backend)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_vectorized_speedup(case, run_once):
+    chain, expr, tiles = CASES[case]()
+    schedule = build_schedule(chain, TilingExpr.parse(expr), tiles)
+    assert resolve_exec_backend(schedule) == "vectorized"
+    inputs = chain.random_inputs(0)
+    ref = chain.reference(inputs)[chain.output]
+
+    def measure():
+        # min-of-3 for the fast backend (dominated by noise), single shot
+        # for the scalar interpreter (seconds-scale, self-averaging).
+        t_vec, out_vec = _time_backend(schedule, inputs, "vectorized", repeats=3)
+        t_scalar, out_scalar = _time_backend(schedule, inputs, "scalar", repeats=1)
+        return t_vec, t_scalar, out_vec, out_scalar
+
+    t_vec, t_scalar, out_vec, out_scalar = run_once(measure)
+    speedup = t_scalar / t_vec
+    np.testing.assert_allclose(
+        out_vec[chain.output], ref, rtol=RTOL, atol=ATOL,
+        err_msg=f"vectorized diverged from reference on {chain.name}",
+    )
+    np.testing.assert_allclose(
+        out_vec[chain.output], out_scalar[chain.output], rtol=RTOL, atol=ATOL,
+        err_msg=f"backend parity broke on {chain.name}",
+    )
+    record_bench(
+        "exec",
+        f"exec_backend[{case}]",
+        workload=chain.name,
+        schedule=schedule.describe(),
+        grid_cells=schedule.grid_size,
+        scalar_seconds=t_scalar,
+        vectorized_seconds=t_vec,
+        speedup=speedup,
+        min_speedup=MIN_SPEEDUP,
+        quick=QUICK,
+    )
+    print(f"\n{chain.name}: scalar {t_scalar * 1e3:.1f}ms  "
+          f"vectorized {t_vec * 1e3:.1f}ms  speedup {speedup:.1f}x")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{case}: vectorized backend only {speedup:.1f}x faster than scalar "
+        f"(need >= {MIN_SPEEDUP}x)"
+    )

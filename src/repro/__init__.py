@@ -26,7 +26,14 @@ Layers (see docs/architecture.md):
 """
 
 from repro.cache import BatchTuner, ScheduleCache, default_cache, workload_signature
-from repro.codegen import OperatorModule, compile_schedule, execute_schedule
+from repro.codegen import (
+    EXEC_BACKENDS,
+    OperatorModule,
+    compile_schedule,
+    execute_schedule,
+    lower_schedule,
+    resolve_exec_backend,
+)
 from repro.frontend import (
     bert_encoder,
     compile_model,
@@ -34,7 +41,7 @@ from repro.frontend import (
     partition_graph,
 )
 from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
-from repro.ir import ComputeChain, Graph, attention_chain, gemm_chain
+from repro.ir import ComputeChain, Graph, attention_chain, gemm3_chain, gemm_chain
 from repro.search import (
     MCFuserTuner,
     SearchStrategy,
@@ -67,6 +74,7 @@ __all__ = [
     "ComputeChain",
     "Graph",
     "gemm_chain",
+    "gemm3_chain",
     "attention_chain",
     "TilingExpr",
     "Schedule",
@@ -88,6 +96,9 @@ __all__ = [
     "OperatorModule",
     "compile_schedule",
     "execute_schedule",
+    "resolve_exec_backend",
+    "lower_schedule",
+    "EXEC_BACKENDS",
     "bert_encoder",
     "compile_model",
     "partition_graph",

@@ -31,6 +31,9 @@ point at a non-default store with ``--cache-dir`` (or ``$REPRO_CACHE_DIR``).
 ``random``, ``exhaustive``, ``annealing``) to pick the search strategy over
 the pruned space, and ``tune`` accepts ``--workers`` to parallelize the
 per-round top-n measurements; cached schedules are keyed per strategy.
+``tune --exec-backend`` picks the numeric execution engine
+(``vectorized``/``scalar``/``auto``) and ``tune --verify best|all``
+executes tuned schedules against the unfused reference.
 
 Examples::
 
@@ -52,11 +55,11 @@ import os
 
 from repro.baselines import default_baselines
 from repro.cache import BatchTuner, ScheduleCache, default_cache_dir
-from repro.codegen import compile_schedule
+from repro.codegen import EXEC_BACKENDS, compile_schedule
 from repro.gpu.specs import by_name
 from repro.ir.chain import ComputeChain
 from repro.search.engine.strategy import strategy_names
-from repro.search.tuner import MCFuserTuner
+from repro.search.tuner import VERIFY_MODES, MCFuserTuner
 from repro.utils import fmt_time, format_table
 from repro.workloads import (
     ATTENTION_CONFIGS,
@@ -109,7 +112,13 @@ def _tune_model(args: argparse.Namespace, gpu, cache) -> int:
             rows.append([sg.output, sg.kind, "=", seen[key], "(shape dedup)"])
             continue
         report = MCFuserTuner(
-            gpu, seed=args.seed, cache=cache, strategy=args.strategy, workers=args.workers
+            gpu,
+            seed=args.seed,
+            cache=cache,
+            strategy=args.strategy,
+            workers=args.workers,
+            exec_backend=args.exec_backend,
+            verify=args.verify,
         ).tune(sg.chain)
         seen[key] = report.best_candidate.describe()
         rows.append([
@@ -135,6 +144,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
         cache=cache,
         strategy=args.strategy,
         workers=args.workers,
+        exec_backend=args.exec_backend,
+        verify=args.verify,
     ).tune(chain)
     print(f"workload: {chain}")
     if report.cache_hit:
@@ -148,6 +159,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
           f"({report.search.num_measurements} measurements, "
           f"{report.search.rounds} rounds, {report.strategy} strategy, "
           f"{report.workers} worker(s))")
+    verified = "verified against reference" if report.verified else "unverified"
+    print(f"exec:  {report.exec_backend} backend ({verified})")
     print()
     print(report.best_schedule.pretty())
     if args.show_ptx:
@@ -412,6 +425,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--workers", type=int, default=1,
                         help="measurement thread-pool width per search round "
                              "(results are deterministic for any width)")
+    p_tune.add_argument("--exec-backend", default="auto",
+                        choices=EXEC_BACKENDS,
+                        help="numeric execution engine for tuned schedules: "
+                             "vectorized (batched tile program), scalar "
+                             "(per-cell interpreter), or auto (vectorized "
+                             "with scalar fallback)")
+    p_tune.add_argument("--verify", default="off", choices=VERIFY_MODES,
+                        help="numeric verification: best = execute the "
+                             "winning schedule against the unfused "
+                             "reference; all = execute every measured "
+                             "candidate (wrong ones count as launch "
+                             "failures)")
     p_tune.add_argument("--show-ptx", action="store_true")
     p_tune.add_argument("--no-cache", action="store_true",
                         help="skip the persistent schedule cache")

@@ -1,8 +1,15 @@
 """Code generation: TIR lowering, Triton-style tile IR, pseudo-PTX emission,
-runtime modules, and the NumPy tile interpreter that verifies numerical
-correctness of every fused schedule."""
+runtime modules, and the NumPy execution backends — the scalar tile
+interpreter and the vectorized batched tile executor — that verify
+numerical correctness of every fused schedule."""
 
-from repro.codegen.interpreter import InterpreterError, execute_schedule
+from repro.codegen.interpreter import (
+    EXEC_BACKENDS,
+    InterpreterError,
+    execute_schedule,
+    resolve_exec_backend,
+)
+from repro.codegen.program import LoweringError, TileOp, TileProgram, lower_schedule
 from repro.codegen.ptx import emit_ptx, mma_count_for_tile
 from repro.codegen.runtime import (
     GraphExecutorFactoryModule,
@@ -24,7 +31,13 @@ from repro.codegen.triton_ir import TritonLoop, TritonOp, TritonProgram, triton_
 
 __all__ = [
     "execute_schedule",
+    "resolve_exec_backend",
+    "EXEC_BACKENDS",
     "InterpreterError",
+    "LoweringError",
+    "lower_schedule",
+    "TileProgram",
+    "TileOp",
     "tir_from_schedule",
     "extract_tiling_expr",
     "TIRModule",

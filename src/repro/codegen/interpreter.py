@@ -26,9 +26,29 @@ from repro.ir.chain import ComputeBlock, ComputeChain
 from repro.tiling.schedule import LoopScope, Schedule, Statement
 from repro.utils import prod
 
-__all__ = ["execute_schedule", "InterpreterError"]
+__all__ = [
+    "execute_schedule",
+    "resolve_exec_backend",
+    "validate_exec_backend",
+    "InterpreterError",
+    "EXEC_BACKENDS",
+]
+
+#: Valid values for the ``backend`` argument of :func:`execute_schedule`.
+#: ``auto`` runs the vectorized executor when the schedule lowers to a flat
+#: batched program and falls back to this scalar interpreter otherwise.
+EXEC_BACKENDS = ("auto", "vectorized", "scalar")
 
 _NEG_INF = np.float32(-np.inf)
+
+
+def validate_exec_backend(backend: str) -> str:
+    """Return ``backend`` if it is a known execution backend, else raise."""
+    if backend not in EXEC_BACKENDS:
+        raise ValueError(
+            f"unknown exec backend {backend!r}; pick from {EXEC_BACKENDS}"
+        )
+    return backend
 
 
 class InterpreterError(RuntimeError):
@@ -43,6 +63,58 @@ def _apply_epilogue(x: np.ndarray, epilogue: str | None) -> np.ndarray:
     if epilogue == "gelu":
         return 0.5 * x * (1.0 + np.tanh(0.7978845608 * (x + 0.044715 * x**3)))
     raise InterpreterError(f"unknown epilogue {epilogue!r}")
+
+
+def softmax_row_dims(chain: ComputeChain, block: ComputeBlock) -> tuple[str, ...]:
+    """Dims of a softmax block's per-row state (max, denominator).
+
+    The online-softmax recurrence keeps one running (max, denom) pair per
+    *row* — every element of the first operand that shares a softmax-axis
+    slice. Those are the first operand's dims minus the softmax axis, in
+    operand order. The row correction rescales the output accumulator, so
+    every row dim must also index the output tile; a block violating that
+    has no per-row rescaling that is expressible on the accumulator.
+    """
+    assert block.softmax_over is not None
+    first = chain.tensors[block.inputs[0]].dims
+    row_dims = tuple(d for d in first if d != block.softmax_over)
+    out_dims = chain.tensors[block.output].dims
+    missing = [d for d in row_dims if d not in out_dims]
+    if missing:
+        raise InterpreterError(
+            f"block {block.name!r}: softmax row dim(s) {missing} do not index "
+            f"the output tile {out_dims}; the online-softmax accumulator "
+            "cannot express this block"
+        )
+    return row_dims
+
+
+def rows_to_tile(
+    arr: np.ndarray,
+    row_dims: tuple[str, ...],
+    out_dims: tuple[str, ...],
+    lead: int = 0,
+) -> np.ndarray:
+    """Reshape a row-state array so it broadcasts against an output tile.
+
+    ``arr``'s trailing axes are ordered as ``row_dims`` (the natural order
+    of the softmax operand); the output tile's trailing axes are ordered as
+    ``out_dims``. ``lead`` leading axes (e.g. the vectorized executor's
+    cell axis) are preserved as-is. The historical code hardcoded
+    ``arr[..., None]``, which silently mis-broadcasts for anything but
+    2-D ``(rows, cols)`` output tiles.
+    """
+    order = sorted(range(len(row_dims)), key=lambda i: out_dims.index(row_dims[i]))
+    arr = np.transpose(arr, (*range(lead), *(lead + i for i in order)))
+    shape = list(arr.shape[:lead])
+    pos = lead
+    for d in out_dims:
+        if d in row_dims:
+            shape.append(arr.shape[pos])
+            pos += 1
+        else:
+            shape.append(1)
+    return arr.reshape(shape)
 
 
 @dataclass
@@ -144,13 +216,21 @@ class _Executor:
     def _ensure_acc(self, block: ComputeBlock, cell: _Cell, b: int, idx: dict[str, int]) -> _AccState:
         key = self._spatial_key(block, b, idx)
         state = cell.acc.get(block.name)
-        if state is None or state.key != key:
+        # Init-on-first-reduction-iteration: a fresh sweep (every reduction
+        # loop of the block back at 0) re-zeroes the accumulator even when
+        # the spatial key is unchanged — e.g. a producer recomputed under an
+        # unrelated loop of a deep tiling would otherwise accumulate its
+        # reduction twice.
+        fresh_sweep = all(idx.get(r, 0) == 0 for r in block.reduction)
+        if state is None or state.key != key or fresh_sweep:
             shape = tuple(self.tiles[d] for d in self.chain.tensors[block.output].dims)
             state = _AccState(key=key, tile=np.zeros(shape, dtype=np.float32))
             if block.softmax_over is not None:
-                rows = shape[0] if len(shape) > 1 else 1
-                state.row_max = np.full((rows,), _NEG_INF, dtype=np.float32)
-                state.denom = np.zeros((rows,), dtype=np.float32)
+                row_shape = tuple(
+                    self.tiles[d] for d in softmax_row_dims(self.chain, block)
+                )
+                state.row_max = np.full(row_shape, _NEG_INF, dtype=np.float32)
+                state.denom = np.zeros(row_shape, dtype=np.float32)
             cell.acc[block.name] = state
         return state
 
@@ -203,7 +283,12 @@ class _Executor:
         if n_axis != len(first_dims) - 1:
             probs = np.moveaxis(probs, -1, n_axis)
         contrib = self._einsum_tiles(block, [probs, *operands[1:]])
-        state.tile = state.tile * correction[..., None] + contrib.astype(np.float32)
+        out_dims = self.chain.tensors[block.output].dims
+        row_dims = softmax_row_dims(self.chain, block)
+        state.tile = (
+            state.tile * rows_to_tile(correction, row_dims, out_dims)
+            + contrib.astype(np.float32)
+        )
         state.row_max = new_max
 
     def _store(self, stmt: Statement, cell: _Cell, b: int, idx: dict[str, int]) -> None:
@@ -215,7 +300,11 @@ class _Executor:
         if block.softmax_over is not None:
             assert state.denom is not None
             denom = np.where(state.denom > 0.0, state.denom, 1.0)
-            value = value / denom[..., None]
+            value = value / rows_to_tile(
+                denom,
+                softmax_row_dims(self.chain, block),
+                self.chain.tensors[block.output].dims,
+            )
         value = _apply_epilogue(value, block.epilogue)
         if block.scale != 1.0 and block.softmax_over is not None:
             pass  # scale belongs to the producer contraction, already applied
@@ -267,11 +356,57 @@ class _Executor:
         del idx[loop]
 
 
-def execute_schedule(schedule: Schedule, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+def execute_schedule(
+    schedule: Schedule,
+    inputs: dict[str, np.ndarray],
+    backend: str = "auto",
+) -> dict[str, np.ndarray]:
     """Execute a fused schedule on concrete inputs.
+
+    ``backend`` picks the execution engine:
+
+    * ``"scalar"``     — this module's recursive per-cell tree walker;
+    * ``"vectorized"`` — the flat batched executor
+      (:mod:`repro.codegen.vectorized`): one gather/einsum/scatter per
+      unrolled statement, batched over all grid cells. Raises
+      :class:`~repro.codegen.program.LoweringError` for programs it cannot
+      express;
+    * ``"auto"``       — vectorized when the schedule lowers, scalar
+      otherwise (the default; both backends are differentially tested to
+      agree within fp32 tolerance).
 
     Returns a dict with every chain *output* tensor (normally one). Raises
     :class:`InterpreterError` for schedules the pruning rules should have
     rejected (invalid orders, multi-copy buffers).
     """
+    validate_exec_backend(backend)
+    if backend != "scalar":
+        from repro.codegen.program import try_lower
+        from repro.codegen.vectorized import execute_program
+
+        program = try_lower(schedule, backend)
+        if program is not None:
+            return execute_program(program, inputs)
     return _Executor(schedule, inputs).run()
+
+
+def resolve_exec_backend(schedule: Schedule, backend: str = "auto") -> str:
+    """The concrete backend :func:`execute_schedule` would run for ``schedule``.
+
+    ``"auto"`` resolves to ``"vectorized"`` when the schedule lowers to a
+    flat batched program and to ``"scalar"`` otherwise; explicit choices
+    resolve to themselves (``"vectorized"`` raises
+    :class:`~repro.codegen.program.LoweringError` if unsupported, exactly
+    as execution would).
+    """
+    validate_exec_backend(backend)
+    if backend == "scalar":
+        return "scalar"
+    from repro.codegen.program import lower_schedule, schedule_lowerable
+
+    if schedule_lowerable(schedule):
+        return "vectorized"
+    if backend == "vectorized":
+        lower_schedule(schedule)  # re-raise the descriptive LoweringError
+        raise AssertionError("lowerable verdict disagreed with lowering")
+    return "scalar"

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.cache.signature import schedule_signature
 from repro.cache.store import LRUCache
-from repro.codegen.interpreter import execute_schedule
+from repro.codegen.interpreter import execute_schedule, validate_exec_backend
+from repro.codegen.program import TileProgram, try_lower
 from repro.codegen.ptx import emit_ptx
 from repro.codegen.triton_ir import TritonProgram, triton_from_schedule
 from repro.gpu.kernel import KernelLaunch
@@ -36,15 +37,38 @@ __all__ = [
 
 @dataclass
 class OperatorModule:
-    """A compiled fused MBCI kernel bound to one GPU."""
+    """A compiled fused MBCI kernel bound to one GPU.
+
+    ``exec_backend`` selects how :meth:`run` executes the schedule
+    numerically (``"auto"``/``"vectorized"``/``"scalar"`` — see
+    :func:`~repro.codegen.interpreter.execute_schedule`);
+    :attr:`resolved_exec_backend` reports the concrete engine ``auto``
+    picks for this schedule.
+    """
 
     schedule: Schedule
     gpu: GPUSpec
     codegen: str = "triton"
+    exec_backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        validate_exec_backend(self.exec_backend)
 
     @cached_property
     def kernel(self) -> KernelLaunch:
         return self.schedule.kernel_launch(self.gpu, codegen=self.codegen)
+
+    @cached_property
+    def program(self) -> "TileProgram | None":
+        """The lowered batched tile program, cached for the life of the
+        module (``None`` when pinned to scalar or not vectorizable —
+        explicit ``"vectorized"`` raises the lowering error)."""
+        return try_lower(self.schedule, self.exec_backend)
+
+    @cached_property
+    def resolved_exec_backend(self) -> str:
+        """The concrete executor ``run`` uses (``auto`` resolved)."""
+        return "scalar" if self.program is None else "vectorized"
 
     @cached_property
     def triton(self) -> TritonProgram:
@@ -56,9 +80,22 @@ class OperatorModule:
         """Pseudo-PTX listing (what ``loadfile_ptx`` would ingest)."""
         return emit_ptx(self.schedule, self.gpu)
 
-    def run(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
-        """Execute on concrete tensors (NumPy interpreter)."""
-        return execute_schedule(self.schedule, inputs)
+    def run(
+        self, inputs: dict[str, np.ndarray], backend: str | None = None
+    ) -> dict[str, np.ndarray]:
+        """Execute on concrete tensors (vectorized or scalar NumPy backend).
+
+        Repeated runs reuse the module's cached lowered program instead of
+        re-lowering the schedule every call; an explicit ``backend``
+        override bypasses the cache.
+        """
+        if backend is not None and backend != self.exec_backend:
+            return execute_schedule(self.schedule, inputs, backend=backend)
+        if self.program is not None:
+            from repro.codegen.vectorized import execute_program
+
+            return execute_program(self.program, inputs)
+        return execute_schedule(self.schedule, inputs, backend="scalar")
 
     def time(self, simulator: GPUSimulator | None = None) -> float:
         """Simulated execution time in seconds."""
@@ -91,22 +128,30 @@ _KERNEL_MEMO = LRUCache(capacity=KERNEL_MEMO_CAPACITY)
 _KERNEL_STATS = KernelCacheStats()
 
 
-def compile_schedule(schedule: Schedule, gpu: GPUSpec, memoize: bool = True) -> OperatorModule:
+def compile_schedule(
+    schedule: Schedule,
+    gpu: GPUSpec,
+    memoize: bool = True,
+    exec_backend: str = "auto",
+) -> OperatorModule:
     """Compile a tuned schedule into a runnable operator module.
 
     ``memoize=True`` (default) consults the process-wide kernel memo: a
     schedule whose content signature (chain + GPU + expression + tiles) was
     compiled before returns the existing module instead of a fresh one.
     Modules are immutable-by-convention, so sharing is safe; pass
-    ``memoize=False`` to force a private instance.
+    ``memoize=False`` to force a private instance. ``exec_backend``
+    configures how the module executes numerically (memo entries are keyed
+    per backend so a scalar-pinned module is never served to an ``auto``
+    caller).
     """
     if not memoize:
-        return OperatorModule(schedule=schedule, gpu=gpu)
-    key = schedule_signature(schedule, gpu)
+        return OperatorModule(schedule=schedule, gpu=gpu, exec_backend=exec_backend)
+    key = (schedule_signature(schedule, gpu), exec_backend)
     module = _KERNEL_MEMO.get(key)
     if module is None:
         _KERNEL_STATS.misses += 1
-        module = OperatorModule(schedule=schedule, gpu=gpu)
+        module = OperatorModule(schedule=schedule, gpu=gpu, exec_backend=exec_backend)
         _KERNEL_MEMO.put(key, module)
     else:
         _KERNEL_STATS.hits += 1

@@ -1,0 +1,430 @@
+"""Vectorized batched tile executor: all grid cells at once.
+
+Executes a :class:`~repro.codegen.program.TileProgram` (the flat lowering
+of a :class:`~repro.tiling.schedule.Schedule`) with every per-cell tile
+operation batched over the grid. The grid is kept *factored*: instead of
+one flat ``(n_cells,)`` axis, every array carries one leading axis per
+grid loop (batch first), sized to the loop's extent when the tensor is
+indexed by it and ``1`` otherwise. NumPy broadcasting then does the cell
+fan-out for free:
+
+* **Load** — inputs are zero-padded to tile multiples once and reshaped
+  into ``(batch, n_1, .., n_r, T_1, .., T_r)`` tiled views; a load op is a
+  basic-indexing *view* (grid-bound dims keep their full tile axis,
+  residual dims are fixed to the op's static index) — no copy, and a tile
+  shared by many cells (e.g. the K/V tiles of every query block) is never
+  duplicated;
+* **Compute** — one ``np.einsum('...mk,...kn->...mn', ...)`` per op with
+  broadcast leading axes (contraction paths are memoized, so the batched
+  contractions dispatch to BLAS), including a fully batched online-softmax
+  update whose running (max, denominator) row state also carries the
+  factored grid axes;
+* **Store** — one sliced assignment into a padded tiled output buffer,
+  un-tiled and trimmed back to the true shape at the end.
+
+The semantics mirror :mod:`repro.codegen.interpreter` statement for
+statement — accumulator init-on-spatial-key-change, producer epilogues at
+consumption time, padding masks for non-divisible sizes — so the two
+backends agree within fp32 tolerance on every schedule both can run
+(``tests/test_vectorized_parity.py`` enforces this differentially). The
+speedup comes from replacing ``n_cells`` Python tree walks with
+``len(program.ops)`` NumPy calls; ``benchmarks/test_exec_backend.py``
+records it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codegen.interpreter import (
+    InterpreterError,
+    _apply_epilogue,
+    rows_to_tile,
+    softmax_row_dims,
+)
+from repro.codegen.program import TileOp, TileProgram
+from repro.ir.chain import ComputeBlock
+from repro.utils import ceil_div
+
+__all__ = ["execute_program", "VectorizedExecutor"]
+
+_NEG_INF = np.float32(-np.inf)
+
+
+@dataclass
+class _BatchedAcc:
+    """Running accumulator for one block, batched over all grid cells.
+
+    ``tile`` has shape ``(*lead, *out_tile)`` where ``lead`` holds one axis
+    per grid loop — full extent when the block's output is indexed by the
+    loop, 1 otherwise (an intermediate shared by every cell of an unused
+    grid loop is computed once, not per cell).
+    """
+
+    key: tuple
+    tile: np.ndarray
+    row_max: np.ndarray | None = None  # (*lead', *row_tile)
+    denom: np.ndarray | None = None
+
+
+class VectorizedExecutor:
+    """Runs one lowered :class:`TileProgram` on concrete inputs."""
+
+    def __init__(self, program: TileProgram, inputs: dict[str, np.ndarray]) -> None:
+        self.program = program
+        self.s = program.schedule
+        self.chain = self.s.chain
+        self.tiles = self.s.tiles
+        self.inputs = {
+            k: np.asarray(v, dtype=np.float32) for k, v in inputs.items()
+        }
+        for name in self.chain.input_names():
+            if name not in self.inputs:
+                raise KeyError(f"missing input {name!r}")
+            expect = self.chain.tensor_shape(name)
+            if self.inputs[name].shape != expect:
+                raise ValueError(
+                    f"input {name!r}: shape {self.inputs[name].shape} != {expect}"
+                )
+
+        #: Grid loops in nesting order (batch outermost); position in this
+        #: tuple is the leading axis every batched array carries for it.
+        self.grid_order = tuple(loop for loop, _ in program.grid_loops)
+        self.grid_extent = dict(program.grid_loops)
+
+        # Padded, tiled views of the global tensors.
+        self._tiled_inputs = {
+            name: self._tiled_view(self.inputs[name], self.chain.tensors[name].dims)
+            for name in self.chain.input_names()
+        }
+        self._out_buffers: dict[str, np.ndarray] = {}
+        for name, ref in self.chain.tensors.items():
+            if ref.role != "output":
+                continue
+            counts = tuple(
+                ceil_div(self.chain.loops[d], self.tiles[d]) for d in ref.dims
+            )
+            sizes = tuple(self.tiles[d] for d in ref.dims)
+            self._out_buffers[name] = np.zeros(
+                (self.chain.batch, *counts, *sizes), dtype=np.float32
+            )
+
+        self.smem: dict[str, np.ndarray] = {}
+        self.acc: dict[str, _BatchedAcc] = {}
+        # Per-block contraction plans: a matmul mapping when the block is a
+        # plain two-operand contraction (every GEMM/attention block is),
+        # einsum paths otherwise. Both are memoized — plan/path search
+        # costs more than the contraction itself on small tiles, and every
+        # unrolled op repeats the same shapes.
+        self._mm_plans: dict[str, tuple | None] = {}
+        self._einsum_paths: dict[tuple, list] = {}
+
+    # -- tiled addressing ------------------------------------------------------
+
+    def _tiled_view(self, arr: np.ndarray, dims: tuple[str, ...]) -> np.ndarray:
+        """Zero-pad to tile multiples and expose ``(B, n1..nr, T1..Tr)``."""
+        pads = [(0, 0)]
+        shape: list[int] = [arr.shape[0]]
+        for d in dims:
+            size, tile = self.chain.loops[d], self.tiles[d]
+            count = ceil_div(size, tile)
+            pads.append((0, count * tile - size))
+            shape.extend((count, tile))
+        padded = np.pad(arr, pads).reshape(shape)
+        r = len(dims)
+        perm = (0, *(1 + 2 * i for i in range(r)), *(2 + 2 * i for i in range(r)))
+        return padded.transpose(perm)
+
+    def _lead_shape(self, dims: tuple[str, ...]) -> tuple[int, ...]:
+        """Leading grid-axis extents for an array indexed by ``dims``."""
+        return tuple(
+            self.grid_extent[g] if g == "b" or g in dims else 1
+            for g in self.grid_order
+        )
+
+    def _tile_slice(self, tensor: str, idx: dict[str, int]) -> np.ndarray:
+        """View of one residual tile, batched over the grid-bound dims.
+
+        Grid-bound dims keep their full tile axis; residual dims are fixed
+        at the op's static index (absent loops address tile 0 — their tile
+        covers the full extent). The result is reordered/expanded so its
+        leading axes follow :attr:`grid_order` with extent-1 axes for grid
+        loops the tensor is not indexed by — broadcasting then aligns
+        every operand without materializing a cell axis.
+        """
+        dims = self.chain.tensors[tensor].dims
+        view = self._tiled_inputs[tensor]
+        sel: list = [slice(None)]  # batch tile axis
+        kept: list[str] = ["b"]
+        for d in dims:
+            if d in self.grid_extent:
+                sel.append(slice(None))
+                kept.append(d)
+            else:
+                sel.append(idx.get(d, 0))
+        tile = view[tuple(sel)]  # (B, *(n_d for kept grid dims), *T)
+        # reorder kept grid axes into grid_order and insert 1-axes.
+        order = sorted(range(len(kept)), key=lambda i: self.grid_order.index(kept[i]))
+        tile = np.transpose(
+            tile, (*order, *range(len(kept), tile.ndim))
+        )
+        shape: list[int] = []
+        pos = 0
+        for g in self.grid_order:
+            if g in kept:
+                shape.append(tile.shape[pos])
+                pos += 1
+            else:
+                shape.append(1)
+        return tile.reshape((*shape, *tile.shape[len(kept):]))
+
+    def _valid_extent(self, dim: str, idx: dict[str, int]) -> int:
+        """Valid (unpadded) elements of a residual dim's current tile."""
+        tile = self.tiles[dim]
+        start = idx.get(dim, 0) * tile
+        return max(min(start + tile, self.chain.loops[dim]) - start, 0)
+
+    # -- statement semantics ---------------------------------------------------
+
+    def _spatial_key(self, block: ComputeBlock, idx: dict[str, int]) -> tuple:
+        # Grid-bound spatial dims are constant per cell for the whole
+        # program, so the residual indices capture every key change — the
+        # batched analogue of the interpreter's (b, *spatial) key.
+        return tuple(idx.get(d, 0) for d in block.spatial)
+
+    def _operand_value(self, tensor: str, idx: dict[str, int]) -> np.ndarray:
+        ref = self.chain.tensors[tensor]
+        if ref.role == "input":
+            if tensor not in self.smem:
+                raise InterpreterError(f"tensor {tensor!r} consumed before Load")
+            return self.smem[tensor]
+        producer = self.chain.producer_of(tensor)
+        assert producer is not None
+        state = self.acc.get(producer.name)
+        if state is None or state.key != self._spatial_key(producer, idx):
+            raise InterpreterError(
+                f"intermediate {tensor!r} consumed before it was produced "
+                f"(schedule {self.s.describe()})"
+            )
+        return _apply_epilogue(state.tile, producer.epilogue)
+
+    def _ensure_acc(self, block: ComputeBlock, idx: dict[str, int]) -> _BatchedAcc:
+        key = self._spatial_key(block, idx)
+        state = self.acc.get(block.name)
+        # Init-on-first-reduction-iteration, mirroring the scalar
+        # interpreter: a fresh reduction sweep re-zeroes the accumulator
+        # even when the spatial key is unchanged.
+        fresh_sweep = all(idx.get(r, 0) == 0 for r in block.reduction)
+        if state is None or state.key != key or fresh_sweep:
+            out_dims = self.chain.tensors[block.output].dims
+            lead = self._lead_shape(out_dims)
+            shape = tuple(self.tiles[d] for d in out_dims)
+            state = _BatchedAcc(
+                key=key, tile=np.zeros((*lead, *shape), dtype=np.float32)
+            )
+            if block.softmax_over is not None:
+                row_dims = softmax_row_dims(self.chain, block)
+                first_dims = self.chain.tensors[block.inputs[0]].dims
+                row_lead = self._lead_shape(first_dims)
+                row_shape = tuple(self.tiles[d] for d in row_dims)
+                state.row_max = np.full(
+                    (*row_lead, *row_shape), _NEG_INF, dtype=np.float32
+                )
+                state.denom = np.zeros((*row_lead, *row_shape), dtype=np.float32)
+            self.acc[block.name] = state
+        return state
+
+    def _matmul_plan(self, block: ComputeBlock) -> tuple | None:
+        """Derive a batched-matmul mapping for a two-operand contraction.
+
+        Returns ``(a_perm, b_perm, n_m, n_k, n_n, out_perm)`` — trailing-axis
+        permutations mapping operand A to ``(.., M.., K..)``, operand B to
+        ``(.., K.., N..)`` and the ``(.., M.., N..)`` product back to the
+        output dim order — or ``None`` when the block is not expressible as
+        one matmul (3+ operands, elementwise-shared dims).
+        """
+        if len(block.inputs) != 2:
+            return None
+        a_dims = self.chain.tensors[block.inputs[0]].dims
+        b_dims = self.chain.tensors[block.inputs[1]].dims
+        out_dims = self.chain.tensors[block.output].dims
+        k_dims = [d for d in a_dims if d in b_dims and d not in out_dims]
+        m_dims = [d for d in a_dims if d not in k_dims]
+        n_dims = [d for d in b_dims if d not in k_dims]
+        if any(d in b_dims for d in m_dims) or set(out_dims) != set(m_dims + n_dims):
+            return None  # shared non-contracted dims: not a plain matmul
+        a_perm = tuple(a_dims.index(d) for d in (*m_dims, *k_dims))
+        b_perm = tuple(b_dims.index(d) for d in (*k_dims, *n_dims))
+        out_perm = tuple((*m_dims, *n_dims).index(d) for d in out_dims)
+        return a_perm, b_perm, len(m_dims), len(k_dims), len(n_dims), out_perm
+
+    @staticmethod
+    def _group(arr: np.ndarray, perm: tuple[int, ...], split: int) -> np.ndarray:
+        """Permute ``arr``'s trailing axes by ``perm`` and merge them into
+        two matmul axes (the first ``split`` permuted axes, then the rest)."""
+        lead = arr.ndim - len(perm)
+        arr = np.transpose(arr, (*range(lead), *(lead + p for p in perm)))
+        left = int(np.prod(arr.shape[lead:lead + split], dtype=np.int64))
+        right = int(np.prod(arr.shape[lead + split:], dtype=np.int64))
+        return arr.reshape((*arr.shape[:lead], left, right))
+
+    def _einsum_tiles(self, block: ComputeBlock, operands: list[np.ndarray]) -> np.ndarray:
+        if block.name not in self._mm_plans:
+            self._mm_plans[block.name] = self._matmul_plan(block)
+        plan = self._mm_plans[block.name]
+        if plan is not None:
+            a_perm, b_perm, n_m, n_k, n_n, out_perm = plan
+            a, b = operands
+            lead_a, lead_b = a.ndim - len(a_perm), b.ndim - len(b_perm)
+            m_shape = tuple(a.shape[lead_a + p] for p in a_perm[:n_m])
+            n_shape = tuple(b.shape[lead_b + p] for p in b_perm[n_k:])
+            prod_mn = np.matmul(
+                self._group(a, a_perm, n_m), self._group(b, b_perm, n_k)
+            )
+            lead = prod_mn.shape[:-2]
+            prod_mn = prod_mn.reshape((*lead, *m_shape, *n_shape))
+            return np.transpose(
+                prod_mn, (*range(len(lead)), *(len(lead) + p for p in out_perm))
+            )
+        ins = ",".join(
+            "..." + "".join(self.chain.tensors[t].dims) for t in block.inputs
+        )
+        out = "..." + "".join(self.chain.tensors[block.output].dims)
+        spec = f"{ins}->{out}"
+        key = (spec, tuple(o.shape for o in operands))
+        path = self._einsum_paths.get(key)
+        if path is None:
+            path = np.einsum_path(spec, *operands, optimize="optimal")[0]
+            self._einsum_paths[key] = path
+        return np.einsum(spec, *operands, optimize=path)
+
+    def _load(self, op: TileOp, idx: dict[str, int]) -> None:
+        self.smem[op.tensor] = self._tile_slice(op.tensor, idx)
+
+    def _compute(self, op: TileOp, idx: dict[str, int]) -> None:
+        block = self.chain.block(op.block)
+        state = self._ensure_acc(block, idx)
+        operands = [self._operand_value(t, idx) for t in block.inputs]
+        if block.softmax_over is None:
+            contrib = self._einsum_tiles(block, operands)
+            if block.scale != 1.0:
+                contrib = contrib * np.float32(block.scale)
+            state.tile += contrib.astype(np.float32, copy=False)
+            return
+        self._compute_online_softmax(block, state, operands, idx)
+
+    def _compute_online_softmax(
+        self,
+        block: ComputeBlock,
+        state: _BatchedAcc,
+        operands: list[np.ndarray],
+        idx: dict[str, int],
+    ) -> None:
+        """The interpreter's online-softmax recurrence with grid axes."""
+        assert state.row_max is not None and state.denom is not None
+        n = block.softmax_over
+        assert n is not None
+        lead = len(self.grid_order)
+        scores = operands[0]  # (*lead, *first_dims tiles)
+        first_dims = self.chain.tensors[block.inputs[0]].dims
+        n_axis = lead + first_dims.index(n)
+        moved = n_axis != scores.ndim - 1
+        if moved:
+            scores = np.moveaxis(scores, n_axis, -1)
+        valid_n = self._valid_extent(n, idx)  # uniform: n is never grid-bound
+        if valid_n == 0:
+            return
+        if valid_n < scores.shape[-1]:
+            scores = np.array(scores, dtype=np.float32)  # private copy to mask
+            scores[..., valid_n:] = _NEG_INF
+        tile_max = scores.max(axis=-1)
+        new_max = np.maximum(state.row_max, tile_max)
+        correction = np.exp(state.row_max - new_max)
+        correction = np.where(
+            np.isfinite(correction), correction, np.float32(0.0)
+        ).astype(np.float32, copy=False)
+        probs = np.subtract(scores, new_max[..., None], dtype=np.float32)
+        np.exp(probs, out=probs)
+        state.denom *= correction
+        state.denom += probs.sum(axis=-1)
+        if moved:
+            probs = np.moveaxis(probs, -1, n_axis)
+        contrib = self._einsum_tiles(block, [probs, *operands[1:]])
+        out_dims = self.chain.tensors[block.output].dims
+        row_dims = softmax_row_dims(self.chain, block)
+        state.tile *= rows_to_tile(correction, row_dims, out_dims, lead=lead)
+        state.tile += contrib.astype(np.float32, copy=False)
+        state.row_max = new_max
+
+    def _store(self, op: TileOp, idx: dict[str, int]) -> None:
+        block = self.chain.block(op.block)
+        state = self.acc.get(block.name)
+        if state is None:
+            raise InterpreterError(f"Store of {op.tensor!r} before any Compute")
+        value = state.tile
+        if block.softmax_over is not None:
+            assert state.denom is not None
+            denom = np.where(state.denom > 0.0, state.denom, np.float32(1.0))
+            value = value / rows_to_tile(
+                denom,
+                softmax_row_dims(self.chain, block),
+                self.chain.tensors[op.tensor].dims,
+                lead=len(self.grid_order),
+            )
+        value = _apply_epilogue(value, block.epilogue)
+        dims = self.chain.tensors[op.tensor].dims
+        buf = self._out_buffers[op.tensor]  # (B, n1..nr, T1..Tr)
+        sel: list = [slice(None)]
+        kept: list[str] = ["b"]
+        for d in dims:
+            if d in self.grid_extent:
+                sel.append(slice(None))
+                kept.append(d)
+            else:
+                sel.append(idx.get(d, 0))
+        # value leading axes follow grid_order (outputs carry every grid
+        # loop, per the lowering guard); permute them into tensor-dim
+        # order and broadcast over any extent-1 axes (e.g. an accumulator
+        # whose inputs never saw a grid loop of extent 1).
+        order = [self.grid_order.index(g) for g in kept]
+        value = np.transpose(
+            value, (*order, *range(len(self.grid_order), value.ndim))
+        )
+        buf[tuple(sel)] = value
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> dict[str, np.ndarray]:
+        for op in self.program.ops:
+            idx = dict(op.idx)
+            if op.kind == "load":
+                self._load(op, idx)
+            elif op.kind == "compute":
+                self._compute(op, idx)
+            else:
+                self._store(op, idx)
+        outputs: dict[str, np.ndarray] = {}
+        for name, buf in self._out_buffers.items():
+            dims = self.chain.tensors[name].dims
+            r = len(dims)
+            # (B, n1..nr, T1..Tr) -> (B, n1,T1, ..., nr,Tr) -> merge -> trim
+            perm = [0]
+            for i in range(r):
+                perm.extend((1 + i, 1 + r + i))
+            interleaved = buf.transpose(perm)
+            full = interleaved.reshape(
+                self.chain.batch,
+                *(buf.shape[1 + i] * buf.shape[1 + r + i] for i in range(r)),
+            )
+            trim = (slice(None), *(slice(0, self.chain.loops[d]) for d in dims))
+            outputs[name] = full[trim]
+        return outputs
+
+
+def execute_program(
+    program: TileProgram, inputs: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Execute a lowered tile program on concrete inputs (all cells batched)."""
+    return VectorizedExecutor(program, inputs).run()

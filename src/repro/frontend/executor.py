@@ -174,6 +174,7 @@ def compile_model(
     search_strategy: str = "evolutionary",
     search_workers: int = 1,
     service: "CompileService | None" = None,
+    exec_backend: str = "auto",
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
@@ -193,6 +194,12 @@ def compile_model(
     is tuned (the engine's registered search strategies and the per-round
     measurement pool width); the compilation *strategy* above chooses which
     compiler stack handles which part of the graph.
+
+    ``exec_backend`` picks the numeric execution engine compiled MBCI
+    modules run under (``"auto"``/``"vectorized"``/``"scalar"``; see
+    :func:`repro.codegen.interpreter.execute_schedule`);
+    ``detail["exec_backend"]`` histograms the backend ``auto`` resolved for
+    each fused module (e.g. ``{"vectorized": 12}``).
 
     ``service`` (a :class:`~repro.serving.service.CompileService`) routes
     MBCI sub-graph tuning through the compile service instead of a private
@@ -265,7 +272,11 @@ def compile_model(
                 # coalesced riders share the tune; bill its cost once.
                 clock.seconds += result.report.tuning_seconds
             cache_hits += result.source in ("hot", "memory", "disk")
-            module.add_module(compile_schedule(result.report.best_schedule, gpu))
+            module.add_module(
+                compile_schedule(
+                    result.report.best_schedule, gpu, exec_backend=exec_backend
+                )
+            )
             mbci_nodes.update(sg.nodes)
             n_subgraphs += 1
         residual_nodes = [n for n in graph.nodes if n.output not in mbci_nodes]
@@ -283,6 +294,7 @@ def compile_model(
                     cache=cache,
                     strategy=search_strategy,
                     workers=search_workers,
+                    exec_backend=exec_backend,
                     **(tuner_kwargs or {}),
                 )
                 report = tuner.tune(sg.chain)
@@ -290,7 +302,9 @@ def compile_model(
                 cache_hits += int(report.cache_hit)
                 # compile through the kernel memo: a model recompiled (or a
                 # second model sharing this shape) reuses the same module.
-                tuned[key] = compile_schedule(report.best_schedule, gpu)
+                tuned[key] = compile_schedule(
+                    report.best_schedule, gpu, exec_backend=exec_backend
+                )
             module.add_module(tuned[key])
             mbci_nodes.update(sg.nodes)
             n_subgraphs += 1
@@ -334,6 +348,13 @@ def compile_model(
         clock.charge("ansor_trial", count=tasks * _ANSOR_TRIALS_PER_TASK)
         clock.charge("ansor_train_round", count=tasks * _ANSOR_TRIALS_PER_TASK / 64)
 
+    # Per-module exec-backend breadcrumb: which engine `auto` resolved to
+    # for each fused kernel (resolution is memoized on the module).
+    exec_backends: dict[str, int] = {}
+    for op_module in module.operator_modules:
+        resolved = op_module.resolved_exec_backend
+        exec_backends[resolved] = exec_backends.get(resolved, 0) + 1
+
     return E2EResult(
         strategy=strategy,
         module=module,
@@ -347,5 +368,6 @@ def compile_model(
             "cache_hits": cache_hits,
             "rejections": rejections,
             "served": served,
+            "exec_backend": exec_backends,
         },
     )

@@ -1,7 +1,14 @@
 """Tensor IR: tensor specs, graph-level operators, and the ComputeChain
 fusion IR that the tiling/search layers consume."""
 
-from repro.ir.chain import ComputeBlock, ComputeChain, TensorRef, attention_chain, gemm_chain
+from repro.ir.chain import (
+    ComputeBlock,
+    ComputeChain,
+    TensorRef,
+    attention_chain,
+    gemm3_chain,
+    gemm_chain,
+)
 from repro.ir.graph import Graph, GraphNode
 from repro.ir.ops import (
     Activation,
@@ -25,6 +32,7 @@ __all__ = [
     "ComputeBlock",
     "TensorRef",
     "gemm_chain",
+    "gemm3_chain",
     "attention_chain",
     "Graph",
     "GraphNode",

@@ -22,7 +22,14 @@ import numpy as np
 from repro.ir.tensor import DTYPE_BYTES
 from repro.utils import prod, rng_for
 
-__all__ = ["TensorRef", "ComputeBlock", "ComputeChain", "gemm_chain", "attention_chain"]
+__all__ = [
+    "TensorRef",
+    "ComputeBlock",
+    "ComputeChain",
+    "gemm_chain",
+    "gemm3_chain",
+    "attention_chain",
+]
 
 
 @dataclass(frozen=True)
@@ -365,6 +372,49 @@ def gemm_chain(
     )
     return ComputeChain(
         name or f"gemm_chain_b{batch}_m{m}n{n}k{k}h{h}",
+        loops,
+        blocks,
+        tensors,
+        batch=batch,
+        dtype=dtype,
+    )
+
+
+def gemm3_chain(
+    batch: int,
+    m: int,
+    n: int,
+    k: int,
+    h: int,
+    p: int,
+    name: str | None = None,
+    dtype: str = "float16",
+    epilogue: str | None = None,
+) -> ComputeChain:
+    """A three-GEMM chain: ``C = A x B; E = C x D; F = E x G``.
+
+    Extends the paper's two-GEMM chain with a third contraction over a new
+    loop ``p`` (an MLP-style GEMM stack); the maximum depth the
+    partitioner's legality probes admit (<= 3 blocks). ``epilogue`` is
+    applied to both intermediates.
+    """
+    loops = {"m": m, "n": n, "k": k, "h": h, "p": p}
+    tensors = {
+        "A": TensorRef("A", ("m", "k"), "input"),
+        "B": TensorRef("B", ("k", "n"), "input"),
+        "C": TensorRef("C", ("m", "n"), "intermediate"),
+        "D": TensorRef("D", ("n", "h"), "input"),
+        "E": TensorRef("E", ("m", "h"), "intermediate"),
+        "G": TensorRef("G", ("h", "p"), "input"),
+        "F": TensorRef("F", ("m", "p"), "output"),
+    }
+    blocks = (
+        ComputeBlock("C", ("A", "B"), "C", ("m", "n"), ("k",), epilogue=epilogue),
+        ComputeBlock("E", ("C", "D"), "E", ("m", "h"), ("n",), epilogue=epilogue),
+        ComputeBlock("F", ("E", "G"), "F", ("m", "p"), ("h",)),
+    )
+    return ComputeChain(
+        name or f"gemm3_chain_b{batch}_m{m}n{n}k{k}h{h}p{p}",
         loops,
         blocks,
         tensors,

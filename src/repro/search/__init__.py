@@ -31,7 +31,13 @@ from repro.search.pruning import (
     unconstrained_tile_count,
 )
 from repro.search.space import Candidate, SearchSpace, generate_space
-from repro.search.tuner import MCFuserTuner, TuneReport, report_from_entry
+from repro.search.tuner import (
+    VERIFY_MODES,
+    MCFuserTuner,
+    TuneReport,
+    VerificationError,
+    report_from_entry,
+)
 from repro.search.tuning_cost import COSTS, TuningClock
 
 __all__ = [
@@ -66,6 +72,8 @@ __all__ = [
     "strategy_names",
     "ParallelEvaluator",
     "MCFuserTuner",
+    "VerificationError",
+    "VERIFY_MODES",
     "TuneReport",
     "report_from_entry",
     "TuningClock",

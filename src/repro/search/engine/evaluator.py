@@ -22,6 +22,7 @@ Determinism is a hard requirement (the whole reproduction is seeded):
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -56,7 +57,8 @@ class ParallelEvaluator:
 
     Args:
         measure_fn: Measures one candidate, returning the kernel time in
-            seconds (``inf`` for launch failures). Must be thread-safe —
+            seconds (any non-finite value — ``inf`` or ``NaN`` — counts as
+            a launch failure). Must be thread-safe —
             the GPU simulator is stateless, so the standard tuner path is.
         workers: Thread-pool width. ``1`` measures serially (no pool).
         clock: Optional :class:`TuningClock` billed per batch. ``None``
@@ -109,9 +111,12 @@ class ParallelEvaluator:
         self.measurements += len(candidates)
         self.batches += 1
         if self.clock is not None:
+            # Any non-finite time (inf *or* NaN) is a launch failure and
+            # bills zero runtime: a NaN multiplied into the makespan would
+            # poison the TuningClock forever.
             costs = [
                 COSTS[self.cost_kind]
-                + (0.0 if t == float("inf") else self.repetitions * t)
+                + (self.repetitions * t if math.isfinite(t) else 0.0)
                 for t in times
             ]
             self.clock.charge(

@@ -20,6 +20,7 @@ against this driver; see :mod:`repro.search.engine.strategy`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -149,6 +150,12 @@ class SearchLoop:
             round_best_time = float("inf")
             round_best: "Candidate | None" = None
             for (cand, est), t in zip(picked, times):
+                # Normalize non-finite measurements (inf *and* NaN) to a
+                # plain launch failure: a NaN would compare False against
+                # everything and silently corrupt best-tracking and the
+                # convergence test.
+                if not math.isfinite(t):
+                    t = float("inf")
                 self.measured[cand.key] = t
                 self.num_measurements += 1
                 self.pairs.append((est, t))

@@ -46,7 +46,10 @@ def estimate_time(schedule: Schedule, gpu: GPUSpec) -> PerfEstimate:
     """Evaluate eqs. (2)-(5) for one schedule."""
     t_mem = (schedule.dram_read_bytes() + schedule.dram_write_bytes()) / gpu.mem_bandwidth
     t_comp = schedule.total_flops() / gpu.peak_flops
-    n_block = schedule.grid_size
+    # A degenerate schedule whose grid loops all collapse can report a
+    # zero-block grid; at least one thread block always launches, so clamp
+    # rather than divide by zero mid-search.
+    n_block = max(schedule.grid_size, 1)
     alpha = (n_block + gpu.num_sms) / n_block
     return PerfEstimate(t_mem=t_mem, t_comp=t_comp, alpha=alpha)
 

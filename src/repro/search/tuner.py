@@ -26,7 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.cache.signature import variant_key
+from repro.codegen.interpreter import (
+    InterpreterError,
+    resolve_exec_backend,
+    validate_exec_backend,
+)
 from repro.gpu.occupancy import SharedMemoryExceeded
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.specs import GPUSpec
@@ -39,16 +46,39 @@ from repro.search.pruning import PruningStats
 from repro.search.space import Candidate, SearchSpace, generate_space
 from repro.search.tuning_cost import TuningClock
 from repro.tiling.expr import TilingExpr
-from repro.tiling.schedule import Schedule, build_schedule
+from repro.tiling.schedule import InvalidScheduleError, Schedule, build_schedule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports us)
     from repro.cache.cache import ScheduleCache
     from repro.cache.store import CacheEntry
 
-__all__ = ["TuneReport", "MCFuserTuner", "MEASURE_REPETITIONS", "report_from_entry"]
+__all__ = [
+    "TuneReport",
+    "MCFuserTuner",
+    "MEASURE_REPETITIONS",
+    "VERIFY_MODES",
+    "VerificationError",
+    "report_from_entry",
+]
 
 #: Kernel repetitions per hardware measurement (billed to the tuning clock).
 MEASURE_REPETITIONS = 100
+
+#: Numeric verification modes: ``"off"`` (no checking), ``"best"`` (execute
+#: the winning schedule once against the unfused reference), ``"all"``
+#: (execute every hardware-measured candidate — numerically wrong programs
+#: count as launch failures and are blacklisted). ``"all"`` is affordable
+#: because measurement-time execution runs on the vectorized backend.
+VERIFY_MODES = ("off", "best", "all")
+
+#: fp32 tolerance for measurement-time verification (looser than the unit
+#: tests: long reduction chains accumulate more rounding).
+_VERIFY_RTOL = 1e-3
+_VERIFY_ATOL = 1e-4
+
+
+class VerificationError(RuntimeError):
+    """A tuned schedule disagreed numerically with the unfused reference."""
 
 
 @dataclass
@@ -74,6 +104,12 @@ class TuneReport:
     strategy: str = "evolutionary"
     #: Measurement worker-pool width the tuning run used.
     workers: int = 1
+    #: Concrete execution backend `best_schedule` runs under (``auto``
+    #: resolved to ``"vectorized"`` or ``"scalar"``).
+    exec_backend: str = "auto"
+    #: True when the best schedule was executed against the unfused
+    #: reference as part of this tune (``verify="best"`` or ``"all"``).
+    verified: bool = False
 
     @property
     def tflops(self) -> float:
@@ -88,6 +124,7 @@ def report_from_entry(
     variant: str = "mcfuser",
     strategy: str = "evolutionary",
     workers: int = 1,
+    exec_backend: str = "auto",
 ) -> TuneReport:
     """Materialize a :class:`TuneReport` from a cached tiling decision.
 
@@ -98,10 +135,13 @@ def report_from_entry(
     :class:`~repro.serving.service.CompileService`, which resolves cache
     hits without constructing a tuner. ``chain`` must have the structure
     the entry was created from; callers guarantee that by having matched
-    the workload signature.
+    the workload signature. ``exec_backend`` is resolved to the concrete
+    engine the rebuilt schedule runs under (``"vectorized"``/``"scalar"``),
+    matching cold-path reports.
     """
     expr = TilingExpr.parse(entry.expr)
     schedule = build_schedule(chain, expr, dict(entry.tiles), optimize=entry.optimized)
+    exec_backend = resolve_exec_backend(schedule, exec_backend)
     candidate = Candidate.make(expr, dict(entry.tiles))
     empty_funnel = PruningStats(
         expressions=0,
@@ -135,6 +175,7 @@ def report_from_entry(
         cache_hit=True,
         strategy=strategy,
         workers=workers,
+        exec_backend=exec_backend,
     )
 
 
@@ -159,6 +200,16 @@ class MCFuserTuner:
         workers: Measurement thread-pool width for the per-round top-n
             batch. Results and accounting are deterministic for any width;
             the simulated wall clock is billed as the batch makespan.
+        exec_backend: Numeric execution engine for every schedule this
+            tuner runs (verification, ``report.best_schedule`` execution):
+            ``"auto"`` (vectorized with scalar fallback), ``"vectorized"``,
+            or ``"scalar"``.
+        verify: :data:`VERIFY_MODES` member. ``"best"`` executes the
+            winning schedule against ``chain.reference`` (raising
+            :class:`VerificationError` on mismatch); ``"all"`` executes
+            every hardware-measured candidate and blacklists numerically
+            wrong ones as launch failures. Verification runs host-side and
+            is not billed to the simulated tuning clock.
     """
 
     def __init__(
@@ -174,11 +225,16 @@ class MCFuserTuner:
         cache: "ScheduleCache | None" = None,
         strategy: "str | SearchStrategy" = "evolutionary",
         workers: int = 1,
+        exec_backend: str = "auto",
+        verify: str = "off",
     ) -> None:
         if variant not in ("mcfuser", "chimera"):
             raise ValueError(f"unknown tuner variant {variant!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        validate_exec_backend(exec_backend)
+        if verify not in VERIFY_MODES:
+            raise ValueError(f"unknown verify mode {verify!r}; pick from {VERIFY_MODES}")
         self.gpu = gpu
         self.variant = variant
         self.population_size = population_size
@@ -190,7 +246,13 @@ class MCFuserTuner:
         self.cache = cache
         self.strategy = make_strategy(strategy)
         self.workers = workers
-        self.simulator = GPUSimulator(gpu, seed=seed)
+        self.exec_backend = exec_backend
+        self.verify = verify
+        self.simulator = GPUSimulator(gpu, seed=seed, exec_backend=exec_backend)
+        #: chain content fingerprint -> (inputs, reference output); lazily
+        #: built when a verification mode is active. Keyed by content, not
+        #: name — two differently shaped chains may share a name.
+        self._verify_data: dict[str, tuple[dict, np.ndarray]] = {}
 
     @property
     def cache_variant(self) -> str:
@@ -217,25 +279,86 @@ class MCFuserTuner:
         return space
 
     def measure_schedule(self, schedule: Schedule) -> float:
-        """One hardware measurement; launch failures count as +inf."""
+        """One hardware measurement; launch failures count as +inf.
+
+        With ``verify="all"``, the measurement also executes the schedule
+        numerically (on :attr:`exec_backend`) and reports a numerically
+        wrong program as a launch failure, so it can never win the search.
+        """
         try:
             kernel = schedule.kernel_launch(self.gpu)
-            return self.simulator.run(kernel)
+            t = self.simulator.run(kernel)
         except SharedMemoryExceeded:
             return float("inf")
+        if self.verify == "all" and not self.check_schedule(schedule):
+            return float("inf")
+        return t
+
+    # -- numeric verification --------------------------------------------------
+
+    def _reference_for(self, chain: ComputeChain) -> tuple[dict, np.ndarray]:
+        from repro.cache.signature import chain_fingerprint
+
+        key = repr(sorted(chain_fingerprint(chain).items()))
+        data = self._verify_data.get(key)
+        if data is None:
+            if len(self._verify_data) >= 64:  # long-lived tuners stay bounded
+                self._verify_data.clear()
+            inputs = chain.random_inputs(self.seed)
+            data = (inputs, chain.reference(inputs)[chain.output])
+            self._verify_data[key] = data
+        return data
+
+    def check_schedule(self, schedule: Schedule) -> bool:
+        """Execute ``schedule`` and compare against the unfused reference."""
+        chain = schedule.chain
+        inputs, ref = self._reference_for(chain)
+        try:
+            out = self.simulator.execute(schedule, inputs)[chain.output]
+        except (InterpreterError, InvalidScheduleError):
+            return False
+        return bool(np.allclose(out, ref, rtol=_VERIFY_RTOL, atol=_VERIFY_ATOL))
+
+    def _finalize_report(self, report: TuneReport) -> TuneReport:
+        """Resolve the exec-backend breadcrumb and run best-verification."""
+        report.exec_backend = resolve_exec_backend(
+            report.best_schedule, self.exec_backend
+        )
+        if self.verify != "off":
+            if self.verify == "best" and not self.check_schedule(report.best_schedule):
+                raise VerificationError(
+                    f"best schedule {report.best_schedule.describe()} of "
+                    f"{report.chain.name!r} disagrees with the reference "
+                    f"(backend {report.exec_backend})"
+                )
+            report.verified = True
+        return report
 
     # -- cache integration ------------------------------------------------------
 
     def _report_from_cache(self, chain: ComputeChain, entry: "CacheEntry") -> TuneReport:
-        """Materialize a TuneReport from a cache entry — no search, no space."""
-        return report_from_entry(
+        """Materialize a TuneReport from a cache entry — no search, no space.
+
+        An active verification mode re-checks the restored schedule too:
+        a corrupted or stale cache entry surfaces as a
+        :class:`VerificationError` instead of silently serving wrong code.
+        """
+        report = report_from_entry(
             chain,
             self.gpu,
             entry,
             variant=self.variant,
             strategy=self.strategy.name,
             workers=self.workers,
+            exec_backend=self.exec_backend,
         )
+        if self.verify != "off" and not self.check_schedule(report.best_schedule):
+            raise VerificationError(
+                f"cached schedule {report.best_schedule.describe()} of "
+                f"{chain.name!r} disagrees with the reference"
+            )
+        report.verified = self.verify != "off"
+        return report
 
     # -- main entry -----------------------------------------------------------
 
@@ -251,7 +374,7 @@ class MCFuserTuner:
             entry = self.cache.get(chain, self.gpu, self.cache_variant)
             if entry is not None:
                 return self._report_from_cache(chain, entry)
-        report = self._tune_uncached(chain)
+        report = self._finalize_report(self._tune_uncached(chain))
         if self.cache is not None:
             self.cache.put(chain, self.gpu, report)
         return report

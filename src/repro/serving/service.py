@@ -188,8 +188,12 @@ class CompileService:
             (the ticket fails with :class:`QueueFull`).
         telemetry: Metrics registry; one is created when omitted.
         seed: Default search seed for tunes triggered by this service.
+        exec_backend: Numeric execution backend threaded into every tuner
+            this service constructs (``"auto"``/``"vectorized"``/
+            ``"scalar"``) and stamped on served reports.
         tuner_kwargs: Default :class:`MCFuserTuner` overrides
-            (``population_size``, ``max_rounds``, ...) for every tune.
+            (``population_size``, ``max_rounds``, ``verify``, ...) for
+            every tune.
         tune_fn: Override for the tune step itself (tests inject slow or
             instrumented tunes); receives the internal job and must return
             a :class:`TuneReport`. Defaults to a fresh ``MCFuserTuner``
@@ -205,9 +209,13 @@ class CompileService:
         queue_limit: int = 256,
         telemetry: MetricsRegistry | None = None,
         seed: int = 0,
+        exec_backend: str = "auto",
         tuner_kwargs: dict | None = None,
         tune_fn=None,
     ) -> None:
+        from repro.codegen.interpreter import validate_exec_backend
+
+        validate_exec_backend(exec_backend)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
@@ -221,6 +229,7 @@ class CompileService:
         else:  # a bare ScheduleCache or None
             self.tiered = TieredCache(cache, telemetry=self.telemetry)
         self.seed = seed
+        self.exec_backend = exec_backend
         self.tuner_kwargs = dict(tuner_kwargs or {})
         self._tune_fn = tune_fn if tune_fn is not None else self._default_tune
         self.queue_limit = queue_limit
@@ -309,7 +318,8 @@ class CompileService:
         entry, tier = self.tiered.lookup(signature)
         if entry is not None:
             report = report_from_entry(
-                chain, self.gpu, entry, variant=variant, strategy=strategy
+                chain, self.gpu, entry, variant=variant, strategy=strategy,
+                exec_backend=self.exec_backend,
             )
             self.telemetry.counter(f"serve.hits.{tier}").inc()
             ticket._resolve(report, tier, self.telemetry.histogram("serve.latency.warm"))
@@ -338,7 +348,8 @@ class CompileService:
                     self.tiered.hot.put(signature, entry)
             if entry is not None:
                 report = report_from_entry(
-                    chain, self.gpu, entry, variant=variant, strategy=strategy
+                    chain, self.gpu, entry, variant=variant, strategy=strategy,
+                    exec_backend=self.exec_backend,
                 )
                 self.telemetry.counter(f"serve.hits.{recheck_tier}").inc()
                 ticket._resolve(
@@ -456,6 +467,7 @@ class CompileService:
             seed=job.seed,
             strategy=job.strategy,
             workers=job.measure_workers,
+            exec_backend=self.exec_backend,
             **job.tuner_kwargs,
         )
         return tuner.tune(job.chain)

@@ -42,6 +42,21 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["tune", "G1", "--strategy", "quantum"])
 
+    def test_tune_exec_backend_and_verify(self, capsys):
+        assert main(["tune", "G1", "--exec-backend", "vectorized",
+                     "--verify", "best", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "exec:  vectorized backend (verified against reference)" in out
+
+    def test_tune_scalar_backend_unverified(self, capsys):
+        assert main(["tune", "G1", "--exec-backend", "scalar", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "exec:  scalar backend (unverified)" in out
+
+    def test_tune_unknown_exec_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "G1", "--exec-backend", "cuda"])
+
     def test_list_shows_strategies(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

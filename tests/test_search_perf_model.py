@@ -46,6 +46,28 @@ class TestEquations:
         assert a_big > 1.0
 
 
+class TestDegenerateGrid:
+    def test_fully_collapsed_grid_estimates(self, small_gemm):
+        """Full-extent tiles collapse every grid loop to extent 1; the
+        estimate must stay finite and well-defined."""
+        tiles = {l: s for l, s in small_gemm.loops.items()}
+        schedule = build_schedule(small_gemm, TilingExpr.parse("mhnk"), tiles)
+        assert all(e == 1 for _, e in schedule.grid_dims if _ != "b")
+        est = estimate_time(schedule, A100)
+        assert est.total > 0 and est.total < float("inf")
+
+    def test_zero_block_grid_clamped(self, schedule):
+        """Regression: a degenerate schedule reporting a zero-block grid
+        must not hand eq. (5) a ZeroDivisionError mid-search."""
+        schedule.grid_dims = ()  # prod(()) == 1, still fine
+        est = estimate_time(schedule, A100)
+        assert est.alpha == pytest.approx(1 + A100.num_sms)
+        schedule.grid_dims = (("m", 0),)  # the pathological handoff
+        est = estimate_time(schedule, A100)
+        assert est.alpha == pytest.approx(1 + A100.num_sms)
+        assert est.total < float("inf")
+
+
 class TestModels:
     def test_analytical_positive(self, schedule):
         assert AnalyticalModel(A100)(schedule) > 0

@@ -117,3 +117,99 @@ class TestTuningClock:
         b.charge("space_generation")
         a.merge(b)
         assert a.seconds == pytest.approx(2 * COSTS["space_generation"])
+
+
+class TestExecBackendAndVerification:
+    CHAIN_KW = dict(population_size=96, top_n=6, max_rounds=3, min_rounds=2)
+
+    def _chain(self, name):
+        return gemm_chain(1, 256, 256, 64, 64, name=name)
+
+    def test_report_records_resolved_backend(self):
+        report = MCFuserTuner(A100, seed=0, **self.CHAIN_KW).tune(self._chain("eb-r"))
+        assert report.exec_backend in ("vectorized", "scalar")
+        assert not report.verified
+
+    def test_verify_best_marks_report(self):
+        report = MCFuserTuner(A100, seed=0, verify="best", **self.CHAIN_KW).tune(
+            self._chain("eb-vb")
+        )
+        assert report.verified
+        assert report.exec_backend == "vectorized"
+
+    def test_verify_all_matches_unverified_search(self):
+        """Every candidate the simulator accepts is numerically correct on
+        these chains, so verify='all' must not change the outcome."""
+        plain = MCFuserTuner(A100, seed=0, **self.CHAIN_KW).tune(self._chain("eb-p"))
+        checked = MCFuserTuner(A100, seed=0, verify="all", **self.CHAIN_KW).tune(
+            self._chain("eb-p")
+        )
+        assert checked.verified
+        assert checked.best_candidate.key == plain.best_candidate.key
+        assert checked.best_time == plain.best_time
+
+    def test_backends_agree_on_results(self):
+        scalar = MCFuserTuner(A100, seed=0, exec_backend="scalar", **self.CHAIN_KW).tune(
+            self._chain("eb-s")
+        )
+        vector = MCFuserTuner(
+            A100, seed=0, exec_backend="vectorized", **self.CHAIN_KW
+        ).tune(self._chain("eb-s"))
+        assert scalar.best_candidate.key == vector.best_candidate.key
+        assert scalar.best_time == vector.best_time
+        assert scalar.exec_backend == "scalar"
+        assert vector.exec_backend == "vectorized"
+
+    def test_cache_hit_reverified(self, tmp_path):
+        from repro.cache import ScheduleCache
+
+        cache = ScheduleCache(tmp_path / "c")
+        chain = self._chain("eb-c")
+        cold = MCFuserTuner(A100, seed=0, cache=cache, verify="best", **self.CHAIN_KW).tune(chain)
+        warm = MCFuserTuner(A100, seed=0, cache=cache, verify="best", **self.CHAIN_KW).tune(chain)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.verified
+        assert warm.exec_backend == cold.exec_backend
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            MCFuserTuner(A100, exec_backend="cuda")
+        with pytest.raises(ValueError):
+            MCFuserTuner(A100, verify="sometimes")
+
+    def test_wrong_schedule_detected(self):
+        """check_schedule flags a schedule built for different shapes."""
+        from repro.tiling.expr import TilingExpr
+        from repro.tiling.schedule import build_schedule
+
+        tuner = MCFuserTuner(A100, seed=0, verify="best", **self.CHAIN_KW)
+        chain = self._chain("eb-w")
+        good = build_schedule(
+            chain, TilingExpr.parse("mhnk"), {"m": 32, "n": 32, "k": 16, "h": 16}
+        )
+        assert tuner.check_schedule(good)
+        # an invalid-order schedule fails closed (interpreter error -> False)
+        bad = build_schedule(
+            chain, TilingExpr.parse("mhkn"), {"m": 32, "n": 16, "k": 16, "h": 16}
+        )
+        assert not tuner.check_schedule(bad)
+
+    def test_verify_data_keyed_by_content_not_name(self):
+        """Two chains sharing a name must not share verification data."""
+        tuner = MCFuserTuner(A100, seed=0, verify="best", **self.CHAIN_KW)
+        a = tuner.tune(gemm_chain(1, 256, 256, 64, 64, name="same-name"))
+        b = tuner.tune(gemm_chain(1, 128, 128, 32, 32, name="same-name"))
+        assert a.verified and b.verified
+
+    def test_warm_hit_reports_resolved_backend(self, tmp_path):
+        """Cache hits resolve 'auto' to a concrete backend like cold tunes."""
+        from repro.cache import ScheduleCache
+        from repro.search.tuner import report_from_entry
+
+        cache = ScheduleCache(tmp_path / "c")
+        chain = self._chain("eb-rb")
+        cold = MCFuserTuner(A100, seed=0, cache=cache, **self.CHAIN_KW).tune(chain)
+        entry = cache.get(chain, A100, "mcfuser")
+        warm = report_from_entry(chain, A100, entry)
+        assert warm.exec_backend in ("vectorized", "scalar")
+        assert warm.exec_backend == cold.exec_backend

@@ -370,3 +370,18 @@ class TestServeCLI:
         from repro.experiments import ALL_EXPERIMENTS
 
         assert "serve" in ALL_EXPERIMENTS
+
+
+class TestExecBackend:
+    def test_backend_threaded_into_reports(self):
+        with quick_service(exec_backend="vectorized") as svc:
+            cold = svc.compile(chain_for(60))
+            warm = svc.compile(chain_for(60))
+        assert cold.source == "tuned"
+        assert cold.report.exec_backend == "vectorized"
+        assert warm.source == "hot"
+        assert warm.report.exec_backend == "vectorized"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            CompileService(A100, exec_backend="cuda")
