@@ -57,6 +57,8 @@ def _suite_for(node) -> str:
     name = node.module.__name__
     if "serve" in name:
         return "serve"
+    if "compiled" in name:
+        return "compiled"
     if "exec" in name:
         return "exec"
     return "core"

@@ -65,7 +65,7 @@ def _time_backend(schedule, inputs, backend, repeats):
 def test_vectorized_speedup(case, run_once):
     chain, expr, tiles = CASES[case]()
     schedule = build_schedule(chain, TilingExpr.parse(expr), tiles)
-    assert resolve_exec_backend(schedule) == "vectorized"
+    assert resolve_exec_backend(schedule, "vectorized") == "vectorized"
     inputs = chain.random_inputs(0)
     ref = chain.reference(inputs)[chain.output]
 

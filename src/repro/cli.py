@@ -32,7 +32,7 @@ point at a non-default store with ``--cache-dir`` (or ``$REPRO_CACHE_DIR``).
 the pruned space, and ``tune`` accepts ``--workers`` to parallelize the
 per-round top-n measurements; cached schedules are keyed per strategy.
 ``tune --exec-backend`` picks the numeric execution engine
-(``vectorized``/``scalar``/``auto``) and ``tune --verify best|all``
+(``compiled``/``vectorized``/``scalar``/``auto``) and ``tune --verify best|all``
 executes tuned schedules against the unfused reference.
 
 Examples::
@@ -428,9 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--exec-backend", default="auto",
                         choices=EXEC_BACKENDS,
                         help="numeric execution engine for tuned schedules: "
-                             "vectorized (batched tile program), scalar "
-                             "(per-cell interpreter), or auto (vectorized "
-                             "with scalar fallback)")
+                             "compiled (native C kernel), vectorized "
+                             "(batched tile program), scalar (per-cell "
+                             "interpreter), or auto (compiled when "
+                             "available and worthwhile, then vectorized, "
+                             "then scalar)")
     p_tune.add_argument("--verify", default="off", choices=VERIFY_MODES,
                         help="numeric verification: best = execute the "
                              "winning schedule against the unfused "

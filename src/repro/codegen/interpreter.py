@@ -18,6 +18,7 @@ expressions and tile sizes.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,12 +33,33 @@ __all__ = [
     "validate_exec_backend",
     "InterpreterError",
     "EXEC_BACKENDS",
+    "COMPILED_MIN_FLOPS",
 ]
 
 #: Valid values for the ``backend`` argument of :func:`execute_schedule`.
-#: ``auto`` runs the vectorized executor when the schedule lowers to a flat
-#: batched program and falls back to this scalar interpreter otherwise.
-EXEC_BACKENDS = ("auto", "vectorized", "scalar")
+#: ``auto`` prefers the native compiled backend (when a C compiler is
+#: available, the schedule renders, and the workload is big enough to
+#: amortize a compile — see :data:`COMPILED_MIN_FLOPS`), then the
+#: vectorized executor when the schedule lowers to a flat batched program,
+#: then this scalar interpreter.
+EXEC_BACKENDS = ("auto", "compiled", "vectorized", "scalar")
+
+#: ``auto`` only routes to the compiled backend for schedules at or above
+#: this many total FLOPs: a gcc/clang invocation costs ~100ms, so tiny
+#: (test-sized) problems would pay more compiling than executing. Pinning
+#: ``backend="compiled"`` ignores the threshold; override it with
+#: ``$REPRO_COMPILED_MIN_FLOPS`` (0 makes ``auto`` always prefer compiled).
+COMPILED_MIN_FLOPS = 3.2e7
+
+
+def _compiled_min_flops() -> float:
+    env = os.environ.get("REPRO_COMPILED_MIN_FLOPS")
+    if env is None:
+        return COMPILED_MIN_FLOPS
+    try:
+        return float(env)
+    except ValueError:
+        return COMPILED_MIN_FLOPS
 
 _NEG_INF = np.float32(-np.inf)
 
@@ -371,9 +393,18 @@ def execute_schedule(
       unrolled statement, batched over all grid cells. Raises
       :class:`~repro.codegen.program.LoweringError` for programs it cannot
       express;
-    * ``"auto"``       — vectorized when the schedule lowers, scalar
-      otherwise (the default; both backends are differentially tested to
-      agree within fp32 tolerance).
+    * ``"compiled"``   — the native C backend
+      (:mod:`repro.codegen.render_c` / :mod:`repro.codegen.clang_runtime`):
+      the lowered program is rendered to C, compiled once (cached by
+      source hash) and executed in-process. Raises
+      :class:`~repro.codegen.program.LoweringError` when the schedule does
+      not lower and :class:`~repro.codegen.render_c.RenderError` (including
+      its compile-failure subclasses) when no native kernel can be built;
+    * ``"auto"``       — compiled when a C compiler is present, the
+      schedule renders, and the workload clears
+      :data:`COMPILED_MIN_FLOPS`; else vectorized when the schedule
+      lowers; else scalar (the default; all backends are differentially
+      tested to agree within fp32 tolerance).
 
     Returns a dict with every chain *output* tensor (normally one). Raises
     :class:`InterpreterError` for schedules the pruning rules should have
@@ -386,18 +417,49 @@ def execute_schedule(
 
         program = try_lower(schedule, backend)
         if program is not None:
+            if backend == "compiled" or (
+                backend == "auto" and _auto_prefers_compiled(schedule)
+            ):
+                from repro.codegen.clang_runtime import execute_program_compiled
+                from repro.codegen.render_c import RenderError
+
+                try:
+                    return execute_program_compiled(program, inputs)
+                except RenderError:
+                    if backend == "compiled":
+                        raise
+                    # auto: graceful fallback to the vectorized executor.
             return execute_program(program, inputs)
     return _Executor(schedule, inputs).run()
+
+
+def _auto_prefers_compiled(schedule: Schedule) -> bool:
+    """Whether ``auto`` routes a (lowerable) schedule to the compiled
+    backend: compiler present, workload big enough to amortize a compile,
+    and the program passes the render-time verifier."""
+    from repro.codegen.clang_runtime import compiler_available
+    from repro.codegen.render_c import schedule_renderable
+
+    if not compiler_available():
+        return False
+    if schedule.total_flops() < _compiled_min_flops():
+        return False
+    return schedule_renderable(schedule)
 
 
 def resolve_exec_backend(schedule: Schedule, backend: str = "auto") -> str:
     """The concrete backend :func:`execute_schedule` would run for ``schedule``.
 
-    ``"auto"`` resolves to ``"vectorized"`` when the schedule lowers to a
-    flat batched program and to ``"scalar"`` otherwise; explicit choices
-    resolve to themselves (``"vectorized"`` raises
-    :class:`~repro.codegen.program.LoweringError` if unsupported, exactly
-    as execution would).
+    ``"auto"`` resolves to ``"compiled"`` when the schedule lowers,
+    renders, a C compiler is present and the workload clears
+    :data:`COMPILED_MIN_FLOPS`; to ``"vectorized"`` when the schedule
+    merely lowers; and to ``"scalar"`` otherwise. Explicit choices resolve
+    to themselves, raising exactly what execution would
+    (:class:`~repro.codegen.program.LoweringError` for an unlowerable
+    schedule on ``"vectorized"``/``"compiled"``,
+    :class:`~repro.codegen.render_c.RenderError` /
+    :class:`~repro.codegen.clang_runtime.CompilerNotFoundError` for an
+    unrenderable program or missing toolchain on ``"compiled"``).
     """
     validate_exec_backend(backend)
     if backend == "scalar":
@@ -405,8 +467,19 @@ def resolve_exec_backend(schedule: Schedule, backend: str = "auto") -> str:
     from repro.codegen.program import lower_schedule, schedule_lowerable
 
     if schedule_lowerable(schedule):
-        return "vectorized"
-    if backend == "vectorized":
+        if backend == "vectorized":
+            return "vectorized"
+        if backend == "compiled":
+            from repro.codegen.clang_runtime import require_compiler
+            from repro.codegen.render_c import render_program, schedule_renderable
+
+            require_compiler()
+            if not schedule_renderable(schedule):
+                render_program(lower_schedule(schedule))  # re-raise RenderError
+                raise AssertionError("renderable verdict disagreed with rendering")
+            return "compiled"
+        return "compiled" if _auto_prefers_compiled(schedule) else "vectorized"
+    if backend in ("vectorized", "compiled"):
         lower_schedule(schedule)  # re-raise the descriptive LoweringError
         raise AssertionError("lowerable verdict disagreed with lowering")
     return "scalar"

@@ -31,7 +31,7 @@ the ``auto`` backend treats as "fall back to the scalar interpreter":
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.codegen.interpreter import InterpreterError
 from repro.tiling.schedule import LoopScope, Schedule, Statement
@@ -145,6 +145,17 @@ def lower_schedule(
     :class:`~repro.tiling.schedule.InvalidScheduleError` for schedules no
     backend may run.
     """
+    memo_key = None
+    if max_ops == MAX_PROGRAM_OPS and max_gather_bytes == MAX_GATHER_BYTES:
+        memo_key = _content_key(schedule)
+        hit = _LOWER_MEMO.get(memo_key)
+        if hit is not None:
+            # The unrolled ops depend only on schedule content; hand back
+            # the caller's own schedule object so downstream identity
+            # checks and tile lookups see exactly what was passed in.
+            if hit.schedule is schedule:
+                return hit
+            return replace(hit, schedule=schedule)
     schedule.check_valid()
     _check_expressible(schedule)
     grid_loops = tuple(schedule.grid_dims)
@@ -181,7 +192,12 @@ def lower_schedule(
                 del idx[item.loop]
 
     walk(schedule.root, {})
-    return TileProgram(schedule=schedule, ops=tuple(ops), grid_loops=grid_loops)
+    program = TileProgram(schedule=schedule, ops=tuple(ops), grid_loops=grid_loops)
+    if memo_key is not None:
+        if len(_LOWER_MEMO) >= _LOWER_MEMO_CAP:
+            _LOWER_MEMO.clear()
+        _LOWER_MEMO[memo_key] = program
+    return program
 
 
 def try_lower(schedule: Schedule, backend: str = "auto") -> TileProgram | None:
@@ -190,9 +206,9 @@ def try_lower(schedule: Schedule, backend: str = "auto") -> TileProgram | None:
     Returns the :class:`TileProgram` when the schedule is expressible,
     ``None`` when it is not and the backend allows falling back to the
     scalar interpreter (``"auto"``) or is pinned to it (``"scalar"``);
-    a pinned ``"vectorized"`` backend re-raises the :class:`LoweringError`.
-    This is the single place the fallback policy lives — the dispatchers
-    in :mod:`repro.codegen.interpreter` and
+    a pinned ``"vectorized"`` or ``"compiled"`` backend re-raises the
+    :class:`LoweringError`. This is the single place the fallback policy
+    lives — the dispatchers in :mod:`repro.codegen.interpreter` and
     :class:`~repro.codegen.runtime.OperatorModule` all route through it.
     """
     if backend == "scalar":
@@ -200,7 +216,7 @@ def try_lower(schedule: Schedule, backend: str = "auto") -> TileProgram | None:
     try:
         return lower_schedule(schedule)
     except LoweringError:
-        if backend == "vectorized":
+        if backend in ("vectorized", "compiled"):
             raise
         return None
 
@@ -210,6 +226,12 @@ def try_lower(schedule: Schedule, backend: str = "auto") -> TileProgram | None:
 #: the verdict keeps `resolve_exec_backend` off the unroll path there.
 _LOWERABLE_MEMO: dict[int, bool] = {}
 _LOWERABLE_MEMO_CAP = 4096
+
+#: schedule content key -> unrolled program (default caps only). The op
+#: list is pure in schedule content, so repeat executions of one schedule
+#: skip the residual-loop walk; hits re-bind the caller's schedule object.
+_LOWER_MEMO: dict[int, TileProgram] = {}
+_LOWER_MEMO_CAP = 256
 
 
 def _content_key(schedule: Schedule) -> int:

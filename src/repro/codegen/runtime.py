@@ -18,8 +18,12 @@ from repro.cache.signature import schedule_signature
 from repro.cache.store import LRUCache
 from repro.codegen.interpreter import execute_schedule, validate_exec_backend
 from repro.codegen.program import TileProgram, try_lower
-from repro.codegen.ptx import emit_ptx
-from repro.codegen.triton_ir import TritonProgram, triton_from_schedule
+from repro.codegen.ptx import emit_ptx, emit_ptx_from_program
+from repro.codegen.triton_ir import (
+    TritonProgram,
+    triton_from_program,
+    triton_from_schedule,
+)
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.specs import GPUSpec
@@ -40,8 +44,8 @@ class OperatorModule:
     """A compiled fused MBCI kernel bound to one GPU.
 
     ``exec_backend`` selects how :meth:`run` executes the schedule
-    numerically (``"auto"``/``"vectorized"``/``"scalar"`` — see
-    :func:`~repro.codegen.interpreter.execute_schedule`);
+    numerically (``"auto"``/``"compiled"``/``"vectorized"``/``"scalar"`` —
+    see :func:`~repro.codegen.interpreter.execute_schedule`);
     :attr:`resolved_exec_backend` reports the concrete engine ``auto``
     picks for this schedule.
     """
@@ -68,16 +72,26 @@ class OperatorModule:
     @cached_property
     def resolved_exec_backend(self) -> str:
         """The concrete executor ``run`` uses (``auto`` resolved)."""
-        return "scalar" if self.program is None else "vectorized"
+        if self.program is None:
+            return "scalar"
+        from repro.codegen.interpreter import resolve_exec_backend
+
+        return resolve_exec_backend(self.schedule, self.exec_backend)
 
     @cached_property
     def triton(self) -> TritonProgram:
-        """The tile-level Triton program this module was generated from."""
+        """The tile-level Triton program this module was generated from
+        (emitted from the lowered flat program when one exists, so the
+        source is validated against what actually executes)."""
+        if self.program is not None:
+            return triton_from_program(self.program)
         return triton_from_schedule(self.schedule)
 
     @cached_property
     def ptx(self) -> str:
         """Pseudo-PTX listing (what ``loadfile_ptx`` would ingest)."""
+        if self.program is not None:
+            return emit_ptx_from_program(self.program, self.gpu)
         return emit_ptx(self.schedule, self.gpu)
 
     def run(
@@ -94,6 +108,16 @@ class OperatorModule:
         if self.program is not None:
             from repro.codegen.vectorized import execute_program
 
+            if self.resolved_exec_backend == "compiled":
+                from repro.codegen.clang_runtime import execute_program_compiled
+                from repro.codegen.render_c import RenderError
+
+                try:
+                    return execute_program_compiled(self.program, inputs)
+                except RenderError:
+                    if self.exec_backend == "compiled":
+                        raise
+                    # auto: graceful fallback to the vectorized executor.
             return execute_program(self.program, inputs)
         return execute_schedule(self.schedule, inputs, backend="scalar")
 

@@ -18,15 +18,20 @@ that round-trip:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.tiling.expr import LoopNest, TilingExpr
 from repro.tiling.schedule import LoopScope, Schedule, Statement
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.codegen.program import TileProgram
 
 __all__ = [
     "TIRLoop",
     "TIRStmt",
     "TIRModule",
     "tir_from_schedule",
+    "tir_from_program",
     "extract_tiling_expr",
     "TIRScheduleBuilder",
 ]
@@ -123,6 +128,42 @@ def tir_from_schedule(schedule: Schedule) -> TIRModule:
         body = [bound]
     name = f"fused_{schedule.chain.name}".replace("-", "_")
     return TIRModule(name=name, body=body)
+
+
+def tir_from_program(program: "TileProgram") -> TIRModule:
+    """Lower a flat :class:`TileProgram` to TIR.
+
+    The TIR module is structural (its statements carry no residual
+    indices), so this delegates to the schedule walk — but, like the other
+    program-targeted emitters, it validates the loop structure against the
+    unrolled op list: the serial-loop-weighted statement counts must replay
+    to exactly the flat program's per-cell op counts.
+    """
+    from repro.codegen.render_c import RenderError
+
+    module = tir_from_schedule(program.schedule)
+    per_kind = {"load": 0, "compute": 0, "store": 0}
+    for op in program.ops:
+        per_kind[op.kind] += 1
+
+    counts = {"load": 0, "compute": 0, "store": 0}
+
+    def walk(items: list[TIRLoop | TIRStmt], mult: int) -> None:
+        for item in items:
+            if isinstance(item, TIRStmt):
+                counts[item.kind] += mult
+            else:
+                walk(item.body, mult if item.bind else mult * item.extent)
+
+    walk(module.body, 1)
+    for kind, expect in per_kind.items():
+        if counts[kind] != expect:
+            raise RenderError(
+                f"TIR emission of {program.schedule.describe()} disagrees with "
+                f"the flat program: {counts[kind]} dynamic {kind} statements "
+                f"vs {expect} unrolled"
+            )
+    return module
 
 
 def extract_tiling_expr(module: TIRModule) -> TilingExpr:

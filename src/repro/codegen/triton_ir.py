@@ -4,19 +4,35 @@ MCFuser delegates intra-tile optimization to Triton: it emits a tile-level
 program (block pointers, ``tl.load``/``tl.dot``/``tl.store`` and the
 online-softmax primitives) and lets Triton handle coalescing, swizzling,
 vectorization and tensor-core instruction selection. We reproduce the
-*inter-tile* structure faithfully: :func:`triton_from_schedule` turns a
-:class:`Schedule` into a :class:`TritonProgram` whose rendering is a
-readable Triton-style kernel, and whose operation counts feed the PTX
-emitter (:mod:`repro.codegen.ptx`).
+*inter-tile* structure faithfully: :func:`triton_from_program` turns a
+lowered :class:`~repro.codegen.program.TileProgram` into a
+:class:`TritonProgram` whose rendering is a readable Triton-style kernel,
+and whose operation counts feed the PTX emitter
+(:mod:`repro.codegen.ptx`). The emission walks the same residual loop
+tree as the C renderer (:mod:`repro.codegen.render_c`) and is
+cross-checked against the flat op list: the loop-weighted dynamic counts
+must replay to exactly the per-cell op counts of the unrolled program.
+:func:`triton_from_schedule` remains for schedules that do not lower
+(emission is purely structural, so no flat form is required).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.tiling.schedule import LoopScope, Schedule, Statement
 
-__all__ = ["TritonOp", "TritonLoop", "TritonProgram", "triton_from_schedule"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.codegen.program import TileProgram
+
+__all__ = [
+    "TritonOp",
+    "TritonLoop",
+    "TritonProgram",
+    "triton_from_schedule",
+    "triton_from_program",
+]
 
 
 @dataclass
@@ -160,3 +176,30 @@ def triton_from_schedule(schedule: Schedule) -> TritonProgram:
         tile_params={l: schedule.tiles[l] for l in chain.loop_names},
         body=preamble + lower(schedule.root),
     )
+
+
+def triton_from_program(program: "TileProgram") -> TritonProgram:
+    """Emit the tile-level Triton program from a lowered flat program.
+
+    This is the primary emission entry point: the same schedule walk the C
+    renderer performs, with the result *validated* against the unrolled op
+    list — for every statement kind, the loop-weighted dynamic count of
+    the emitted program must equal the per-cell count of flat ops. A
+    mismatch means the emitted loop structure diverged from what actually
+    executes and raises :class:`~repro.codegen.render_c.RenderError`.
+    """
+    from repro.codegen.render_c import RenderError
+
+    emitted = triton_from_schedule(program.schedule)
+    flat = {"load": 0, "dot": 0, "store": 0}
+    for op in program.ops:
+        flat[{"load": "load", "compute": "dot", "store": "store"}[op.kind]] += 1
+    for kind, expect in flat.items():
+        got = emitted.dynamic_count(kind)
+        if got != expect:
+            raise RenderError(
+                f"triton emission of {program.schedule.describe()} disagrees "
+                f"with the flat program: {got} dynamic {kind} ops vs "
+                f"{expect} unrolled"
+            )
+    return emitted

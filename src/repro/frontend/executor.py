@@ -196,7 +196,8 @@ def compile_model(
     compiler stack handles which part of the graph.
 
     ``exec_backend`` picks the numeric execution engine compiled MBCI
-    modules run under (``"auto"``/``"vectorized"``/``"scalar"``; see
+    modules run under (``"auto"``/``"compiled"``/``"vectorized"``/
+    ``"scalar"``; see
     :func:`repro.codegen.interpreter.execute_schedule`);
     ``detail["exec_backend"]`` histograms the backend ``auto`` resolved for
     each fused module (e.g. ``{"vectorized": 12}``).

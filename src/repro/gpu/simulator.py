@@ -105,7 +105,7 @@ class GPUSimulator:
         jitter: Set ``False`` for exact, noise-free timings (useful in
             tests and in the roofline experiment).
         exec_backend: Default numeric execution engine for
-            :meth:`execute` (``"auto"``/``"vectorized"``/``"scalar"`` —
+            :meth:`execute` (``"auto"``/``"compiled"``/``"vectorized"``/``"scalar"`` —
             see :func:`repro.codegen.interpreter.execute_schedule`).
             Timing (:meth:`run`) is analytic and backend-independent.
     """

@@ -105,7 +105,7 @@ class TuneReport:
     #: Measurement worker-pool width the tuning run used.
     workers: int = 1
     #: Concrete execution backend `best_schedule` runs under (``auto``
-    #: resolved to ``"vectorized"`` or ``"scalar"``).
+    #: resolved to ``"compiled"``, ``"vectorized"`` or ``"scalar"``).
     exec_backend: str = "auto"
     #: True when the best schedule was executed against the unfused
     #: reference as part of this tune (``verify="best"`` or ``"all"``).
@@ -136,7 +136,8 @@ def report_from_entry(
     hits without constructing a tuner. ``chain`` must have the structure
     the entry was created from; callers guarantee that by having matched
     the workload signature. ``exec_backend`` is resolved to the concrete
-    engine the rebuilt schedule runs under (``"vectorized"``/``"scalar"``),
+    engine the rebuilt schedule runs under (``"compiled"``/``"vectorized"``/
+    ``"scalar"``),
     matching cold-path reports.
     """
     expr = TilingExpr.parse(entry.expr)
@@ -202,8 +203,9 @@ class MCFuserTuner:
             the simulated wall clock is billed as the batch makespan.
         exec_backend: Numeric execution engine for every schedule this
             tuner runs (verification, ``report.best_schedule`` execution):
-            ``"auto"`` (vectorized with scalar fallback), ``"vectorized"``,
-            or ``"scalar"``.
+            ``"auto"`` (compiled when available and worthwhile, then
+            vectorized, then scalar), ``"compiled"``, ``"vectorized"``, or
+            ``"scalar"``.
         verify: :data:`VERIFY_MODES` member. ``"best"`` executes the
             winning schedule against ``chain.reference`` (raising
             :class:`VerificationError` on mismatch); ``"all"`` executes

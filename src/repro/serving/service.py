@@ -189,8 +189,8 @@ class CompileService:
         telemetry: Metrics registry; one is created when omitted.
         seed: Default search seed for tunes triggered by this service.
         exec_backend: Numeric execution backend threaded into every tuner
-            this service constructs (``"auto"``/``"vectorized"``/
-            ``"scalar"``) and stamped on served reports.
+            this service constructs (``"auto"``/``"compiled"``/
+            ``"vectorized"``/``"scalar"``) and stamped on served reports.
         tuner_kwargs: Default :class:`MCFuserTuner` overrides
             (``population_size``, ``max_rounds``, ``verify``, ...) for
             every tune.

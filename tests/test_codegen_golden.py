@@ -1,0 +1,113 @@
+"""Golden-source tests: canonical TilePrograms render to checked-in text.
+
+Two canonical lowered programs — flat-tiled attention (online softmax) and
+a 3-GEMM chain with a recomputed producer — must render to exactly the C
+and Triton sources stored under ``tests/golden/``, compared with
+normalized whitespace. Any intentional change to either emitter is made
+visible in review as a diff of the golden files.
+
+Regenerate after an intentional emitter change with::
+
+    PYTHONPATH=src python tests/test_codegen_golden.py --regen
+"""
+
+import pathlib
+
+import pytest
+
+from repro.codegen.program import lower_schedule
+from repro.codegen.render_c import render_program
+from repro.codegen.triton_ir import triton_from_program
+from repro.ir.chain import attention_chain, gemm3_chain
+from repro.tiling.expr import TilingExpr
+from repro.tiling.schedule import build_schedule
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def _attention_program():
+    chain = attention_chain(2, 64, 64, 32, 32, name="golden-attn")
+    schedule = build_schedule(
+        chain, TilingExpr.parse("mn(k,h)"), {"m": 32, "n": 32, "k": 32, "h": 32}
+    )
+    return lower_schedule(schedule)
+
+
+def _gemm3_program():
+    chain = gemm3_chain(2, 40, 25, 70, 66, 42, name="golden-3gemm")
+    schedule = build_schedule(
+        chain,
+        TilingExpr.parse("npmhk"),
+        {"m": 8, "n": 32, "k": 8, "h": 16, "p": 19},
+    )
+    return lower_schedule(schedule)
+
+
+CASES = {
+    "attention": _attention_program,
+    "gemm3": _gemm3_program,
+}
+
+
+def normalize(text: str) -> str:
+    """Whitespace-insensitive comparison form: trailing space and blank
+    lines are noise, indentation and token spacing are semantics."""
+    return "\n".join(
+        line.rstrip() for line in text.strip().splitlines() if line.strip()
+    )
+
+
+def _render(name: str) -> tuple[str, str]:
+    program = CASES[name]()
+    return render_program(program).source, triton_from_program(program).render()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_c_source_matches_golden(name):
+    c_source, _ = _render(name)
+    golden = (GOLDEN_DIR / f"{name}.c").read_text()
+    assert normalize(c_source) == normalize(golden), (
+        f"C emission for {name} changed; regenerate tests/golden/{name}.c "
+        "if intentional (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_triton_source_matches_golden(name):
+    _, triton_source = _render(name)
+    golden = (GOLDEN_DIR / f"{name}.triton").read_text()
+    assert normalize(triton_source) == normalize(golden), (
+        f"Triton emission for {name} changed; regenerate "
+        f"tests/golden/{name}.triton if intentional (see module docstring)"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_structure(name):
+    """Load-bearing structure of the canonical kernels, independent of the
+    exact golden text: entry point, softmax machinery, accumulator reset."""
+    program = CASES[name]()
+    meta = render_program(program)
+    assert meta.entry == "mcfuser_kernel"
+    assert "#pragma omp parallel for" in meta.source
+    assert "-ffast-math" not in meta.source
+    if name == "attention":
+        assert "INFINITY" in meta.source  # row-max init for online softmax
+        assert "expf" in meta.source
+    if name == "gemm3":
+        # the recomputed producer resets on every fresh reduction sweep
+        assert meta.source.count("memset") >= 3
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for name in CASES:
+            c_source, triton_source = _render(name)
+            (GOLDEN_DIR / f"{name}.c").write_text(c_source)
+            (GOLDEN_DIR / f"{name}.triton").write_text(triton_source + "\n")
+            print(f"regenerated {name}")
+    else:
+        print(__doc__)

@@ -1,11 +1,16 @@
 """Unit tests for the TIR lowering and the tiling-expression round-trip."""
 
+import dataclasses
+
 import pytest
 
+from repro.codegen.program import lower_schedule
+from repro.codegen.render_c import RenderError
 from repro.codegen.tir import (
     TIRScheduleBuilder,
     TIRStmt,
     extract_tiling_expr,
+    tir_from_program,
     tir_from_schedule,
 )
 from repro.tiling.enumeration import all_tilings
@@ -51,6 +56,42 @@ class TestRoundTrip:
         )
         recovered = extract_tiling_expr(tir_from_schedule(sched))
         assert recovered.render() == sched.residual.render()
+
+
+class TestProgramTIR:
+    """tir_from_program: the schedule walk cross-checked against the
+    unrolled flat op list."""
+
+    def test_matches_schedule_emission(self, small_gemm):
+        sched = build_schedule(small_gemm, TilingExpr.parse("mhnk"), TILES)
+        program = lower_schedule(sched)
+        assert tir_from_program(program).render() == tir_from_schedule(sched).render()
+
+    def test_validates_every_lowerable_expression(self, small_gemm):
+        from repro.codegen.program import LoweringError
+        from repro.tiling.schedule import InvalidScheduleError
+
+        checked = 0
+        for expr in all_tilings(small_gemm):
+            sched = build_schedule(small_gemm, expr, TILES)
+            try:
+                program = lower_schedule(sched)
+            except (LoweringError, InvalidScheduleError):
+                continue
+            module = tir_from_program(program)
+            recovered = extract_tiling_expr(module)
+            assert recovered.render() == sched.residual.render()
+            checked += 1
+        assert checked >= 1
+
+    def test_tampered_program_rejected(self, small_gemm):
+        """A flat program that disagrees with the schedule's loop structure
+        must be refused, not silently emitted."""
+        sched = build_schedule(small_gemm, TilingExpr.parse("mhnk"), TILES)
+        program = lower_schedule(sched)
+        tampered = dataclasses.replace(program, ops=program.ops[:-1])
+        with pytest.raises(RenderError):
+            tir_from_program(tampered)
 
 
 class TestScheduleBuilder:

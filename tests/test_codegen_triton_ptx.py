@@ -1,9 +1,20 @@
 """Unit tests for Triton-IR emission and pseudo-PTX lowering."""
 
+import dataclasses
+
 import pytest
 
-from repro.codegen.ptx import MMA_K, MMA_M, MMA_N, emit_ptx, mma_count_for_tile
-from repro.codegen.triton_ir import triton_from_schedule
+from repro.codegen.program import lower_schedule
+from repro.codegen.ptx import (
+    MMA_K,
+    MMA_M,
+    MMA_N,
+    emit_ptx,
+    emit_ptx_from_program,
+    mma_count_for_tile,
+)
+from repro.codegen.render_c import RenderError
+from repro.codegen.triton_ir import triton_from_program, triton_from_schedule
 from repro.gpu.specs import A100, RTX3080
 from repro.ir.chain import attention_chain
 from repro.tiling.expr import TilingExpr
@@ -53,6 +64,58 @@ class TestTritonIR:
     def test_grid_matches_schedule(self, gemm_sched):
         prog = triton_from_schedule(gemm_sched)
         assert prog.grid == gemm_sched.grid_dims
+
+
+class TestProgramTriton:
+    """triton_from_program: the primary emission entry point, validated
+    against the unrolled flat program."""
+
+    def test_matches_schedule_emission(self, gemm_sched):
+        program = lower_schedule(gemm_sched)
+        assert (
+            triton_from_program(program).render()
+            == triton_from_schedule(gemm_sched).render()
+        )
+
+    def test_dynamic_counts_equal_flat_ops(self, attn_sched):
+        program = lower_schedule(attn_sched)
+        prog = triton_from_program(program)
+        flat = {"load": 0, "compute": 0, "store": 0}
+        for op in program.ops:
+            flat[op.kind] += 1
+        assert prog.dynamic_count("load") == flat["load"]
+        assert prog.dynamic_count("dot") == flat["compute"]
+        assert prog.dynamic_count("store") == flat["store"]
+
+    def test_tampered_program_rejected(self, gemm_sched):
+        program = lower_schedule(gemm_sched)
+        tampered = dataclasses.replace(program, ops=program.ops[:-1])
+        with pytest.raises(RenderError):
+            triton_from_program(tampered)
+
+
+class TestProgramPTX:
+    """emit_ptx_from_program: per-CTA trip counts come from the unrolled
+    op list instead of the analytic formula."""
+
+    def test_trips_match_flat_counts(self, gemm_sched):
+        program = lower_schedule(gemm_sched)
+        ptx = emit_ptx_from_program(program, A100)
+        per_cell: dict[tuple[str, str], int] = {}
+        for op in program.ops:
+            key = (op.kind, op.tensor)
+            per_cell[key] = per_cell.get(key, 0) + 1
+        for (kind, tensor), trips in per_cell.items():
+            verb = {"load": "Load tile", "compute": "Compute", "store": "Store tile"}[kind]
+            assert f"{verb} {tensor} x{trips}/CTA" in ptx or f"{verb} {tensor}: " in ptx
+
+    def test_same_structure_as_schedule_emission(self, gemm_sched):
+        program = lower_schedule(gemm_sched)
+        a = emit_ptx_from_program(program, A100)
+        b = emit_ptx(gemm_sched, A100)
+        # same declarations; only trip-count comments may differ
+        assert a.splitlines()[:12] == b.splitlines()[:12]
+        assert a.count("mma.sync") == b.count("mma.sync")
 
 
 class TestPTX:
