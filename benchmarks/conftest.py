@@ -59,6 +59,8 @@ def _suite_for(node) -> str:
         return "serve"
     if "compiled" in name:
         return "compiled"
+    if "cost_model" in name:
+        return "tuning"
     if "exec" in name:
         return "exec"
     return "core"

@@ -43,12 +43,15 @@ from repro.frontend import (
 from repro.gpu import A100, RTX3080, GPUSimulator, GPUSpec, KernelLaunch
 from repro.ir import ComputeChain, Graph, attention_chain, gemm3_chain, gemm_chain
 from repro.search import (
+    LearnedCostModel,
     MCFuserTuner,
+    MeasurementDataset,
     SearchStrategy,
     TuneReport,
     generate_space,
     make_strategy,
     register_strategy,
+    schedule_features,
     strategy_names,
 )
 from repro.serving import CompileService, MetricsRegistry, TieredCache
@@ -82,6 +85,9 @@ __all__ = [
     "MCFuserTuner",
     "TuneReport",
     "generate_space",
+    "LearnedCostModel",
+    "MeasurementDataset",
+    "schedule_features",
     "SearchStrategy",
     "register_strategy",
     "make_strategy",

@@ -31,6 +31,7 @@ from repro.gpu.occupancy import SharedMemoryExceeded
 from repro.gpu.simulator import GPUSimulator
 from repro.gpu.specs import GPUSpec
 from repro.ir.chain import ComputeChain
+from repro.search.features import ANSOR_FEATURE_NAMES, is_pow2, schedule_features
 from repro.search.space import Candidate, SearchSpace, generate_space
 from repro.search.tuning_cost import TuningClock
 from repro.tiling.schedule import Schedule, build_schedule
@@ -44,32 +45,18 @@ ANSOR_DEFAULT_TRIALS = 1000
 _ROUND = 64  # measurements per search round (Ansor's default batch)
 
 
-def _is_pow2(x: int) -> bool:
-    return x > 0 and (x & (x - 1)) == 0
-
-
 def candidate_features(schedule: Schedule, gpu: GPUSpec) -> np.ndarray:
     """Feature vector of one candidate program for the cost model.
 
     Mirrors Ansor's hand-engineered features: work quantities (log scale),
-    tile shape, parallelism and shared-memory pressure.
+    tile shape, parallelism and shared-memory pressure. Since the shared
+    extractor landed this is a view of its leading components
+    (:data:`~repro.search.features.ANSOR_FEATURE_NAMES`) — Ansor's
+    historical vector, value-identical to the pre-refactor code, without
+    the analytic-prior features MCFuser's own cost model also sees (Ansor
+    has no such model to lean on).
     """
-    tm, tn, tk = schedule.representative_tiles()
-    return np.array(
-        [
-            np.log1p(schedule.total_flops()),
-            np.log1p(schedule.dram_read_bytes()),
-            np.log1p(schedule.dram_write_bytes()),
-            np.log1p(schedule.grid_size),
-            float(tm),
-            float(tn),
-            float(tk),
-            schedule.shm_estimate() / gpu.shared_mem_per_block,
-            float(schedule.inner_contig_bytes()),
-            schedule.grid_size / gpu.num_sms,
-        ],
-        dtype=np.float64,
-    )
+    return schedule_features(schedule, gpu)[: len(ANSOR_FEATURE_NAMES)]
 
 
 @dataclass
@@ -103,7 +90,7 @@ class AnsorBaseline(Baseline):
         return [
             c
             for c in space.candidates
-            if all(_is_pow2(t) for _, t in c.tiles)
+            if all(is_pow2(t) for _, t in c.tiles)
         ]
 
     # -- tuning loop --------------------------------------------------------------

@@ -29,6 +29,30 @@ class _Node:
     def is_leaf(self) -> bool:
         return self.left is None
 
+    def to_json(self) -> dict:
+        if self.is_leaf:
+            return {"value": self.value}
+        assert self.left is not None and self.right is not None
+        return {
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "value": self.value,
+            "left": self.left.to_json(),
+            "right": self.right.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "_Node":
+        if "left" not in data:
+            return cls(value=float(data["value"]))
+        return cls(
+            feature=int(data["feature"]),
+            threshold=float(data["threshold"]),
+            value=float(data["value"]),
+            left=cls.from_json(data["left"]),
+            right=cls.from_json(data["right"]),
+        )
+
 
 class RegressionTree:
     """CART regression tree with greedy variance-reduction splits."""
@@ -86,6 +110,21 @@ class RegressionTree:
             out[i] = node.value
         return out
 
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`)."""
+        assert self.root is not None, "tree not fitted"
+        return {
+            "max_depth": self.max_depth,
+            "min_samples": self.min_samples,
+            "root": self.root.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RegressionTree":
+        tree = cls(max_depth=int(data["max_depth"]), min_samples=int(data["min_samples"]))
+        tree.root = _Node.from_json(data["root"])
+        return tree
+
 
 class GradientBoostedTrees:
     """Squared-loss gradient boosting (the XGBoost-lite cost model)."""
@@ -103,14 +142,23 @@ class GradientBoostedTrees:
         self.min_samples = min_samples
         self.base: float = 0.0
         self.trees: list[RegressionTree] = []
+        self._fitted = False
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
         if x.ndim != 2 or len(x) != len(y):
             raise ValueError("GBT.fit expects x:(n,f), y:(n,)")
+        if len(y) == 0:
+            raise ValueError("GBT.fit needs at least one sample")
         self.base = float(y.mean())
         self.trees = []
+        self._fitted = True
+        # Constant targets or sample-starved fits collapse to the prior
+        # mean: boosting on them would only grow degenerate zero-gain
+        # trees (or chase noise through tiny leaves).
+        if len(y) < self.min_samples or np.ptp(y) == 0.0:
+            return self
         residual = y - self.base
         for _ in range(self.n_trees):
             tree = RegressionTree(self.max_depth, self.min_samples).fit(x, residual)
@@ -122,6 +170,8 @@ class GradientBoostedTrees:
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("GBT.predict called before fit")
         x = np.asarray(x, dtype=np.float64)
         out = np.full(len(x), self.base, dtype=np.float64)
         for tree in self.trees:
@@ -130,4 +180,30 @@ class GradientBoostedTrees:
 
     @property
     def is_fitted(self) -> bool:
-        return bool(self.trees)
+        return self._fitted
+
+    def to_json(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_json`); requires a fit."""
+        if not self._fitted:
+            raise RuntimeError("GBT.to_json called before fit")
+        return {
+            "n_trees": self.n_trees,
+            "learning_rate": self.learning_rate,
+            "max_depth": self.max_depth,
+            "min_samples": self.min_samples,
+            "base": self.base,
+            "trees": [tree.to_json() for tree in self.trees],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "GradientBoostedTrees":
+        model = cls(
+            n_trees=int(data["n_trees"]),
+            learning_rate=float(data["learning_rate"]),
+            max_depth=int(data["max_depth"]),
+            min_samples=int(data["min_samples"]),
+        )
+        model.base = float(data["base"])
+        model.trees = [RegressionTree.from_json(t) for t in data["trees"]]
+        model._fitted = True
+        return model

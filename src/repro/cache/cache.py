@@ -193,10 +193,14 @@ class ScheduleCache:
         if not math.isfinite(report.best_time) or report.best_time <= 0:
             return None
         schedule = report.best_schedule
-        # Key by variant + strategy so entries stay strategy-faithful; the
-        # default strategy keeps the bare variant for backward compatibility.
+        # Key by variant + strategy + top-k so entries stay faithful to how
+        # they were found; the default strategy keeps the bare variant for
+        # backward compatibility, and cost-model-guided (top-k) tunes never
+        # alias exhaustively measured ones.
         variant = variant_key(
-            report.variant, getattr(report, "strategy", DEFAULT_STRATEGY)
+            report.variant,
+            getattr(report, "strategy", DEFAULT_STRATEGY),
+            getattr(report, "measure_topk", 0),
         )
         entry = CacheEntry(
             signature=self.signature_for(chain, gpu, variant),

@@ -39,17 +39,25 @@ __all__ = [
 DEFAULT_STRATEGY = "evolutionary"
 
 
-def variant_key(variant: str, strategy: str = DEFAULT_STRATEGY) -> str:
-    """Compose the cache variant key from tuner variant and search strategy.
+def variant_key(
+    variant: str, strategy: str = DEFAULT_STRATEGY, measure_topk: int = 0
+) -> str:
+    """Compose the cache variant key from tuner variant, search strategy,
+    and cost-model guidance.
 
     The default (evolutionary) strategy keeps the bare variant string, so
     caches written before pluggable strategies existed keep hitting; any
     other strategy is suffixed (``"mcfuser+random"``) — entries found by
-    one strategy are never served to a tuner running another.
+    one strategy are never served to a tuner running another. Cost-model-
+    guided tunes (``measure_topk > 0``) carry an additional ``+topk{k}``
+    suffix: a schedule chosen from k measurements per round is weaker
+    evidence than an exhaustively measured one and must never be silently
+    served as such (nor vice versa).
     """
-    if strategy == DEFAULT_STRATEGY:
-        return variant
-    return f"{variant}+{strategy}"
+    key = variant if strategy == DEFAULT_STRATEGY else f"{variant}+{strategy}"
+    if measure_topk > 0:
+        key = f"{key}+topk{measure_topk}"
+    return key
 
 #: Bump whenever the fingerprint layout changes; old cache entries keyed by
 #: a previous version can then never alias new ones.

@@ -21,7 +21,14 @@ Commands:
                              (N client threads over the zoo serving mix) and
                              persist a telemetry snapshot.
 * ``metrics``              — print the last serving session's telemetry
-                             snapshot as JSON.
+                             snapshot as JSON (includes the tuning-efficiency
+                             histograms ``serve.tune.measurements`` and
+                             ``serve.model.ranking_accuracy``).
+* ``model train``          — fit the learned cost model from the measurement
+                             dataset (optionally measuring workloads first to
+                             grow it) and persist the snapshot.
+* ``model stats``          — show the measurement dataset and cost-model
+                             snapshot (samples, ranking accuracy, features).
 
 ``tune`` consults the persistent schedule cache by default: the second run
 for the same workload/GPU is a pure lookup. Disable with ``--no-cache``;
@@ -35,10 +42,20 @@ per-round top-n measurements; cached schedules are keyed per strategy.
 (``compiled``/``vectorized``/``scalar``/``auto``) and ``tune --verify best|all``
 executes tuned schedules against the unfused reference.
 
+``tune --cost-model`` turns on learned-cost-model guidance: candidates are
+re-ranked by the model and only the predicted top ``--topk`` are hardware-
+measured each round (falling back to measure-everything while the model is
+sample-starved). The model and its measurement dataset live next to the
+schedule cache and improve across runs; guided schedules are cached under a
+distinct ``+topk{k}`` variant key.
+
 Examples::
 
     python -m repro tune S2 --gpu a100
     python -m repro tune G4 --strategy annealing --workers 4
+    python -m repro tune G4 --cost-model --topk 2
+    python -m repro model train G1 G2 S1
+    python -m repro model stats
     python -m repro compare G4 --gpu rtx3080 --ansor-trials 256
     python -m repro experiments fig7
     python -m repro cache warmup G1 G2 S1 --jobs 4 --strategy exhaustive
@@ -83,6 +100,39 @@ def _metrics_path(args: argparse.Namespace) -> str:
     return os.path.join(args.cache_dir or default_cache_dir(), SNAPSHOT_FILENAME)
 
 
+def _cost_model_dir(args: argparse.Namespace) -> str:
+    """Where the cost model and measurement dataset live (the cache dir —
+    even under ``--no-cache``, which disables only the *schedule* cache)."""
+    return args.cache_dir or default_cache_dir()
+
+
+def _open_cost_model(args: argparse.Namespace):
+    """Load (or initialize) the persistent cost model + dataset pair."""
+    from repro.search.cost_model import (
+        LearnedCostModel,
+        MeasurementDataset,
+        default_dataset_path,
+        default_model_path,
+    )
+
+    directory = _cost_model_dir(args)
+    dataset = MeasurementDataset(default_dataset_path(directory))
+    model = LearnedCostModel.load(default_model_path(directory), dataset=dataset)
+    if model is None:
+        model = LearnedCostModel(dataset, seed=getattr(args, "seed", 0))
+    return model
+
+
+def _save_cost_model(args: argparse.Namespace, model) -> str | None:
+    """Refit from any new measurements and persist the snapshot."""
+    from repro.search.cost_model import default_model_path
+
+    model.fit()
+    if not model.ready:
+        return None
+    return model.save(default_model_path(_cost_model_dir(args)))
+
+
 def workload_by_name(name: str) -> ComputeChain:
     """Resolve a chain-level workload name (``G*``, ``S*``) to its chain."""
     spec = get_workload(name)
@@ -94,7 +144,7 @@ def workload_by_name(name: str) -> ComputeChain:
     return spec.build()
 
 
-def _tune_model(args: argparse.Namespace, gpu, cache) -> int:
+def _tune_model(args: argparse.Namespace, gpu, cache, cost_model, topk) -> int:
     """Partition a model workload and tune every distinct fusion group."""
     from repro.frontend.partition import partition_graph
 
@@ -119,6 +169,8 @@ def _tune_model(args: argparse.Namespace, gpu, cache) -> int:
             workers=args.workers,
             exec_backend=args.exec_backend,
             verify=args.verify,
+            cost_model=cost_model,
+            measure_topk=topk,
         ).tune(sg.chain)
         seen[key] = report.best_candidate.describe()
         rows.append([
@@ -129,14 +181,18 @@ def _tune_model(args: argparse.Namespace, gpu, cache) -> int:
             fmt_time(report.best_time),
         ])
     print(format_table(["group", "kind", "tuning", "best schedule", "kernel"], rows))
+    if cost_model is not None:
+        _save_cost_model(args, cost_model)
     return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
     gpu = by_name(args.gpu)
     cache = None if args.no_cache else _open_cache(args)
+    cost_model = _open_cost_model(args) if args.cost_model else None
+    topk = args.topk if args.cost_model else 0
     if get_workload(args.workload).level == "model":
-        return _tune_model(args, gpu, cache)
+        return _tune_model(args, gpu, cache, cost_model, topk)
     chain = workload_by_name(args.workload)
     report = MCFuserTuner(
         gpu,
@@ -146,6 +202,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
         workers=args.workers,
         exec_backend=args.exec_backend,
         verify=args.verify,
+        cost_model=cost_model,
+        measure_topk=topk,
     ).tune(chain)
     print(f"workload: {chain}")
     if report.cache_hit:
@@ -161,6 +219,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
           f"{report.workers} worker(s))")
     verified = "verified against reference" if report.verified else "unverified"
     print(f"exec:  {report.exec_backend} backend ({verified})")
+    if cost_model is not None:
+        _save_cost_model(args, cost_model)
+        acc = cost_model.accuracy
+        acc_txt = f"{acc:.0%}" if acc is not None and acc == acc else "n/a"
+        guided = report.search.model_rounds
+        print(f"model: top-{topk} guidance in {guided}/{report.search.rounds} "
+              f"round(s), {len(cost_model.dataset)} dataset sample(s), "
+              f"ranking accuracy {acc_txt}")
     print()
     print(report.best_schedule.pretty())
     if args.show_ptx:
@@ -314,6 +380,15 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         print(f"coalesced: {counters.get('serve.coalesced', 0)}   "
               f"tunes: {counters.get('serve.tunes', 0)}   "
               f"shed: {counters.get('serve.shed', 0)}")
+        hists = snapshot.get("histograms", {})
+        meas = hists.get("serve.tune.measurements") or {}
+        if meas.get("count"):
+            line = (f"measurements/tune: {meas['mean']:.1f} avg "
+                    f"over {meas['count']} tune(s)")
+            acc = hists.get("serve.model.ranking_accuracy") or {}
+            if acc.get("count"):
+                line += f"   model ranking accuracy: {acc['mean']:.0%}"
+            print(line)
     return 0
 
 
@@ -395,6 +470,80 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
+def cmd_model_train(args: argparse.Namespace) -> int:
+    """Fit (and persist) the learned cost model from the measurement dataset.
+
+    With workload names, each is tuned first — uncached, full measurement,
+    model attached — so its (features, measured time) pairs grow the
+    dataset before the fit.
+    """
+    from repro.search.cost_model import default_model_path
+
+    gpu = by_name(args.gpu)
+    model = _open_cost_model(args)
+    for name in args.workloads:
+        chain = workload_by_name(name)
+        report = MCFuserTuner(
+            gpu,
+            seed=args.seed,
+            strategy=args.strategy,
+            workers=args.workers,
+            cost_model=model,
+        ).tune(chain)
+        print(f"measured {name}: {report.search.num_measurements} samples "
+              f"({fmt_time(report.tuning_seconds)} simulated tuning)")
+    if not model.fit(force=True):
+        print(f"dataset too small to fit: {len(model.dataset)} sample(s), "
+              f"need {model.min_samples} — tune with --cost-model or pass "
+              f"workloads to `model train` to grow it")
+        return 1
+    path = model.save(default_model_path(_cost_model_dir(args)))
+    acc = model.accuracy
+    acc_txt = f"{acc:.0%}" if acc is not None and acc == acc else "n/a"
+    print(f"fitted on {model.samples} sample(s); "
+          f"holdout pairwise ranking accuracy {acc_txt}")
+    print(f"model snapshot written to {path}")
+    return 0
+
+
+def cmd_model_stats(args: argparse.Namespace) -> int:
+    """Show the measurement dataset and the persisted model snapshot."""
+    from repro.search.cost_model import (
+        LearnedCostModel,
+        MeasurementDataset,
+        default_dataset_path,
+        default_model_path,
+    )
+    from repro.search.features import FEATURE_NAMES, FEATURE_VERSION
+
+    directory = _cost_model_dir(args)
+    dataset = MeasurementDataset(default_dataset_path(directory))
+    print(f"dataset: {default_dataset_path(directory)}")
+    print(f"samples: {len(dataset)}"
+          + (f"   (skipped {dataset.corrupt_lines} corrupt line(s))"
+             if dataset.corrupt_lines else ""))
+    per_workload: dict[str, int] = {}
+    for record in dataset.records():
+        name = record.get("workload") or "?"
+        per_workload[name] = per_workload.get(name, 0) + 1
+    if per_workload:
+        print(format_table(
+            ["workload", "samples"],
+            [[name, n] for name, n in sorted(per_workload.items())],
+        ))
+    model = LearnedCostModel.load(default_model_path(directory), dataset=dataset)
+    if model is None:
+        print(f"model: no snapshot at {default_model_path(directory)} "
+              "(run `repro model train` or `repro tune --cost-model`)")
+        return 0
+    acc = model.accuracy
+    acc_txt = f"{acc:.0%}" if acc is not None and acc == acc else "n/a"
+    print(f"model: fitted on {model.samples} sample(s), "
+          f"ranking accuracy {acc_txt}, "
+          f"{len(FEATURE_NAMES)} features (v{FEATURE_VERSION})")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Print the persisted telemetry snapshot of the last serving session."""
     from repro.serving.telemetry import load_snapshot
@@ -439,6 +588,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "reference; all = execute every measured "
                              "candidate (wrong ones count as launch "
                              "failures)")
+    p_tune.add_argument("--cost-model", action="store_true",
+                        help="learned-cost-model guidance: re-rank candidates "
+                             "with the persistent model (trained on past "
+                             "measurements) and hardware-measure only the "
+                             "predicted top --topk per round")
+    p_tune.add_argument("--topk", type=int, default=2,
+                        help="measurements per round under --cost-model "
+                             "(guided schedules cache under a +topk{k} key)")
     p_tune.add_argument("--show-ptx", action="store_true")
     p_tune.add_argument("--no-cache", action="store_true",
                         help="skip the persistent schedule cache")
@@ -535,6 +692,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="serve from a memory-only cache (cold every run)")
     p_serve.add_argument("--cache-dir", default=None)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_model = sub.add_parser(
+        "model", help="train and inspect the learned tuning cost model"
+    )
+    model_sub = p_model.add_subparsers(dest="model_command", required=True)
+
+    p_mtrain = model_sub.add_parser(
+        "train",
+        help="fit the cost model from the measurement dataset and persist it",
+    )
+    p_mtrain.add_argument("workloads", nargs="*",
+                          help="chain workloads to measure into the dataset "
+                               "first (uncached, full measurement)")
+    p_mtrain.add_argument("--gpu", default="a100")
+    p_mtrain.add_argument("--seed", type=int, default=0)
+    p_mtrain.add_argument("--strategy", default="evolutionary",
+                          choices=strategy_names())
+    p_mtrain.add_argument("--workers", type=int, default=1)
+    p_mtrain.add_argument("--cache-dir", default=None)
+    p_mtrain.set_defaults(fn=cmd_model_train)
+
+    p_mstats = model_sub.add_parser(
+        "stats", help="show the measurement dataset and model snapshot"
+    )
+    p_mstats.add_argument("--cache-dir", default=None)
+    p_mstats.set_defaults(fn=cmd_model_stats)
 
     p_metrics = sub.add_parser(
         "metrics", help="print the last serving session's telemetry snapshot"

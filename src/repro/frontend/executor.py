@@ -175,6 +175,8 @@ def compile_model(
     search_workers: int = 1,
     service: "CompileService | None" = None,
     exec_backend: str = "auto",
+    cost_model=None,
+    measure_topk: int = 0,
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
@@ -211,6 +213,14 @@ def compile_model(
     outcome sources (``tuned``/``coalesced``/``hot``/...), and
     ``detail["cache_hits"]`` counts sub-graph *requests* served from a
     cache tier.
+
+    ``cost_model``/``measure_topk`` enable learned-cost-model-guided
+    tuning of the MBCI sub-graphs (measure only the model's predicted
+    top-k per search round; see
+    :class:`~repro.search.cost_model.LearnedCostModel`). One model is
+    shared across all of a model's sub-graphs, so learning compounds
+    shape-to-shape within the compile. Through a ``service`` the service's
+    own (shared) model is used and only ``measure_topk`` is forwarded.
     """
     if isinstance(graph, str):
         from repro.workloads.registry import get_workload
@@ -263,6 +273,8 @@ def compile_model(
                 seed=seed,
                 measure_workers=search_workers,
                 tuner_kwargs=tuner_kwargs,
+                # 0 defers to the service's own default guidance setting.
+                measure_topk=measure_topk if measure_topk > 0 else None,
             )
             for sg in partition.subgraphs
         ]
@@ -286,8 +298,15 @@ def compile_model(
         partition: Partition = partition_graph(graph, gpu)
         rejections = partition.rejection_reasons()
         tuned: dict[str, OperatorModule] = {}
+        if cost_model is None and measure_topk > 0:
+            from repro.search.cost_model import LearnedCostModel
+
+            # one shared model: sub-graph tunes feed one dataset.
+            cost_model = LearnedCostModel(seed=seed)
         for sg in partition.subgraphs:
-            key = sg.signature(gpu, variant_key("mcfuser", search_strategy))
+            key = sg.signature(
+                gpu, variant_key("mcfuser", search_strategy, measure_topk)
+            )
             if key not in tuned:
                 tuner = MCFuserTuner(
                     gpu,
@@ -296,6 +315,8 @@ def compile_model(
                     strategy=search_strategy,
                     workers=search_workers,
                     exec_backend=exec_backend,
+                    cost_model=cost_model,
+                    measure_topk=measure_topk,
                     **(tuner_kwargs or {}),
                 )
                 report = tuner.tune(sg.chain)

@@ -16,7 +16,18 @@ from repro.search.engine import (
     register_strategy,
     strategy_names,
 )
+from repro.search.cost_model import (
+    LearnedCostModel,
+    MeasurementDataset,
+    pairwise_ranking_accuracy,
+)
 from repro.search.evolution import heuristic_search
+from repro.search.features import (
+    FEATURE_NAMES,
+    FEATURE_VERSION,
+    feature_dict,
+    schedule_features,
+)
 from repro.search.perf_model import AnalyticalModel, ChimeraModel, PerfEstimate, estimate_time
 from repro.search.pruning import (
     MIN_TILE,
@@ -58,6 +69,13 @@ __all__ = [
     "estimate_time",
     "AnalyticalModel",
     "ChimeraModel",
+    "FEATURE_NAMES",
+    "FEATURE_VERSION",
+    "schedule_features",
+    "feature_dict",
+    "LearnedCostModel",
+    "MeasurementDataset",
+    "pairwise_ranking_accuracy",
     "heuristic_search",
     "SearchResult",
     "SearchLoop",

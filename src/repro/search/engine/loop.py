@@ -16,6 +16,16 @@ loop therefore owns all the bookkeeping the old monolithic
 
 Strategies implement three hooks (``begin`` / ``propose`` / ``evolve``)
 against this driver; see :mod:`repro.search.engine.strategy`.
+
+**Top-k mode.** With a :class:`~repro.search.cost_model.LearnedCostModel`
+attached and ``measure_topk > 0``, each round re-ranks *every* unmeasured
+proposal with the learned model and hardware-measures only the predicted
+best ``k`` — the measurement-count multiplier on top of the paper's
+model-guided pruning. All finite measurements (top-k or not) are fed back
+into the model's dataset and the model refits once per round, so guidance
+sharpens within a single tune. While the model is unfitted or
+sample-starved the loop transparently falls back to the classic
+measure-the-top-n behavior (and those measurements bootstrap the dataset).
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from repro.search.engine.evaluator import ParallelEvaluator
 from repro.utils import rng_for
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.search.cost_model import LearnedCostModel
     from repro.search.engine.strategy import SearchStrategy
     from repro.search.space import Candidate, SearchSpace
 
@@ -52,6 +63,14 @@ class SearchResult:
     measured: dict[tuple, float] = field(default_factory=dict)
     #: Which registered strategy produced this result.
     strategy: str = "evolutionary"
+    #: The ``measure_topk`` setting the run used (0 = classic top-n mode).
+    measure_topk: int = 0
+    #: Rounds in which the learned model actually guided the pick (the
+    #: remainder fell back to measure-the-top-n while the model warmed up).
+    model_rounds: int = 0
+    #: The cost model's self-reported pairwise ranking accuracy after its
+    #: final refit (``None`` when no model was attached or it never fitted).
+    ranking_accuracy: float | None = None
 
 
 class SearchLoop:
@@ -66,6 +85,16 @@ class SearchLoop:
             parameters, identical semantics to the paper's pseudo-code.
         seed: Strategy randomness; the rng stream is derived from the
             (strategy, chain, gpu, seed) tuple, so runs are reproducible.
+        cost_model: Optional :class:`~repro.search.cost_model.
+            LearnedCostModel`. When attached, every finite measurement is
+            observed into its dataset and the model refits once per round;
+            with ``measure_topk > 0`` it additionally guides the pick.
+        measure_topk: Measure only the model's predicted best ``k``
+            unmeasured proposals per round (0 disables; requires
+            ``cost_model`` and ``feature_fn``). Falls back to the classic
+            top-n batch in rounds where the model is not yet fitted.
+        feature_fn: ``Candidate -> feature vector`` for the cost model
+            (memoized per candidate key).
     """
 
     def __init__(
@@ -79,9 +108,16 @@ class SearchLoop:
         max_rounds: int = 16,
         min_rounds: int = 5,
         seed: int = 0,
+        cost_model: "LearnedCostModel | None" = None,
+        measure_topk: int = 0,
+        feature_fn: Callable[["Candidate"], np.ndarray] | None = None,
     ) -> None:
         if not space.candidates:
             raise ValueError(f"empty search space for chain {space.chain.name!r}")
+        if measure_topk < 0:
+            raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
+        if measure_topk > 0 and (cost_model is None or feature_fn is None):
+            raise ValueError("measure_topk > 0 requires cost_model and feature_fn")
         self.space = space
         self._estimate_fn = estimate_fn
         self.evaluator = evaluator
@@ -91,6 +127,10 @@ class SearchLoop:
         self.max_rounds = max_rounds
         self.min_rounds = min_rounds
         self.seed = seed
+        self.cost_model = cost_model
+        self.measure_topk = measure_topk
+        self._feature_fn = feature_fn
+        self._feature_cache: dict[tuple, np.ndarray] = {}
         # shared bookkeeping; rng is assigned by run() from the strategy's
         # rng_key — accessing it before run() is a bug and fails loudly.
         self.rng: np.random.Generator
@@ -102,6 +142,7 @@ class SearchLoop:
         self.num_estimates = 0
         self.num_measurements = 0
         self.rounds = 0
+        self.model_rounds = 0
         self.converged = False
 
     # -- services strategies call back into -----------------------------------
@@ -133,6 +174,40 @@ class SearchLoop:
                 break
         return picked
 
+    def features_for(self, cand: "Candidate") -> np.ndarray:
+        """The candidate's cost-model feature vector (memoized by key)."""
+        assert self._feature_fn is not None
+        key = cand.key
+        feats = self._feature_cache.get(key)
+        if feats is None:
+            feats = self._feature_cache[key] = self._feature_fn(cand)
+        return feats
+
+    def pick_by_model(
+        self, ranked: list[tuple["Candidate", float]]
+    ) -> list[tuple["Candidate", float]]:
+        """The learned model's predicted-best ``measure_topk`` unmeasured
+        candidates — drawn from *all* of ``ranked``, not just its analytic
+        top-n, so a good model can rescue candidates the prior misranks.
+        Stable-sorted, so ties fall back to the strategy's order and the
+        pick stays deterministic for a fixed (seed, dataset).
+        """
+        assert self.cost_model is not None
+        pool: list[tuple["Candidate", float]] = []
+        seen: set[tuple] = set()
+        for cand, est in ranked:
+            key = cand.key
+            if key in self.measured or key in seen:
+                continue
+            pool.append((cand, est))
+            seen.add(key)
+        if not pool:
+            return []
+        x = np.stack([self.features_for(cand) for cand, _ in pool])
+        analytic = np.array([est for _, est in pool], dtype=np.float64)
+        order = self.cost_model.rank(x, analytic)
+        return [pool[i] for i in order[: self.measure_topk]]
+
     # -- the driver ------------------------------------------------------------
 
     def run(self, strategy: "SearchStrategy") -> SearchResult:
@@ -142,7 +217,16 @@ class SearchLoop:
         while self.rounds < strategy.round_budget(self):
             self.rounds += 1
             ranked = strategy.propose(self)
-            picked = self.pick_unmeasured(ranked)
+            model_guided = (
+                self.measure_topk > 0
+                and self.cost_model is not None
+                and self.cost_model.ready
+            )
+            if model_guided:
+                picked = self.pick_by_model(ranked)
+                self.model_rounds += 1
+            else:
+                picked = self.pick_unmeasured(ranked)
             if not picked:
                 break  # every reachable candidate measured or failed
             times = self.evaluator.measure([c for c, _ in picked])
@@ -161,9 +245,18 @@ class SearchLoop:
                 self.pairs.append((est, t))
                 if t == float("inf"):
                     self.failed.add(cand.key)
+                elif self.cost_model is not None and self._feature_fn is not None:
+                    self.cost_model.observe(
+                        self.features_for(cand),
+                        est,
+                        t,
+                        workload=self.space.chain.name,
+                    )
                 if round_best is None or t < round_best_time:
                     round_best_time, round_best = t, cand
             assert round_best is not None
+            if self.cost_model is not None and self._feature_fn is not None:
+                self.cost_model.fit()  # no-op while starved or data-unchanged
 
             prev_best = self.best_time
             if self.best is None or round_best_time < self.best_time:
@@ -192,4 +285,9 @@ class SearchLoop:
             pairs=self.pairs,
             measured=self.measured,
             strategy=strategy.name,
+            measure_topk=self.measure_topk,
+            model_rounds=self.model_rounds,
+            ranking_accuracy=(
+                self.cost_model.accuracy if self.cost_model is not None else None
+            ),
         )

@@ -1,0 +1,112 @@
+"""Shared schedule-feature extraction for learned cost models.
+
+One feature definition serves every consumer that ranks candidate
+schedules from data: the Ansor baseline's online GBT
+(:func:`repro.baselines.ansor.candidate_features` retargets here) and the
+tuner's :class:`~repro.search.cost_model.LearnedCostModel`. The vector
+extends Ansor's hand-engineered features (work quantities on a log scale,
+tile shape, parallelism, shared-memory pressure, coalescing width) with
+the analytical model's own decomposition (eqs. 2-5: memory time, compute
+time, the wave-quantization slowdown ``alpha``) and derived intensity
+ratios — the learned residual only has to explain what the analytic prior
+gets *wrong*, so handing it the prior's internals is the cheapest possible
+feature engineering.
+
+Every feature is a deterministic function of ``(schedule, gpu)``; nothing
+is sampled or measured. :data:`FEATURE_VERSION` stamps persisted datasets
+and model snapshots — records written under a different version are
+skipped on load, never misinterpreted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.specs import GPUSpec
+from repro.search.perf_model import estimate_time
+from repro.tiling.schedule import Schedule
+
+__all__ = [
+    "FEATURE_VERSION",
+    "FEATURE_NAMES",
+    "ANSOR_FEATURE_NAMES",
+    "schedule_features",
+    "feature_dict",
+    "is_pow2",
+]
+
+#: Bump whenever :data:`FEATURE_NAMES` or any feature's definition changes;
+#: persisted measurement records and model snapshots are keyed by it.
+FEATURE_VERSION = 1
+
+#: Names of the feature vector's components, in order. The first ten are
+#: Ansor's historical features (values bit-identical to the pre-refactor
+#: ``candidate_features``); the rest expose the analytic prior.
+FEATURE_NAMES = (
+    "log_flops",            # log1p(total FLOPs of the fused kernel)
+    "log_dram_read",        # log1p(DRAM bytes read)
+    "log_dram_write",       # log1p(DRAM bytes written)
+    "log_grid",             # log1p(thread-block count)
+    "tile_m",               # dominant MMA tile shape
+    "tile_n",
+    "tile_k",
+    "shm_ratio",            # shm estimate / per-block budget
+    "inner_contig_bytes",   # worst-case contiguous run (coalescing input)
+    "waves",                # grid size / SM count
+    "log_t_mem_us",         # analytic memory time, log1p(microseconds)
+    "log_t_comp_us",        # analytic compute time, log1p(microseconds)
+    "alpha",                # wave-quantization slowdown, eq. (5)
+    "log_t_est_us",         # full analytic estimate, log1p(microseconds)
+    "bytes_per_flop",       # DRAM traffic / FLOP (roofline position)
+    "log_tile_volume",      # log1p(tm * tn * tk)
+)
+
+#: The prefix of :data:`FEATURE_NAMES` that reproduces Ansor's historical
+#: ten-dimensional vector.
+ANSOR_FEATURE_NAMES = FEATURE_NAMES[:10]
+
+
+def is_pow2(x: int) -> bool:
+    """True when ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def schedule_features(schedule: Schedule, gpu: GPUSpec) -> np.ndarray:
+    """Feature vector of one candidate schedule (aligned with
+    :data:`FEATURE_NAMES`).
+
+    Cheap relative to a hardware measurement (pure arithmetic over the
+    schedule's statement list), deterministic, and finite for any valid
+    schedule — launch-failing candidates still featurize.
+    """
+    tm, tn, tk = schedule.representative_tiles()
+    flops = schedule.total_flops()
+    read = schedule.dram_read_bytes()
+    write = schedule.dram_write_bytes()
+    est = estimate_time(schedule, gpu)
+    return np.array(
+        [
+            np.log1p(flops),
+            np.log1p(read),
+            np.log1p(write),
+            np.log1p(schedule.grid_size),
+            float(tm),
+            float(tn),
+            float(tk),
+            schedule.shm_estimate() / gpu.shared_mem_per_block,
+            float(schedule.inner_contig_bytes()),
+            schedule.grid_size / gpu.num_sms,
+            np.log1p(1e6 * est.t_mem),
+            np.log1p(1e6 * est.t_comp),
+            est.alpha,
+            np.log1p(1e6 * est.total),
+            (read + write) / max(flops, 1.0),
+            np.log1p(float(tm) * float(tn) * float(tk)),
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_dict(schedule: Schedule, gpu: GPUSpec) -> dict[str, float]:
+    """Named view of :func:`schedule_features` (diagnostics, ``model stats``)."""
+    return dict(zip(FEATURE_NAMES, schedule_features(schedule, gpu).tolist()))

@@ -51,6 +51,7 @@ from repro.tiling.schedule import InvalidScheduleError, Schedule, build_schedule
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache imports us)
     from repro.cache.cache import ScheduleCache
     from repro.cache.store import CacheEntry
+    from repro.search.cost_model import LearnedCostModel
 
 __all__ = [
     "TuneReport",
@@ -110,6 +111,10 @@ class TuneReport:
     #: True when the best schedule was executed against the unfused
     #: reference as part of this tune (``verify="best"`` or ``"all"``).
     verified: bool = False
+    #: Cost-model guidance the tune ran with: measure only the learned
+    #: model's predicted-best ``k`` candidates per round (0 = classic
+    #: measure-the-top-n mode). Participates in the cache variant key.
+    measure_topk: int = 0
 
     @property
     def tflops(self) -> float:
@@ -125,6 +130,7 @@ def report_from_entry(
     strategy: str = "evolutionary",
     workers: int = 1,
     exec_backend: str = "auto",
+    measure_topk: int = 0,
 ) -> TuneReport:
     """Materialize a :class:`TuneReport` from a cached tiling decision.
 
@@ -162,6 +168,7 @@ def report_from_entry(
         num_measurements=0,
         converged=True,
         strategy=strategy,
+        measure_topk=measure_topk,
     )
     return TuneReport(
         chain=chain,
@@ -177,6 +184,7 @@ def report_from_entry(
         strategy=strategy,
         workers=workers,
         exec_backend=exec_backend,
+        measure_topk=measure_topk,
     )
 
 
@@ -212,6 +220,17 @@ class MCFuserTuner:
             every hardware-measured candidate and blacklists numerically
             wrong ones as launch failures. Verification runs host-side and
             is not billed to the simulated tuning clock.
+        cost_model: Optional :class:`~repro.search.cost_model.
+            LearnedCostModel`. When attached, every finite measurement of
+            every tune is logged into its dataset and the model refits
+            per search round. Created automatically (memory-only) when
+            ``measure_topk > 0`` and none is given.
+        measure_topk: With a cost model, hardware-measure only the model's
+            predicted-best ``k`` candidates per round instead of the
+            analytic top-n (0 disables). Rounds where the model is still
+            unfitted fall back to measure-everything, which bootstraps the
+            model's dataset. Tuned entries are cached under a distinct
+            ``+topk{k}`` variant key.
     """
 
     def __init__(
@@ -229,14 +248,22 @@ class MCFuserTuner:
         workers: int = 1,
         exec_backend: str = "auto",
         verify: str = "off",
+        cost_model: "LearnedCostModel | None" = None,
+        measure_topk: int = 0,
     ) -> None:
         if variant not in ("mcfuser", "chimera"):
             raise ValueError(f"unknown tuner variant {variant!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if measure_topk < 0:
+            raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
         validate_exec_backend(exec_backend)
         if verify not in VERIFY_MODES:
             raise ValueError(f"unknown verify mode {verify!r}; pick from {VERIFY_MODES}")
+        if cost_model is None and measure_topk > 0:
+            from repro.search.cost_model import LearnedCostModel
+
+            cost_model = LearnedCostModel(seed=seed)
         self.gpu = gpu
         self.variant = variant
         self.population_size = population_size
@@ -250,6 +277,8 @@ class MCFuserTuner:
         self.workers = workers
         self.exec_backend = exec_backend
         self.verify = verify
+        self.cost_model = cost_model
+        self.measure_topk = measure_topk
         self.simulator = GPUSimulator(gpu, seed=seed, exec_backend=exec_backend)
         #: chain content fingerprint -> (inputs, reference output); lazily
         #: built when a verification mode is active. Keyed by content, not
@@ -258,13 +287,15 @@ class MCFuserTuner:
 
     @property
     def cache_variant(self) -> str:
-        """The cache-key variant string: tuner variant + search strategy.
+        """The cache-key variant string: variant + strategy + top-k.
 
         The default strategy maps to the bare variant so caches populated
         before strategies existed keep hitting; any other strategy gets its
-        own key space — cached entries stay strategy-faithful.
+        own key space — cached entries stay strategy-faithful — and
+        top-k-guided tunes are suffixed ``+topk{k}`` so their schedules are
+        never served as exhaustively measured ones (or vice versa).
         """
-        return variant_key(self.variant, self.strategy.name)
+        return variant_key(self.variant, self.strategy.name, self.measure_topk)
 
     # -- pieces ---------------------------------------------------------------
 
@@ -353,6 +384,7 @@ class MCFuserTuner:
             strategy=self.strategy.name,
             workers=self.workers,
             exec_backend=self.exec_backend,
+            measure_topk=self.measure_topk,
         )
         if self.verify != "off" and not self.check_schedule(report.best_schedule):
             raise VerificationError(
@@ -400,6 +432,15 @@ class MCFuserTuner:
         def raw_measure(cand: Candidate) -> float:
             return self.measure_schedule(space.schedule_for(cand, optimize=optimize))
 
+        feature_fn = None
+        if self.cost_model is not None:
+            from repro.search.features import schedule_features
+
+            def feature_fn(cand: Candidate) -> np.ndarray:
+                return schedule_features(
+                    space.schedule_for(cand, optimize=optimize), self.gpu
+                )
+
         evaluator = ParallelEvaluator(
             raw_measure,
             workers=self.workers,
@@ -416,6 +457,9 @@ class MCFuserTuner:
             max_rounds=self.max_rounds,
             min_rounds=self.min_rounds,
             seed=self.seed,
+            cost_model=self.cost_model,
+            measure_topk=self.measure_topk,
+            feature_fn=feature_fn,
         )
         result = loop.run(self.strategy)
         return TuneReport(
@@ -431,4 +475,5 @@ class MCFuserTuner:
             clock=clock,
             strategy=result.strategy,
             workers=self.workers,
+            measure_topk=self.measure_topk,
         )

@@ -56,6 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.frontend.partition import Partition
     from repro.ir.chain import ComputeChain
     from repro.ir.graph import Graph
+    from repro.search.cost_model import LearnedCostModel
 
 __all__ = [
     "LANES",
@@ -172,6 +173,7 @@ class _Job:
     seed: int
     measure_workers: int
     tuner_kwargs: dict
+    measure_topk: int = 0
     tickets: list[ServeTicket] = field(default_factory=list)
 
 
@@ -199,6 +201,14 @@ class CompileService:
             a :class:`TuneReport`. Defaults to a fresh ``MCFuserTuner``
             per job, *without* a cache — the service owns all cache
             interaction.
+        cost_model: A :class:`~repro.search.cost_model.LearnedCostModel`
+            shared by every tune this service runs (its dataset accumulates
+            across jobs and workers; the model is thread-safe). Created
+            automatically when ``measure_topk > 0`` and none is given.
+        measure_topk: Default cost-model guidance for tunes (measure only
+            the model's predicted-best ``k`` per round; 0 = classic
+            measure-the-top-n). Overridable per :meth:`submit`. Guided
+            tunes are cached under a distinct ``+topk{k}`` variant key.
     """
 
     def __init__(
@@ -212,6 +222,8 @@ class CompileService:
         exec_backend: str = "auto",
         tuner_kwargs: dict | None = None,
         tune_fn=None,
+        cost_model: "LearnedCostModel | None" = None,
+        measure_topk: int = 0,
     ) -> None:
         from repro.codegen.interpreter import validate_exec_backend
 
@@ -220,6 +232,14 @@ class CompileService:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if measure_topk < 0:
+            raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
+        if cost_model is None and measure_topk > 0:
+            from repro.search.cost_model import LearnedCostModel
+
+            cost_model = LearnedCostModel(seed=seed)
+        self.cost_model = cost_model
+        self.measure_topk = measure_topk
         self.gpu = gpu
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         if isinstance(cache, TieredCache):
@@ -295,6 +315,7 @@ class CompileService:
         seed: int | None = None,
         measure_workers: int = 1,
         tuner_kwargs: dict | None = None,
+        measure_topk: int | None = None,
     ) -> ServeTicket:
         """Admit one chain request; returns immediately with a ticket.
 
@@ -304,11 +325,15 @@ class CompileService:
         in flight coalesces onto the running tune, and only genuinely new
         work is queued. A full queue fails the ticket with
         :class:`QueueFull` (load shedding) rather than blocking.
+        ``measure_topk=None`` inherits the service default; guided requests
+        key (and therefore hit) the cache separately from exhaustive ones.
         """
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}; pick from {LANES}")
+        if measure_topk is None:
+            measure_topk = self.measure_topk
         chain = self._resolve_chain(workload)
-        cache_variant = variant_key(variant, strategy)
+        cache_variant = variant_key(variant, strategy, measure_topk)
         signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
         ticket = ServeTicket(signature, lane, chain.name)
         self.telemetry.counter("serve.requests").inc()
@@ -319,7 +344,7 @@ class CompileService:
         if entry is not None:
             report = report_from_entry(
                 chain, self.gpu, entry, variant=variant, strategy=strategy,
-                exec_backend=self.exec_backend,
+                exec_backend=self.exec_backend, measure_topk=measure_topk,
             )
             self.telemetry.counter(f"serve.hits.{tier}").inc()
             ticket._resolve(report, tier, self.telemetry.histogram("serve.latency.warm"))
@@ -349,7 +374,7 @@ class CompileService:
             if entry is not None:
                 report = report_from_entry(
                     chain, self.gpu, entry, variant=variant, strategy=strategy,
-                    exec_backend=self.exec_backend,
+                    exec_backend=self.exec_backend, measure_topk=measure_topk,
                 )
                 self.telemetry.counter(f"serve.hits.{recheck_tier}").inc()
                 ticket._resolve(
@@ -364,6 +389,7 @@ class CompileService:
                 seed=self.seed if seed is None else seed,
                 measure_workers=measure_workers,
                 tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
+                measure_topk=measure_topk,
                 tickets=[ticket],
             )
             try:
@@ -468,6 +494,8 @@ class CompileService:
             strategy=job.strategy,
             workers=job.measure_workers,
             exec_backend=self.exec_backend,
+            cost_model=self.cost_model,
+            measure_topk=job.measure_topk,
             **job.tuner_kwargs,
         )
         return tuner.tune(job.chain)
@@ -510,6 +538,12 @@ class CompileService:
         self.telemetry.histogram("serve.tune.simulated_seconds").observe(
             report.tuning_seconds
         )
+        self.telemetry.histogram("serve.tune.measurements").observe(
+            float(report.search.num_measurements)
+        )
+        accuracy = getattr(report.search, "ranking_accuracy", None)
+        if accuracy is not None and accuracy == accuracy:  # skip None and NaN
+            self.telemetry.histogram("serve.model.ranking_accuracy").observe(accuracy)
         cold = self.telemetry.histogram("serve.latency.cold")
         for i, ticket in enumerate(tickets):
             ticket._resolve(report, "tuned" if i == 0 else "coalesced", cold)

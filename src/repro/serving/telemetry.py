@@ -19,6 +19,14 @@ Instrument semantics:
   most recent :data:`Histogram.WINDOW` observations — at serving scale the
   recent distribution is the one worth alerting on.
 
+Tuning-efficiency instruments (learned cost model):
+
+* ``serve.tune.measurements`` — histogram of hardware measurements per
+  completed tune; the number the top-k cost model exists to shrink.
+* ``serve.model.ranking_accuracy`` — histogram of the cost model's
+  self-reported holdout pairwise ranking accuracy at each tune's final
+  refit (only observed when a model was attached and actually fitted).
+
 Snapshots persist as JSON (:func:`save_snapshot` / :func:`load_snapshot`);
 ``repro serve`` writes one next to the schedule cache so a later
 ``repro metrics`` or ``repro cache stats`` process can report the last

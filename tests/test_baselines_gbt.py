@@ -74,3 +74,63 @@ class TestGBT:
         a = GradientBoostedTrees().fit(x, y).predict(x)
         b = GradientBoostedTrees().fit(x, y).predict(x)
         np.testing.assert_array_equal(a, b)
+
+
+class TestGBTEdgeCases:
+    """Degenerate fits must return the prior mean, never crash or grow
+    zero-gain trees (the learned cost model refits on tiny, sometimes
+    constant-valued datasets every search round)."""
+
+    def test_constant_target_returns_exact_mean(self):
+        x = np.random.default_rng(0).normal(size=(20, 3))
+        gbt = GradientBoostedTrees().fit(x, np.full(20, 4.5))
+        assert gbt.is_fitted
+        assert gbt.trees == []  # no degenerate splits attempted
+        np.testing.assert_array_equal(gbt.predict(x), np.full(20, 4.5))
+
+    def test_fewer_samples_than_min_returns_prior_mean(self):
+        x = np.array([[0.0, 1.0], [2.0, 3.0]])
+        y = np.array([1.0, 5.0])
+        gbt = GradientBoostedTrees(min_samples=4).fit(x, y)
+        assert gbt.is_fitted
+        assert gbt.trees == []
+        np.testing.assert_array_equal(gbt.predict(x), np.full(2, 3.0))
+
+    def test_single_sample(self):
+        gbt = GradientBoostedTrees().fit(np.zeros((1, 2)), np.array([2.0]))
+        np.testing.assert_array_equal(gbt.predict(np.ones((3, 2))), np.full(3, 2.0))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.zeros((1, 2)))
+
+    def test_to_json_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().to_json()
+
+
+class TestGBTSerialization:
+    def test_roundtrip_preserves_predictions(self):
+        x, y = toy_data(150, seed=4)
+        gbt = GradientBoostedTrees(n_trees=12).fit(x, y)
+        clone = GradientBoostedTrees.from_json(gbt.to_json())
+        assert clone.is_fitted
+        np.testing.assert_array_equal(clone.predict(x), gbt.predict(x))
+
+    def test_roundtrip_survives_json_encoding(self):
+        import json
+
+        x, y = toy_data(80, seed=5)
+        gbt = GradientBoostedTrees(n_trees=6).fit(x, y)
+        doc = json.loads(json.dumps(gbt.to_json()))
+        clone = GradientBoostedTrees.from_json(doc)
+        np.testing.assert_array_equal(clone.predict(x), gbt.predict(x))
+
+    def test_prior_mean_only_model_roundtrips(self):
+        gbt = GradientBoostedTrees().fit(np.zeros((5, 2)), np.full(5, 1.5))
+        clone = GradientBoostedTrees.from_json(gbt.to_json())
+        np.testing.assert_array_equal(clone.predict(np.zeros((2, 2))), np.full(2, 1.5))
