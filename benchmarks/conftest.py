@@ -55,6 +55,8 @@ def _suite_for(node) -> str:
     """The serve load generator feeds the serving artifact, the exec-backend
     microbenchmark the exec one; the paper reproduction modules feed core."""
     name = node.module.__name__
+    if "buckets" in name:
+        return "buckets"
     if "serve" in name:
         return "serve"
     if "compiled" in name:

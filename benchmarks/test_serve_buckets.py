@@ -1,0 +1,81 @@
+"""Dynamic-shape serving benchmark: ragged Zipf mix over shape buckets.
+
+The acceptance artifact for shape-bucketed serving (issue 8): concurrent
+clients replay a Zipf mix of distinct sequence lengths (quick mode: a
+smaller mix) against a ``dynamic="buckets"`` compile service. Beyond
+timing, it *asserts* the bucketing guarantees — every (family, bucket)
+tuned exactly once, total tunes bounded by the number of power-of-two
+buckets the length range spans, a >= 90% warm hit rate in full mode, and
+every served schedule numerically verified at its exact request shape
+against the scalar interpreter — and records hit rate and
+tunes-per-1k-requests into ``BENCH_buckets.json``.
+
+Hit-rate and tune-count metrics are independent of the per-tune search
+budget, so both modes run a reduced tuner budget and the full mode spends
+its time on a larger request mix instead.
+"""
+
+from conftest import QUICK, record_bench, show
+
+from repro.experiments import serve_load
+
+#: moderate search budget: ceiling tunes at m=1024 are still seconds, and
+#: none of the asserted serving metrics depend on schedule quality.
+TUNER_KWARGS = dict(population_size=128, top_n=4, max_rounds=3, min_rounds=1)
+
+
+def test_serve_buckets(run_once):
+    lengths = 10 if QUICK else 32
+    clients = 8 if QUICK else 32
+    requests = 8 if QUICK else 32
+    result = run_once(
+        serve_load.run,
+        clients=clients,
+        requests_per_client=requests,
+        lengths=lengths,
+        dynamic="buckets",
+        quick=QUICK,
+        tuner_kwargs=TUNER_KWARGS,
+        service_workers=4,
+    )
+    show(result)
+    m = result.meta
+
+    assert m["distinct_lengths"] == lengths
+    # acceptance: one ceiling tune per (family, bucket), never more
+    assert m["max_tunes_per_bucket"] == 1, m["tunes_per_bucket"]
+    # acceptance: per family, at most ceil(log2(spread)) + 1 buckets tuned
+    per_family: dict[str, int] = {}
+    for key, tunes in m["tunes_per_bucket"].items():
+        family = key.split("@", 1)[0]
+        per_family[family] = per_family.get(family, 0) + tunes
+    assert all(t <= m["bucket_bound"] for t in per_family.values()), per_family
+    # acceptance: every served schedule passes numeric verification at the
+    # exact request shape (scalar interpreter vs the unfused reference)
+    assert m["verify_failures"] == [], m["verify_failures"]
+    assert m["verified"] > 0
+    # acceptance: the service accounted for every issued request
+    assert m["reconciled"]
+    assert m["errors"] == 0 and m["failed_requests"] == 0 and m["shed"] == 0
+    if not QUICK:
+        # acceptance: >= 32 distinct lengths serve >= 90% warm. Quick mode
+        # clamps to 32 total requests — too few to amortize the cold burst.
+        assert m["warm_hit_rate"] >= 0.90, m["warm_hit_rate"]
+
+    record_bench(
+        "buckets",
+        "test_serve_buckets",
+        clients=m["clients"],
+        requests=m["requests"],
+        distinct_lengths=m["distinct_lengths"],
+        distinct_buckets=m["distinct_buckets"],
+        bucket_bound=m["bucket_bound"],
+        warm_hit_rate=m["warm_hit_rate"],
+        bucket_hits=m["bucket_hits"],
+        tunes=m["tunes"],
+        tunes_per_1k_requests=m["tunes_per_1k_requests"],
+        max_tunes_per_bucket=m["max_tunes_per_bucket"],
+        throughput_rps=m["throughput_rps"],
+        warm_p50_us=m["warm_p50_us"],
+        verified=m["verified"],
+    )

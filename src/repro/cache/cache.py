@@ -184,11 +184,14 @@ class ScheduleCache:
                     return entry, "disk"
             return None, None
 
-    def put(self, chain, gpu, report) -> CacheEntry | None:
+    def put(self, chain, gpu, report, signature: str | None = None) -> CacheEntry | None:
         """Store the result of one tuning run (a ``TuneReport``).
 
         Non-finite best times (a chain with no valid schedule measurement)
         are not cached. Returns the stored entry, or ``None`` if skipped.
+        ``signature`` overrides the exact workload key — the dynamic-shape
+        layer stores ceiling-tuned schedules under their *bucketed*
+        signature so every in-bucket length finds them.
         """
         if not math.isfinite(report.best_time) or report.best_time <= 0:
             return None
@@ -203,7 +206,7 @@ class ScheduleCache:
             getattr(report, "measure_topk", 0),
         )
         entry = CacheEntry(
-            signature=self.signature_for(chain, gpu, variant),
+            signature=signature or self.signature_for(chain, gpu, variant),
             workload=chain.name,
             gpu=gpu.name,
             variant=variant,

@@ -28,10 +28,15 @@ import json
 __all__ = [
     "SIGNATURE_VERSION",
     "DEFAULT_STRATEGY",
+    "DEFAULT_DYNAMIC_LOOPS",
+    "BUCKET_MIN",
     "variant_key",
+    "bucket_of",
+    "bucket_dims",
     "chain_fingerprint",
     "gpu_fingerprint",
     "workload_signature",
+    "bucketed_signature",
     "schedule_signature",
 ]
 
@@ -62,6 +67,49 @@ def variant_key(
 #: Bump whenever the fingerprint layout changes; old cache entries keyed by
 #: a previous version can then never alias new ones.
 SIGNATURE_VERSION = 1
+
+#: Loops treated as dynamic by default under shape bucketing: the sequence-
+#: length dims of the Table II/III convention (``m`` = query/token length,
+#: ``n`` = key/value length). Head dims (``k``, ``h``) and hidden dims stay
+#: static — production ragged traffic varies sequence length, not model
+#: architecture.
+DEFAULT_DYNAMIC_LOOPS = ("m", "n")
+
+#: Smallest bucket ceiling. Matches the tensor-core minimum tile: every
+#: bucket ceiling is a multiple of 16, so ceiling-tuned tiles stay
+#: hardware-aligned for every length in the bucket.
+BUCKET_MIN = 16
+
+
+def bucket_of(size: int) -> int:
+    """Power-of-two bucket ceiling of one dynamic extent.
+
+    Lengths in ``(ceiling/2, ceiling]`` share a bucket; the floor is
+    :data:`BUCKET_MIN` so tiny extents land in an aligned bucket instead of
+    a degenerate one. A production mix spanning lengths ``[lo, hi]``
+    therefore tunes at most ``ceil(log2(hi/lo)) + 1`` times per workload
+    shape family.
+    """
+    if size < 1:
+        raise ValueError(f"dynamic extent must be >= 1, got {size}")
+    ceiling = BUCKET_MIN
+    while ceiling < size:
+        ceiling *= 2
+    return ceiling
+
+
+def bucket_dims(chain, dynamic_loops=DEFAULT_DYNAMIC_LOOPS) -> dict:
+    """``loop -> bucket ceiling`` for the chain's dynamic loops.
+
+    Loops named in ``dynamic_loops`` but absent from the chain are ignored,
+    so the default ``("m", "n")`` applies uniformly to GEMM chains and
+    attention modules alike.
+    """
+    return {
+        loop: bucket_of(chain.loops[loop])
+        for loop in dynamic_loops
+        if loop in chain.loops
+    }
 
 
 def _digest(payload: dict) -> str:
@@ -150,6 +198,38 @@ def workload_signature(chain, gpu, variant: str = "mcfuser") -> str:
             "chain": chain_fingerprint(chain),
             "gpu": gpu_fingerprint(gpu),
             "variant": variant,
+        }
+    )
+
+
+def bucketed_signature(
+    chain,
+    gpu,
+    variant: str = "mcfuser",
+    dynamic_loops=DEFAULT_DYNAMIC_LOOPS,
+) -> str:
+    """Bucket-generic cache key: exact dynamic extents replaced by ceilings.
+
+    Two chains that differ only in the extents of their ``dynamic_loops``
+    hash identically as long as each dynamic extent falls in the same
+    power-of-two bucket — a schedule tuned at the bucket ceiling serves
+    every length in the bucket (tail tiles are masked at execution time).
+    The payload carries an explicit ``dynamic_dims`` marker, so a bucketed
+    key can never alias an exact :func:`workload_signature` (not even for a
+    chain whose dynamic extents already sit at the ceiling).
+    """
+    dyn = bucket_dims(chain, dynamic_loops)
+    fingerprint = chain_fingerprint(chain)
+    loops = dict(fingerprint["loops"])
+    loops.update(dyn)
+    fingerprint["loops"] = sorted(loops.items())
+    return _digest(
+        {
+            "version": SIGNATURE_VERSION,
+            "chain": fingerprint,
+            "gpu": gpu_fingerprint(gpu),
+            "variant": variant,
+            "dynamic_dims": sorted(dyn.items()),
         }
     )
 

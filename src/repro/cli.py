@@ -76,7 +76,7 @@ from repro.codegen import EXEC_BACKENDS, compile_schedule
 from repro.gpu.specs import by_name
 from repro.ir.chain import ComputeChain
 from repro.search.engine.strategy import strategy_names
-from repro.search.tuner import VERIFY_MODES, MCFuserTuner
+from repro.search.tuner import DYNAMIC_MODES, VERIFY_MODES, MCFuserTuner
 from repro.utils import fmt_time, format_table
 from repro.workloads import (
     ATTENTION_CONFIGS,
@@ -204,8 +204,15 @@ def cmd_tune(args: argparse.Namespace) -> int:
         verify=args.verify,
         cost_model=cost_model,
         measure_topk=topk,
+        dynamic=args.dynamic,
     ).tune(chain)
     print(f"workload: {chain}")
+    if report.bucket:
+        ceilings = ", ".join(f"{l}<={c}" for l, c in sorted(report.bucket.items()))
+        kind = "bucket hit — ceiling schedule rebuilt at this shape" if (
+            report.bucket_hit
+        ) else ("exact hit" if report.cache_hit else "tuned at the bucket ceiling")
+        print(f"bucket: {ceilings} ({kind})")
     if report.cache_hit:
         print("cache: hit — schedule restored, no search performed")
     else:
@@ -368,7 +375,7 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
         counters = snapshot.get("counters", {})
         tiers = [
             [tier, counters.get(f"serve.hits.{tier}", 0)]
-            for tier in ("hot", "memory", "disk")
+            for tier in ("hot", "memory", "disk", "bucket")
         ]
         served = sum(n for _, n in tiers)
         requests = counters.get("serve.requests", 0)
@@ -459,6 +466,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tuner_kwargs=tuner_kwargs,
         telemetry=registry,
         quick=args.quick,
+        dynamic=args.dynamic,
+        lengths=args.lengths,
     )
     print(result.table())
     m = result.meta
@@ -596,6 +605,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--topk", type=int, default=2,
                         help="measurements per round under --cost-model "
                              "(guided schedules cache under a +topk{k} key)")
+    p_tune.add_argument("--dynamic", default="off", choices=DYNAMIC_MODES,
+                        help="dynamic-shape handling: buckets = tune once per "
+                             "power-of-two sequence-length bucket (at the "
+                             "bucket ceiling) and serve every in-bucket "
+                             "length from that schedule, tail tiles masked")
     p_tune.add_argument("--show-ptx", action="store_true")
     p_tune.add_argument("--no-cache", action="store_true",
                         help="skip the persistent schedule cache")
@@ -677,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(overrides --signatures)")
     p_serve.add_argument("--zipf", type=float, default=1.1,
                          help="Zipf exponent of the request skew")
+    p_serve.add_argument("--dynamic", default="off", choices=DYNAMIC_MODES,
+                         help="buckets = serve dynamic shapes from "
+                              "power-of-two sequence-length buckets (one tune "
+                              "per bucket ceiling, in-bucket requests are "
+                              "warm hits)")
+    p_serve.add_argument("--lengths", type=int, default=0,
+                         help="ragged-shape mix: number of distinct sequence "
+                              "lengths to sample (0 = fixed-shape mix); "
+                              "pairs naturally with --dynamic buckets")
     p_serve.add_argument("--workers", type=int, default=4,
                          help="service tune worker-pool width")
     p_serve.add_argument("--gpu", default="a100")

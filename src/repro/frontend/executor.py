@@ -177,6 +177,8 @@ def compile_model(
     exec_backend: str = "auto",
     cost_model=None,
     measure_topk: int = 0,
+    dynamic: str = "off",
+    dynamic_loops: "tuple[str, ...] | None" = None,
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
@@ -221,6 +223,14 @@ def compile_model(
     shared across all of a model's sub-graphs, so learning compounds
     shape-to-shape within the compile. Through a ``service`` the service's
     own (shared) model is used and only ``measure_topk`` is forwarded.
+
+    ``dynamic="buckets"`` makes MBCI sub-graph tuning shape-generic over
+    power-of-two sequence-length buckets (``dynamic_loops``, default
+    ``("m", "n")``): in-bucket sub-graphs of *different* lengths dedupe to
+    one ceiling tune, and each compiled module runs the ceiling schedule
+    at its own shape with tail tiles masked. Through a ``service`` the
+    service itself must have been built with the same ``dynamic`` mode
+    (bucketing changes its cache keys and coalescing).
     """
     if isinstance(graph, str):
         from repro.workloads.registry import get_workload
@@ -234,6 +244,14 @@ def compile_model(
         graph = spec.build()
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+    from repro.search.tuner import DYNAMIC_MODES
+
+    if dynamic not in DYNAMIC_MODES:
+        raise ValueError(f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}")
+    if dynamic_loops is None:
+        from repro.cache.signature import DEFAULT_DYNAMIC_LOOPS
+
+        dynamic_loops = DEFAULT_DYNAMIC_LOOPS
     clock = TuningClock()
     module = GraphExecutorFactoryModule(name=f"{graph.name}:{strategy}", gpu=gpu)
     sim = GPUSimulator(gpu, seed=seed)
@@ -261,6 +279,12 @@ def compile_model(
                 f"service targets {service.gpu.name}, compile_model asked for "
                 f"{gpu.name}; one service serves one GPU"
             )
+        if dynamic != "off" and service.dynamic != dynamic:
+            raise ValueError(
+                f"compile_model asked for dynamic={dynamic!r} but the service "
+                f"was built with dynamic={service.dynamic!r}; bucketing changes "
+                "the service's cache keys and coalescing, so configure it there"
+            )
         clock.charge("graph_partition")
         partition = partition_graph(graph, gpu)
         rejections = partition.rejection_reasons()
@@ -284,7 +308,7 @@ def compile_model(
             if result.source == "tuned":
                 # coalesced riders share the tune; bill its cost once.
                 clock.seconds += result.report.tuning_seconds
-            cache_hits += result.source in ("hot", "memory", "disk")
+            cache_hits += result.source in ("hot", "memory", "disk", "bucket")
             module.add_module(
                 compile_schedule(
                     result.report.best_schedule, gpu, exec_backend=exec_backend
@@ -303,7 +327,16 @@ def compile_model(
 
             # one shared model: sub-graph tunes feed one dataset.
             cost_model = LearnedCostModel(seed=seed)
+        if dynamic == "buckets" and cache is None:
+            from repro.cache.cache import ScheduleCache
+
+            # In-process bucket store: in-bucket sub-graphs of different
+            # lengths dedupe to one ceiling tune even without a user cache.
+            cache = ScheduleCache(path=None)
         for sg in partition.subgraphs:
+            # Compiled modules are memoized by the *exact* signature even
+            # under bucketing — a module is bound to its output shapes; the
+            # tuner's bucketed cache ladder dedupes the tuning instead.
             key = sg.signature(
                 gpu, variant_key("mcfuser", search_strategy, measure_topk)
             )
@@ -317,11 +350,15 @@ def compile_model(
                     exec_backend=exec_backend,
                     cost_model=cost_model,
                     measure_topk=measure_topk,
+                    dynamic=dynamic,
+                    dynamic_loops=dynamic_loops,
                     **(tuner_kwargs or {}),
                 )
                 report = tuner.tune(sg.chain)
                 clock.seconds += report.tuning_seconds
                 cache_hits += int(report.cache_hit)
+                if getattr(report, "bucket_hit", False):
+                    served["bucket"] = served.get("bucket", 0) + 1
                 # compile through the kernel memo: a model recompiled (or a
                 # second model sharing this shape) reuses the same module.
                 tuned[key] = compile_schedule(

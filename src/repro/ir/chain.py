@@ -238,6 +238,27 @@ class ComputeChain:
     def input_names(self) -> tuple[str, ...]:
         return tuple(t for t, ref in self.tensors.items() if ref.role == "input")
 
+    def with_loops(self, overrides: dict[str, int], name: str | None = None) -> "ComputeChain":
+        """A structurally identical chain with some loop extents replaced.
+
+        The shape-bucketing layer uses this to build the *ceiling chain*
+        (dynamic extents rounded up to their bucket ceilings) that the
+        tuner searches at; schedules found there are replayed on any
+        in-bucket shape. Unknown loop names raise.
+        """
+        unknown = set(overrides) - set(self.loops)
+        if unknown:
+            raise KeyError(f"unknown loop(s) {sorted(unknown)}; chain has {self.loop_names}")
+        loops = {**self.loops, **overrides}
+        return ComputeChain(
+            name if name is not None else self.name,
+            loops,
+            self.blocks,
+            self.tensors,
+            batch=self.batch,
+            dtype=self.dtype,
+        )
+
     # -- work accounting -----------------------------------------------------
 
     def block_flops(self, block: ComputeBlock) -> float:

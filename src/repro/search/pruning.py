@@ -14,7 +14,8 @@
   FlashAttention's design point).
 * **Rule 3 — Avoid extra padding.** Tensor cores need multiples-of-16
   tiles; power-of-two dimensions only admit divisor tiles, other
-  dimensions admit tiles with padding ratio < 5%.
+  dimensions admit tiles wasting at most 5% of the *padded* extent, and
+  sub-16 dimensions admit their exact (waste-free) divisors.
 * **Rule 4 — Shared-memory limit.** Candidates whose eq. (1) estimate
   exceeds ``1.2 x Shm_max`` are pruned; the 1.2 slack absorbs estimation
   error (validated in Fig. 10).
@@ -38,7 +39,10 @@ __all__ = [
     "MIN_TILE",
     "expression_classes",
     "rule2_class_survives",
+    "padding_ratio",
     "rule3_tile_options",
+    "bucket_tile_options",
+    "tile_legal_for_bucket",
     "unconstrained_tile_count",
     "rule4_ok",
 ]
@@ -150,27 +154,68 @@ def unconstrained_tile_count(size: int) -> int:
     return ceil_div(size, MIN_TILE)
 
 
+def padding_ratio(size: int, tile: int) -> float:
+    """Rule 3's padding-waste ratio: wasted cells over the *padded* extent.
+
+    The paper measures waste against the extent actually materialized
+    (``ceil(size/tile) * tile``), not the logical dimension — a dimension of
+    size 100 padded to 112 wastes 12/112 of the padded tensor, which is the
+    fraction of tensor-core work (and shared-memory footprint) thrown away.
+    Normalizing by ``size`` instead overstates waste and, for sub-16 sizes,
+    diverges as the dimension shrinks.
+    """
+    padded = ceil_div(size, tile) * tile
+    return (padded - size) / padded
+
+
 def rule3_tile_options(size: int) -> list[int]:
     """Tile sizes surviving Rule 3 for one dimension.
 
-    Power-of-two sizes admit only divisors; other sizes admit multiples of
-    16 whose padded extent wastes < 5%. Sizes below 16 get a single padded
-    tile of 16 (the hardware minimum).
+    Power-of-two sizes admit only divisors (zero waste, boundary-exact);
+    other sizes admit multiples of 16 whose :func:`padding_ratio` does not
+    exceed 5% — the boundary is inclusive, so exact multiples of 16 (ratio
+    exactly 0) and tiles landing exactly on the limit both survive. Sizes
+    below the 16-element hardware minimum admit their exact divisors
+    (waste-free: GQA group counts and LoRA ranks tile without padding)
+    rather than a single padded tile of 16.
     """
     if size < MIN_TILE:
-        return [MIN_TILE]
+        return [t for t in range(1, size + 1) if size % t == 0]
     options: list[int] = []
     for tile in range(MIN_TILE, size + 1, MIN_TILE):
         if _is_power_of_two(size):
             if size % tile == 0:
                 options.append(tile)
         else:
-            padded = ceil_div(size, tile) * tile
-            if (padded - size) / size < PADDING_RATIO_LIMIT:
+            if padding_ratio(size, tile) <= PADDING_RATIO_LIMIT:
                 options.append(tile)
     if not options:  # always allow the single full-dimension (padded) tile
         options.append(ceil_div(size, MIN_TILE) * MIN_TILE)
     return options
+
+
+def bucket_tile_options(ceiling: int) -> list[int]:
+    """Tiles legal for *every* length in a power-of-two bucket.
+
+    The bucket ceiling is a power of two (a multiple of 16 by
+    construction, since buckets floor at 16), so Rule 3 at the ceiling
+    admits only exact divisors of the ceiling. Each such tile is legal for
+    every in-bucket length ``l <= ceiling``: the padded extent
+    ``ceil(l/tile) * tile`` never exceeds the ceiling, so the ceiling-time
+    Rule-4 shared-memory estimate is conservative and execution-time
+    tail-tile masking covers the remainder.
+    """
+    if not _is_power_of_two(ceiling) or ceiling % MIN_TILE != 0:
+        raise ValueError(
+            f"bucket ceiling must be a power-of-two multiple of {MIN_TILE}, got {ceiling}"
+        )
+    return rule3_tile_options(ceiling)
+
+
+def tile_legal_for_bucket(tile: int, ceiling: int) -> bool:
+    """Whether ``tile`` is valid for every length in the bucket ``(ceiling/2,
+    ceiling]`` — i.e. it divides the power-of-two ceiling exactly."""
+    return 1 <= tile <= ceiling and ceiling % tile == 0
 
 
 # -- Rule 4 --------------------------------------------------------------------------

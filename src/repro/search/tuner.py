@@ -28,7 +28,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.cache.signature import variant_key
+from repro.cache.signature import (
+    DEFAULT_DYNAMIC_LOOPS,
+    bucket_dims,
+    bucketed_signature,
+    variant_key,
+)
 from repro.codegen.interpreter import (
     InterpreterError,
     resolve_exec_backend,
@@ -58,8 +63,10 @@ __all__ = [
     "MCFuserTuner",
     "MEASURE_REPETITIONS",
     "VERIFY_MODES",
+    "DYNAMIC_MODES",
     "VerificationError",
     "report_from_entry",
+    "rebind_report",
 ]
 
 #: Kernel repetitions per hardware measurement (billed to the tuning clock).
@@ -71,6 +78,12 @@ MEASURE_REPETITIONS = 100
 #: count as launch failures and are blacklisted). ``"all"`` is affordable
 #: because measurement-time execution runs on the vectorized backend.
 VERIFY_MODES = ("off", "best", "all")
+
+#: Dynamic-shape handling: ``"off"`` keys the cache by exact extents;
+#: ``"buckets"`` tunes once per power-of-two sequence-length bucket (at the
+#: bucket ceiling) and replays the schedule — tail tiles masked — on every
+#: in-bucket length.
+DYNAMIC_MODES = ("off", "buckets")
 
 #: fp32 tolerance for measurement-time verification (looser than the unit
 #: tests: long reduction chains accumulate more rounding).
@@ -115,6 +128,15 @@ class TuneReport:
     #: model's predicted-best ``k`` candidates per round (0 = classic
     #: measure-the-top-n mode). Participates in the cache variant key.
     measure_topk: int = 0
+    #: Dynamic-shape mode the tune ran under (:data:`DYNAMIC_MODES`).
+    dynamic: str = "off"
+    #: ``loop -> bucket ceiling`` for the request's dynamic loops (empty
+    #: when ``dynamic == "off"`` or the chain has no dynamic loops).
+    bucket: dict[str, int] = field(default_factory=dict)
+    #: True when this report was served from a *bucketed* cache entry —
+    #: tuned at the bucket ceiling, rebuilt and verified at the request
+    #: shape. Implies ``cache_hit``.
+    bucket_hit: bool = False
 
     @property
     def tflops(self) -> float:
@@ -188,6 +210,24 @@ def report_from_entry(
     )
 
 
+def rebind_report(report: TuneReport, chain: ComputeChain) -> TuneReport:
+    """Re-expand a report's tiling decision on a different (request) chain.
+
+    The dynamic-shape layer tunes at the bucket *ceiling*; the winning
+    (expression, tiles) pair is then rebuilt here on the actual request
+    chain — same tiles, shorter extents, tail tiles masked by the
+    execution backends. Mutates and returns ``report`` so downstream
+    verification (:meth:`MCFuserTuner.check_schedule`) runs at the shape
+    the caller will actually execute.
+    """
+    schedule = report.best_schedule
+    report.best_schedule = build_schedule(
+        chain, schedule.expr, dict(schedule.tiles), optimize=schedule.optimized
+    )
+    report.chain = chain
+    return report
+
+
 class MCFuserTuner:
     """Tunes :class:`ComputeChain` workloads for a simulated GPU.
 
@@ -231,6 +271,16 @@ class MCFuserTuner:
             unfitted fall back to measure-everything, which bootstraps the
             model's dataset. Tuned entries are cached under a distinct
             ``+topk{k}`` variant key.
+        dynamic: :data:`DYNAMIC_MODES` member. ``"buckets"`` makes
+            :meth:`tune` shape-generic over power-of-two sequence-length
+            buckets: lookups ladder exact signature → bucketed signature,
+            misses tune at the bucket *ceiling* (where Rule 3 admits only
+            divisor tiles, so every in-bucket length stays tile-legal) and
+            store under the bucketed key; the returned report is always
+            rebuilt — and, with verification on, numerically checked — at
+            the actual request shape.
+        dynamic_loops: Loop names treated as dynamic under bucketing
+            (default: the sequence-length dims ``("m", "n")``).
     """
 
     def __init__(
@@ -250,6 +300,8 @@ class MCFuserTuner:
         verify: str = "off",
         cost_model: "LearnedCostModel | None" = None,
         measure_topk: int = 0,
+        dynamic: str = "off",
+        dynamic_loops: tuple[str, ...] = DEFAULT_DYNAMIC_LOOPS,
     ) -> None:
         if variant not in ("mcfuser", "chimera"):
             raise ValueError(f"unknown tuner variant {variant!r}")
@@ -260,6 +312,10 @@ class MCFuserTuner:
         validate_exec_backend(exec_backend)
         if verify not in VERIFY_MODES:
             raise ValueError(f"unknown verify mode {verify!r}; pick from {VERIFY_MODES}")
+        if dynamic not in DYNAMIC_MODES:
+            raise ValueError(
+                f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}"
+            )
         if cost_model is None and measure_topk > 0:
             from repro.search.cost_model import LearnedCostModel
 
@@ -279,6 +335,8 @@ class MCFuserTuner:
         self.verify = verify
         self.cost_model = cost_model
         self.measure_topk = measure_topk
+        self.dynamic = dynamic
+        self.dynamic_loops = tuple(dynamic_loops)
         self.simulator = GPUSimulator(gpu, seed=seed, exec_backend=exec_backend)
         #: chain content fingerprint -> (inputs, reference output); lazily
         #: built when a verification mode is active. Keyed by content, not
@@ -402,14 +460,72 @@ class MCFuserTuner:
         With a cache attached, a previously tuned workload (same structure,
         shapes, dtype, GPU, variant, and strategy — the name is irrelevant)
         returns immediately with ``report.cache_hit`` set and zero tuning
-        cost.
+        cost. Under ``dynamic="buckets"`` the lookup ladders exact → bucket
+        and a miss tunes at the bucket ceiling (see :meth:`_tune_bucketed`).
         """
+        if self.dynamic == "buckets":
+            return self._tune_bucketed(chain)
         if self.cache is not None:
             entry = self.cache.get(chain, self.gpu, self.cache_variant)
             if entry is not None:
                 return self._report_from_cache(chain, entry)
         report = self._finalize_report(self._tune_uncached(chain))
         if self.cache is not None:
+            self.cache.put(chain, self.gpu, report)
+        return report
+
+    def bucket_signature(self, chain: ComputeChain) -> str:
+        """The bucketed cache key :meth:`tune` uses for ``chain``."""
+        return bucketed_signature(
+            chain, self.gpu, self.cache_variant, self.dynamic_loops
+        )
+
+    def _tune_bucketed(self, chain: ComputeChain) -> TuneReport:
+        """Shape-generic tuning over power-of-two buckets.
+
+        Ladder: exact-signature hit (shape previously tuned as-is) →
+        bucketed-signature hit (ceiling-tuned schedule rebuilt — and with
+        ``verify != "off"`` numerically re-checked — at the *request*
+        shape) → miss: tune once at the bucket ceiling, store under the
+        bucketed key, return the report rebound to the request shape.
+
+        Legality for every in-bucket length comes from Rule 3 at the
+        ceiling: ceilings are powers of two, so only divisor tiles survive
+        (:func:`~repro.search.pruning.bucket_tile_options`), and for any
+        ``l <= ceiling`` the padded extent ``ceil(l/t)*t <= ceiling`` keeps
+        the ceiling-time Rule-4 shared-memory estimate conservative; the
+        execution backends mask tail tiles rather than padding results.
+        """
+        dyn = bucket_dims(chain, self.dynamic_loops)
+        if self.cache is not None:
+            entry = self.cache.get(chain, self.gpu, self.cache_variant)
+            if entry is not None:
+                report = self._report_from_cache(chain, entry)
+                report.dynamic = "buckets"
+                report.bucket = dyn
+                return report
+            if dyn:
+                entry, _ = self.cache.lookup(self.bucket_signature(chain))
+                if entry is not None:
+                    report = self._report_from_cache(chain, entry)
+                    report.dynamic = "buckets"
+                    report.bucket = dyn
+                    report.bucket_hit = True
+                    return report
+        ceiling_chain = chain.with_loops(dyn) if dyn else chain
+        report = self._tune_uncached(ceiling_chain)
+        if self.cache is not None and dyn:
+            # Store the *ceiling* schedule under the bucketed key before
+            # rebinding, so every in-bucket length re-expands the exact
+            # tiling decision the search validated at the ceiling.
+            self.cache.put(
+                ceiling_chain, self.gpu, report, signature=self.bucket_signature(chain)
+            )
+        report = self._finalize_report(rebind_report(report, chain))
+        report.dynamic = "buckets"
+        report.bucket = dyn
+        if self.cache is not None and not dyn:
+            # No dynamic loops: nothing to bucket, cache under the exact key.
             self.cache.put(chain, self.gpu, report)
         return report
 

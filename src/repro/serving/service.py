@@ -20,8 +20,12 @@ hit. The service composes the pieces the earlier layers provide:
 
 Request accounting invariant (error-free runs)::
 
-    serve.requests == serve.hits.{hot,memory,disk} + serve.coalesced
+    serve.requests == serve.hits.{hot,memory,disk,bucket} + serve.coalesced
                       + serve.tunes + serve.shed
+
+(``serve.hits.bucket`` counts bucketed-signature hits under
+``dynamic="buckets"`` — a ceiling-tuned schedule rebuilt at the request
+shape.)
 
 (a failed tune moves its *creating* request from ``tunes`` to
 ``errors``; coalesced riders stay counted under ``coalesced``). The load
@@ -38,6 +42,7 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import queue
 import threading
@@ -46,9 +51,20 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.signature import variant_key
+from repro.cache.signature import (
+    DEFAULT_DYNAMIC_LOOPS,
+    bucket_dims,
+    bucketed_signature,
+    variant_key,
+)
 from repro.gpu.specs import GPUSpec
-from repro.search.tuner import MCFuserTuner, TuneReport, report_from_entry
+from repro.search.tuner import (
+    DYNAMIC_MODES,
+    MCFuserTuner,
+    TuneReport,
+    rebind_report,
+    report_from_entry,
+)
 from repro.serving.telemetry import MetricsRegistry
 from repro.serving.tiers import TieredCache
 
@@ -91,9 +107,11 @@ class ServeResult:
         signature: Workload signature the request resolved under.
         report: The tuned (or cache-restored) :class:`TuneReport`.
         source: How the request was satisfied — ``"hot"``/``"memory"``/
-            ``"disk"`` (cache tier), ``"tuned"`` (this request triggered
-            the tune), or ``"coalesced"`` (rode along on another request's
-            in-flight tune).
+            ``"disk"`` (exact cache tier), ``"bucket"`` (ceiling-tuned
+            entry found under the bucketed signature, rebuilt at the
+            request shape), ``"tuned"`` (this request triggered the tune),
+            or ``"coalesced"`` (rode along on another request's in-flight
+            tune).
         latency_seconds: Wall time from submit to resolution.
         lane: Admission lane of the request.
         workload: Chain name at submit time (diagnostic only).
@@ -108,12 +126,21 @@ class ServeResult:
 
 
 class ServeTicket:
-    """Handle for one submitted request; resolves to a :class:`ServeResult`."""
+    """Handle for one submitted request; resolves to a :class:`ServeResult`.
 
-    def __init__(self, signature: str, lane: str, workload: str) -> None:
+    ``chain`` is the *request* chain: under dynamic bucketing, coalesced
+    tickets sharing one ceiling tune may each carry a different in-bucket
+    shape, and the worker rebinds the tuned schedule to each ticket's
+    actual chain before resolving it.
+    """
+
+    def __init__(
+        self, signature: str, lane: str, workload: str, chain: "ComputeChain | None" = None
+    ) -> None:
         self.signature = signature
         self.lane = lane
         self.workload = workload
+        self.chain = chain
         self.submitted_at = time.perf_counter()
         self._future: "Future[ServeResult]" = Future()
 
@@ -164,7 +191,12 @@ class ModelTicket:
 
 @dataclass
 class _Job:
-    """One in-flight tune: a signature plus every ticket waiting on it."""
+    """One in-flight tune: a signature plus every ticket waiting on it.
+
+    Under dynamic bucketing ``signature`` is the *bucketed* key, ``chain``
+    is the bucket-ceiling chain the tune runs at, and ``bucket`` maps each
+    dynamic loop to its ceiling (empty for exact jobs).
+    """
 
     signature: str
     chain: "ComputeChain"
@@ -174,6 +206,7 @@ class _Job:
     measure_workers: int
     tuner_kwargs: dict
     measure_topk: int = 0
+    bucket: dict = field(default_factory=dict)
     tickets: list[ServeTicket] = field(default_factory=list)
 
 
@@ -209,6 +242,15 @@ class CompileService:
             the model's predicted-best ``k`` per round; 0 = classic
             measure-the-top-n). Overridable per :meth:`submit`. Guided
             tunes are cached under a distinct ``+topk{k}`` variant key.
+        dynamic: :data:`~repro.search.tuner.DYNAMIC_MODES` member.
+            ``"buckets"`` serves ragged sequence lengths shape-generically:
+            the lookup ladder becomes exact hit → bucket hit → miss, misses
+            tune once at the power-of-two bucket ceiling (concurrent
+            in-bucket requests of *different* lengths coalesce onto that
+            one tune), and every served report is rebuilt at the request's
+            actual shape. Bucket hits surface as source ``"bucket"`` and
+            counter ``serve.hits.bucket``.
+        dynamic_loops: Loop names treated as dynamic under bucketing.
     """
 
     def __init__(
@@ -224,6 +266,8 @@ class CompileService:
         tune_fn=None,
         cost_model: "LearnedCostModel | None" = None,
         measure_topk: int = 0,
+        dynamic: str = "off",
+        dynamic_loops: tuple[str, ...] = DEFAULT_DYNAMIC_LOOPS,
     ) -> None:
         from repro.codegen.interpreter import validate_exec_backend
 
@@ -234,6 +278,12 @@ class CompileService:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
         if measure_topk < 0:
             raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
+        if dynamic not in DYNAMIC_MODES:
+            raise ValueError(
+                f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}"
+            )
+        self.dynamic = dynamic
+        self.dynamic_loops = tuple(dynamic_loops)
         if cost_model is None and measure_topk > 0:
             from repro.search.cost_model import LearnedCostModel
 
@@ -327,6 +377,13 @@ class CompileService:
         :class:`QueueFull` (load shedding) rather than blocking.
         ``measure_topk=None`` inherits the service default; guided requests
         key (and therefore hit) the cache separately from exhaustive ones.
+
+        With ``dynamic="buckets"`` the lookup ladders exact signature →
+        bucketed signature; a bucket hit rebuilds the ceiling-tuned
+        schedule at the request shape and resolves inline as source
+        ``"bucket"``. Misses queue (or coalesce onto) one tune of the
+        bucket-*ceiling* chain keyed by the bucketed signature, so
+        concurrent requests for different in-bucket lengths share it.
         """
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}; pick from {LANES}")
@@ -335,25 +392,48 @@ class CompileService:
         chain = self._resolve_chain(workload)
         cache_variant = variant_key(variant, strategy, measure_topk)
         signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
-        ticket = ServeTicket(signature, lane, chain.name)
+        bucket = (
+            bucket_dims(chain, self.dynamic_loops)
+            if self.dynamic == "buckets"
+            else {}
+        )
+        bucket_sig = (
+            bucketed_signature(chain, self.gpu, cache_variant, self.dynamic_loops)
+            if bucket
+            else None
+        )
+        ticket = ServeTicket(signature, lane, chain.name, chain=chain)
         self.telemetry.counter("serve.requests").inc()
         self.telemetry.counter(f"serve.requests.{lane}").inc()
 
-        # Fast path: resolve cache hits inline, without ever queueing.
-        entry, tier = self.tiered.lookup(signature)
-        if entry is not None:
+        def _serve_entry(entry, source: str, counter: str) -> ServeTicket:
             report = report_from_entry(
                 chain, self.gpu, entry, variant=variant, strategy=strategy,
                 exec_backend=self.exec_backend, measure_topk=measure_topk,
             )
-            self.telemetry.counter(f"serve.hits.{tier}").inc()
-            ticket._resolve(report, tier, self.telemetry.histogram("serve.latency.warm"))
+            if bucket:
+                report.dynamic = "buckets"
+                report.bucket = dict(bucket)
+                report.bucket_hit = source == "bucket"
+            self.telemetry.counter(counter).inc()
+            ticket._resolve(report, source, self.telemetry.histogram("serve.latency.warm"))
             return ticket
 
+        # Fast path: resolve cache hits inline, without ever queueing —
+        # exact signature first, then (under bucketing) the bucketed one.
+        entry, tier = self.tiered.lookup(signature)
+        if entry is not None:
+            return _serve_entry(entry, tier, f"serve.hits.{tier}")
+        if bucket_sig is not None:
+            entry, _ = self.tiered.lookup(bucket_sig)
+            if entry is not None:
+                return _serve_entry(entry, "bucket", "serve.hits.bucket")
+
+        job_sig = bucket_sig if bucket_sig is not None else signature
         with self._lock:
             if self._closed:
                 raise ServiceClosed("CompileService is closed")
-            job = self._inflight.get(signature)
+            job = self._inflight.get(job_sig)
             if job is not None:
                 job.tickets.append(ticket)
                 self.telemetry.counter("serve.coalesced").inc()
@@ -364,32 +444,28 @@ class CompileService:
             # without a second recorded lookup. (Non-cacheable results —
             # chains with no finite measurement — leave nothing behind by
             # design: their waiters were all resolved by fan-out, and a
-            # later request legitimately re-tunes.)
-            entry = self.tiered.hot.get(signature)
+            # later request legitimately re-tunes.) Under bucketing the
+            # racing tune was keyed by the bucketed signature.
+            entry = self.tiered.hot.get(job_sig)
             recheck_tier = "hot"
             if entry is None:
-                entry, recheck_tier = self.tiered.cache.peek_tiered(signature)
+                entry, recheck_tier = self.tiered.cache.peek_tiered(job_sig)
                 if entry is not None:
-                    self.tiered.hot.put(signature, entry)
+                    self.tiered.hot.put(job_sig, entry)
             if entry is not None:
-                report = report_from_entry(
-                    chain, self.gpu, entry, variant=variant, strategy=strategy,
-                    exec_backend=self.exec_backend, measure_topk=measure_topk,
-                )
-                self.telemetry.counter(f"serve.hits.{recheck_tier}").inc()
-                ticket._resolve(
-                    report, recheck_tier, self.telemetry.histogram("serve.latency.warm")
-                )
-                return ticket
+                if bucket_sig is not None:
+                    return _serve_entry(entry, "bucket", "serve.hits.bucket")
+                return _serve_entry(entry, recheck_tier, f"serve.hits.{recheck_tier}")
             job = _Job(
-                signature=signature,
-                chain=chain,
+                signature=job_sig,
+                chain=chain.with_loops(bucket) if bucket else chain,
                 variant=variant,
                 strategy=strategy,
                 seed=self.seed if seed is None else seed,
                 measure_workers=measure_workers,
                 tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
                 measure_topk=measure_topk,
+                bucket=dict(bucket),
                 tickets=[ticket],
             )
             try:
@@ -408,7 +484,7 @@ class CompileService:
                     )
                 )
                 return ticket
-            self._inflight[signature] = job
+            self._inflight[job_sig] = job
             self.telemetry.gauge("serve.queue.depth").inc()
             self.telemetry.gauge("serve.inflight").inc()
         return ticket
@@ -513,10 +589,26 @@ class CompileService:
                 self.telemetry.gauge("serve.inflight").dec()
                 self._queue.task_done()
 
+    def _report_for_ticket(self, job: _Job, report: TuneReport, ticket: ServeTicket) -> TuneReport:
+        """The report a ticket resolves with: rebound to its request shape.
+
+        Exact jobs (and tickets whose shape *is* the ceiling) share the
+        tuned report; under bucketing every other ticket gets a shallow
+        copy whose schedule is re-expanded on its own chain — coalesced
+        riders of one ceiling tune may each carry a different in-bucket
+        length.
+        """
+        if not job.bucket:
+            return report
+        report = dataclasses.replace(report, dynamic="buckets", bucket=dict(job.bucket))
+        if ticket.chain is not None and ticket.chain.loops != job.chain.loops:
+            report = rebind_report(report, ticket.chain)
+        return report
+
     def _run_job(self, job: _Job) -> None:
         try:
             report = self._tune_fn(job)
-            self.tiered.put(job.chain, self.gpu, report)
+            self.tiered.put(job.chain, self.gpu, report, signature=job.signature)
         except Exception as exc:  # noqa: BLE001 - a tune failure must fan out
             self.telemetry.counter("serve.errors").inc()
             with self._lock:
@@ -546,7 +638,11 @@ class CompileService:
             self.telemetry.histogram("serve.model.ranking_accuracy").observe(accuracy)
         cold = self.telemetry.histogram("serve.latency.cold")
         for i, ticket in enumerate(tickets):
-            ticket._resolve(report, "tuned" if i == 0 else "coalesced", cold)
+            ticket._resolve(
+                self._report_for_ticket(job, report, ticket),
+                "tuned" if i == 0 else "coalesced",
+                cold,
+            )
 
     # -- observability ---------------------------------------------------------
 

@@ -178,9 +178,13 @@ class TieredCache:
         """Chain-level lookup (see :meth:`lookup`); returns ``(entry, tier)``."""
         return self.lookup(self.signature_for(chain, gpu, variant))
 
-    def put(self, chain, gpu, report) -> "CacheEntry | None":
-        """Write-through store: persistent cache first, then the hot tier."""
-        entry = self.cache.put(chain, gpu, report)
+    def put(self, chain, gpu, report, signature: str | None = None) -> "CacheEntry | None":
+        """Write-through store: persistent cache first, then the hot tier.
+
+        ``signature`` overrides the exact workload key (bucketed entries
+        are stored under their bucket-generic signature).
+        """
+        entry = self.cache.put(chain, gpu, report, signature=signature)
         if entry is not None:
             self.hot.put(entry.signature, entry)
         return entry

@@ -211,6 +211,52 @@ class TestRaggedShapes:
             assert assert_three_way(chain, schedule, inputs, ref)
 
 
+@needs_cc
+class TestBucketCeilingSchedules:
+    """Dynamic-shape bucketing (issue 8): ceiling-tuned schedules replayed
+    at shorter in-bucket lengths — non-pow2, prime, just-below-ceiling —
+    must run three-way identical (tail tiles masked in all backends)."""
+
+    # prime, just-below-ceiling, non-pow2
+    LENGTHS = (97, 127, 96)
+
+    @pytest.mark.parametrize("m", LENGTHS)
+    def test_gemm_ceiling_tiles_at_in_bucket_length(self, m):
+        from repro.cache.signature import bucket_of
+        from repro.search.pruning import bucket_tile_options
+
+        ceiling = bucket_of(m)
+        chain = gemm_chain(1, m, 64, 32, 48, name=f"cp-bucket-{m}")
+        inputs = chain.random_inputs(m)
+        ref = chain.reference(inputs)[chain.output]
+        ran = 0
+        for tm in bucket_tile_options(ceiling):
+            schedule = build_schedule(
+                chain, TilingExpr.parse("mhnk"),
+                {"m": tm, "n": 32, "k": 32, "h": 48},
+            )
+            ran += assert_three_way(chain, schedule, inputs, ref)
+        assert ran >= 1
+
+    def test_tuned_at_ceiling_rebound_to_prime_length(self):
+        """End-to-end: an actual ceiling tune rebound to a prime in-bucket
+        length stays three-way identical."""
+        from repro.cache import ScheduleCache
+        from repro.search.tuner import MCFuserTuner
+
+        tuner = MCFuserTuner(
+            A100, dynamic="buckets", cache=ScheduleCache(path=None),
+            population_size=64, top_n=4, max_rounds=2, min_rounds=1, seed=0,
+        )
+        report = tuner.tune(gemm_chain(1, 101, 64, 32, 48, name="cp-ceil-tune"))
+        schedule = report.best_schedule
+        chain = schedule.chain
+        assert chain.loops["m"] == 101  # rebound to the request shape
+        inputs = chain.random_inputs(7)
+        ref = chain.reference(inputs)[chain.output]
+        assert assert_three_way(chain, schedule, inputs, ref)
+
+
 # -- softmax rank generality and accumulator-reset regressions -------------------
 
 

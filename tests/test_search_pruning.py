@@ -8,12 +8,16 @@ from repro.gpu.specs import A100
 from repro.ir.chain import gemm_chain
 from repro.search.pruning import (
     MIN_TILE,
+    PADDING_RATIO_LIMIT,
     RULE4_SLACK,
+    bucket_tile_options,
     expression_classes,
+    padding_ratio,
     rule2_candidate_ok,
     rule2_class_survives,
     rule3_tile_options,
     rule4_ok,
+    tile_legal_for_bucket,
     unconstrained_tile_count,
 )
 from repro.tiling.expr import TilingExpr
@@ -71,8 +75,13 @@ class TestRule3:
         assert 16 in opts and 80 in opts
         assert 32 not in opts  # would pad 80 -> 96, ratio 0.2 > 0.05
 
-    def test_tiny_dimension_padded(self):
-        assert rule3_tile_options(8) == [16]
+    def test_tiny_dimension_exact_divisors(self):
+        # sub-16 dims admit exact divisor tiles, never a lone padded
+        # tile of 16 that wastes half the block
+        assert rule3_tile_options(8) == [1, 2, 4, 8]
+        assert rule3_tile_options(12) == [1, 2, 3, 4, 6, 12]
+        assert rule3_tile_options(1) == [1]
+        assert rule3_tile_options(7) == [1, 7]
 
     def test_exact_multiples_allowed_for_non_pow2(self):
         opts = rule3_tile_options(96)
@@ -81,6 +90,47 @@ class TestRule3:
     def test_all_multiples_of_16(self):
         for size in (48, 80, 100, 256, 1000):
             assert all(t % MIN_TILE == 0 for t in rule3_tile_options(size))
+
+    @pytest.mark.parametrize(
+        "size, expected",
+        [
+            # pow2: exact divisor tiles only, 16..size
+            (16, [16]),
+            (64, [16, 32, 64]),
+            (256, [16, 32, 64, 128, 256]),
+            # non-pow2: multiples of 16 within the 5% padded-waste budget
+            (48, [16, 48]),
+            (80, [16, 80]),
+            (96, [16, 32, 48, 96]),
+            (100, [112]),  # nothing within 5%; single padded fallback
+            (1000, [16, 32, 48, 64, 80, 112, 128, 144, 208, 256, 336, 512]),
+            # sub-16: exact divisors of the dimension itself
+            (2, [1, 2]),
+            (6, [1, 2, 3, 6]),
+            (15, [1, 3, 5, 15]),
+        ],
+    )
+    def test_rule3_table(self, size, expected):
+        assert rule3_tile_options(size) == expected
+
+    @given(st.integers(1, 4096))
+    def test_no_padding_when_waste_free_divisor_exists(self, size):
+        # regression (issue 8 satellite): when a waste-free divisor tile
+        # exists, no admitted candidate may waste more than 5% padding
+        opts = rule3_tile_options(size)
+        has_waste_free = any(padding_ratio(size, t) == 0.0 for t in opts)
+        if has_waste_free:
+            assert all(padding_ratio(size, t) <= PADDING_RATIO_LIMIT for t in opts)
+
+    def test_padding_ratio_is_padded_relative(self):
+        # waste measured against the padded extent, boundary inclusive
+        assert padding_ratio(96, 16) == 0.0
+        assert padding_ratio(80, 32) == pytest.approx(16 / 96)
+        # 304 -> tile 160 pads to 320: 16/320 = 0.05 exactly -> admitted
+        # (the boundary is inclusive, and the old size-relative metric
+        # would have read 16/304 ≈ 0.053 and rejected it)
+        assert padding_ratio(304, 160) == pytest.approx(0.05)
+        assert 160 in rule3_tile_options(304)
 
     def test_unconstrained_count(self):
         assert unconstrained_tile_count(1024) == 64
@@ -91,16 +141,50 @@ class TestRule3:
     def test_options_within_unconstrained(self, size):
         opts = rule3_tile_options(size)
         assert len(opts) >= 1
-        assert len(opts) <= max(unconstrained_tile_count(size), 1)
+        if size >= MIN_TILE:
+            # the paper's space accounting (multiples of 16); sub-16 dims
+            # draw from exact divisors instead, a different pool
+            assert len(opts) <= max(unconstrained_tile_count(size), 1)
 
     @given(st.integers(16, 2048))
     def test_padding_ratio_bounded(self, size):
+        # waste is relative to the *padded* extent, boundary inclusive;
+        # the lone fallback tile is exempt (nothing fit the budget)
+        opts = rule3_tile_options(size)
+        for t in opts:
+            if not (size & (size - 1)) == 0:  # non-pow2
+                assert padding_ratio(size, t) <= PADDING_RATIO_LIMIT or len(opts) == 1
+
+
+class TestBucketTiles:
+    def test_bucket_options_are_ceiling_divisors(self):
+        for ceiling in (16, 64, 512, 1024):
+            opts = bucket_tile_options(ceiling)
+            assert opts == rule3_tile_options(ceiling)
+            assert all(ceiling % t == 0 for t in opts)
+
+    def test_bucket_ceiling_must_be_pow2_multiple_of_16(self):
+        with pytest.raises(ValueError):
+            bucket_tile_options(100)
+        with pytest.raises(ValueError):
+            bucket_tile_options(8)
+
+    def test_tile_legal_for_bucket(self):
+        assert tile_legal_for_bucket(64, 512)
+        assert tile_legal_for_bucket(512, 512)
+        assert not tile_legal_for_bucket(96, 512)  # not a divisor
+        assert not tile_legal_for_bucket(1024, 512)  # exceeds ceiling
+        assert not tile_legal_for_bucket(0, 512)
+
+    @given(st.sampled_from([16, 32, 64, 128, 256, 512, 1024]), st.data())
+    def test_in_bucket_lengths_never_overrun_ceiling(self, ceiling, data):
+        # legality argument: for any in-bucket length, every admitted
+        # ceiling tile pads the length to at most the ceiling itself
         from repro.utils import ceil_div
 
-        for t in rule3_tile_options(size):
-            padded = ceil_div(size, t) * t
-            if not (size & (size - 1)) == 0:  # non-pow2
-                assert (padded - size) / size < 0.05 or len(rule3_tile_options(size)) == 1
+        length = data.draw(st.integers(ceiling // 2 + 1, ceiling))
+        for t in bucket_tile_options(ceiling):
+            assert ceil_div(length, t) * t <= ceiling
 
 
 class TestRule4:

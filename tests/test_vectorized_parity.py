@@ -173,6 +173,51 @@ class TestRaggedShapes:
             assert assert_parity(chain, schedule, inputs, ref)
 
 
+class TestBucketCeilingSchedules:
+    """Dynamic-shape bucketing (issue 8): schedules tuned at a power-of-two
+    bucket ceiling execute on any shorter in-bucket length with tail tiles
+    masked. Scalar and vectorized must agree with the reference at every
+    ragged length — non-pow2, prime, and just-below-ceiling — for every
+    ceiling-legal (divisor) tile size."""
+
+    # prime, just-below-ceiling, non-pow2, just-above-half-bucket
+    LENGTHS = (97, 127, 96, 65)
+
+    @pytest.mark.parametrize("m", LENGTHS)
+    def test_gemm_ceiling_tiles_at_in_bucket_length(self, m):
+        from repro.cache.signature import bucket_of
+        from repro.search.pruning import bucket_tile_options
+
+        ceiling = bucket_of(m)
+        chain = gemm_chain(1, m, 64, 32, 48, name=f"vp-bucket-{m}")
+        inputs = chain.random_inputs(m)
+        ref = chain.reference(inputs)[chain.output]
+        ran = 0
+        for tm in bucket_tile_options(ceiling):
+            schedule = build_schedule(
+                chain, TilingExpr.parse("mhnk"),
+                {"m": tm, "n": 32, "k": 32, "h": 48},
+            )
+            ran += assert_parity(chain, schedule, inputs, ref)
+        assert ran >= 1
+
+    def test_attention_ceiling_tiles_both_seq_dims(self):
+        from repro.search.pruning import bucket_tile_options
+
+        # m=101 (prime) and n=75 (non-pow2) in buckets 128 / 128
+        chain = attention_chain(2, 101, 75, 24, 40, name="vp-bucket-attn")
+        inputs = chain.random_inputs(5)
+        ref = chain.reference(inputs)[chain.output]
+        ran = 0
+        for tm in bucket_tile_options(128):
+            schedule = build_schedule(
+                chain, TilingExpr.parse("mn(k,h)"),
+                {"m": tm, "n": 32, "k": 24, "h": 40},
+            )
+            ran += assert_parity(chain, schedule, inputs, ref)
+        assert ran >= 1
+
+
 # -- softmax accumulator rank fix (satellite bugfix) -----------------------------
 
 
