@@ -14,8 +14,9 @@ runtime. Leave it unset for the paper-faithful numbers.
 
 **Summary artifacts.** Each session writes per-suite JSON summaries —
 ``BENCH_core.json`` (the paper-reproduction suites), ``BENCH_serve.json``
-(the serving load generator) and ``BENCH_exec.json`` (the execution-backend
-microbenchmark) — into ``$REPRO_BENCH_OUT`` (default:
+(the serving load generator), ``BENCH_exec.json`` (the execution-backend
+microbenchmark) and ``BENCH_obs.json`` (the disabled-tracer overhead
+bound) — into ``$REPRO_BENCH_OUT`` (default:
 this directory). Wall time is recorded for every benchmark run through the
 ``run_once`` fixture; modules can attach richer metrics (throughput,
 hit rates, ...) with :func:`record_bench`. CI uploads both files so the
@@ -55,6 +56,8 @@ def _suite_for(node) -> str:
     """The serve load generator feeds the serving artifact, the exec-backend
     microbenchmark the exec one; the paper reproduction modules feed core."""
     name = node.module.__name__
+    if "obs" in name:
+        return "obs"
     if "buckets" in name:
         return "buckets"
     if "serve" in name:

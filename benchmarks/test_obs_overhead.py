@@ -1,0 +1,106 @@
+"""Observability overhead microbenchmark: the disabled tracer must be free.
+
+Every hot path (tuner, search loop, evaluator, runtime, interpreter) now
+calls ``get_tracer().span(...)``; when tracing is off those calls return the
+``NOOP_SPAN`` singleton without allocating. This module bounds the cost of
+that instrumentation on the *warm-tune* path — a cache-hit tune, the
+latency-critical serving operation — and records the numbers into the
+``BENCH_obs.json`` artifact.
+
+Methodology (flake-resistant): rather than differencing two noisy wall-clock
+timings, we (a) time the warm tune with tracing disabled, (b) count how many
+spans one *traced* warm tune actually records, and (c) microbenchmark the
+per-call cost of a disabled ``span()``. The instrumentation tax is then
+bounded by ``spans_per_tune * noop_cost``, which must stay under
+``MAX_OVERHEAD`` of the warm-tune time. The enabled-tracer timing is
+recorded alongside for context but not asserted — it includes real
+recording work, not overhead of the disabled path.
+"""
+
+import time
+
+from conftest import record_bench
+
+from repro.cache.cache import ScheduleCache
+from repro.gpu.specs import A100
+from repro.ir.chain import gemm_chain
+from repro.obs import disable_tracing, enable_tracing, get_tracer
+from repro.search.tuner import MCFuserTuner
+
+#: Acceptance ceiling: disabled-tracer tax on a warm tune.
+MAX_OVERHEAD = 0.05
+
+#: Fast tuner budget — the cold tune only populates the cache.
+QUICK_TUNER = dict(population_size=64, top_n=4, max_rounds=3, min_rounds=2)
+
+WARM_REPEATS = 50
+NOOP_CALLS = 20_000
+
+
+def _make_tuner():
+    chain = gemm_chain(2, 96, 80, 64, 48, name="obs-warm-gemm")
+    tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(path=None), **QUICK_TUNER)
+    report = tuner.tune(chain)  # cold tune populates the in-memory cache
+    assert not report.cache_hit
+    return tuner, chain
+
+
+def _time_warm_tunes(tuner, chain, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = tuner.tune(chain)
+        best = min(best, time.perf_counter() - t0)
+        assert report.cache_hit
+    return best
+
+
+def _noop_span_cost(calls):
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with tracer.span("bench", k=1) as span:
+            span.set(v=2)
+    return (time.perf_counter() - t0) / calls
+
+
+def test_disabled_tracer_overhead(run_once):
+    tuner, chain = _make_tuner()
+
+    def measure():
+        disable_tracing()
+        warm_disabled = _time_warm_tunes(tuner, chain, WARM_REPEATS)
+        noop_cost = _noop_span_cost(NOOP_CALLS)
+
+        tracer = enable_tracing()
+        try:
+            t0 = time.perf_counter()
+            report = tuner.tune(chain)
+            warm_enabled = time.perf_counter() - t0
+            assert report.cache_hit
+            spans_per_tune = len(tracer.recorder)
+        finally:
+            disable_tracing()
+        return warm_disabled, warm_enabled, noop_cost, spans_per_tune
+
+    warm_disabled, warm_enabled, noop_cost, spans_per_tune = run_once(measure)
+    bound = spans_per_tune * noop_cost
+    overhead = bound / warm_disabled
+    record_bench(
+        "obs",
+        "obs_overhead[warm-tune]",
+        workload=chain.name,
+        warm_tune_disabled_seconds=warm_disabled,
+        warm_tune_enabled_seconds=warm_enabled,
+        noop_span_seconds=noop_cost,
+        spans_per_warm_tune=spans_per_tune,
+        overhead_bound=overhead,
+        max_overhead=MAX_OVERHEAD,
+    )
+    print(f"\nwarm tune {warm_disabled * 1e6:.0f}us  "
+          f"noop span {noop_cost * 1e9:.0f}ns x {spans_per_tune} spans  "
+          f"overhead bound {overhead * 100:.2f}% (limit {MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled-tracer instrumentation tax {overhead * 100:.2f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% of the warm-tune path"
+    )

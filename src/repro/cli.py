@@ -23,7 +23,14 @@ Commands:
 * ``metrics``              — print the last serving session's telemetry
                              snapshot as JSON (includes the tuning-efficiency
                              histograms ``serve.tune.measurements`` and
-                             ``serve.model.ranking_accuracy``).
+                             ``serve.model.ranking_accuracy``); ``--prom``
+                             renders Prometheus text exposition instead.
+* ``trace <workload>``     — run one tune (chain) or whole-model compile
+                             (model) with the span tracer on and write a
+                             Perfetto-loadable Chrome trace (``--out``) plus
+                             raw ``traces.jsonl`` in the cache dir.
+                             ``serve --trace`` does the same for a whole
+                             serving session.
 * ``model train``          — fit the learned cost model from the measurement
                              dataset (optionally measuring workloads first to
                              grow it) and persist the snapshot.
@@ -453,22 +460,48 @@ def cmd_serve(args: argparse.Namespace) -> int:
             tuner_kwargs["max_rounds"] = args.max_rounds
             tuner_kwargs["min_rounds"] = min(args.max_rounds, 5)
     registry = MetricsRegistry()
-    result = serve_load.run(
-        clients=args.clients,
-        requests_per_client=args.requests,
-        workload_names=args.workloads or None,
-        signatures=args.signatures,
-        zipf_s=args.zipf,
-        seed=args.seed,
-        service_workers=args.workers,
-        gpu=by_name(args.gpu),
-        cache=TieredCache(cache, telemetry=registry),
-        tuner_kwargs=tuner_kwargs,
-        telemetry=registry,
-        quick=args.quick,
-        dynamic=args.dynamic,
-        lengths=args.lengths,
-    )
+    if args.trace:
+        from repro.obs import enable_tracing
+
+        enable_tracing()
+    try:
+        result = serve_load.run(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            workload_names=args.workloads or None,
+            signatures=args.signatures,
+            zipf_s=args.zipf,
+            seed=args.seed,
+            service_workers=args.workers,
+            gpu=by_name(args.gpu),
+            cache=TieredCache(cache, telemetry=registry),
+            tuner_kwargs=tuner_kwargs,
+            telemetry=registry,
+            quick=args.quick,
+            dynamic=args.dynamic,
+            lengths=args.lengths,
+        )
+    finally:
+        if args.trace:
+            from repro.obs import (
+                TRACE_FILENAME,
+                disable_tracing,
+                save_chrome_trace,
+                save_trace_jsonl,
+            )
+
+            tracer = disable_tracing()
+            spans = tracer.recorder.spans()
+            if spans:
+                directory = args.cache_dir or default_cache_dir()
+                jsonl = save_trace_jsonl(
+                    spans, os.path.join(directory, TRACE_FILENAME)
+                )
+                chrome = save_chrome_trace(
+                    spans, os.path.join(directory, "serve_trace.json")
+                )
+                print(f"{len(spans)} span(s): chrome trace at {chrome}, "
+                      f"raw spans at {jsonl}")
     print(result.table())
     m = result.meta
     for line in serve_load.summary_lines(m):
@@ -562,7 +595,105 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if snapshot is None:
         print(f"no metrics snapshot at {path}; run `repro serve` first")
         return 1
+    if args.prom:
+        from repro.obs import prometheus_text
+
+        print(prometheus_text(snapshot), end="")
+        return 0
     print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _trace_summary_lines(spans, coverage: float) -> list[str]:
+    """Per-span-name rollup + coverage line for traced runs."""
+    by_name: dict[str, list[float]] = {}
+    for r in spans:
+        by_name.setdefault(r.name, []).append(r.duration)
+    rows = [
+        [name, len(durs), fmt_time(sum(durs)), fmt_time(max(durs))]
+        for name, durs in sorted(
+            by_name.items(), key=lambda kv: -sum(kv[1])
+        )
+    ]
+    lines = [format_table(["span", "count", "total", "max"], rows)]
+    lines.append(f"root-span coverage by direct children: {coverage:.1%}")
+    return lines
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one workload end to end and export a Chrome-trace file.
+
+    Chain workloads run one tune; model workloads run a full
+    ``compile_model`` (partition -> per-group tunes -> residual lowering
+    -> simulated execution). The raw spans are also persisted as JSONL in
+    the cache dir for offline analysis.
+    """
+    from repro.obs import (
+        TRACE_FILENAME,
+        disable_tracing,
+        enable_tracing,
+        save_chrome_trace,
+        save_trace_jsonl,
+        trace_coverage,
+    )
+
+    gpu = by_name(args.gpu)
+    cache = None if args.no_cache else _open_cache(args)
+    spec = get_workload(args.workload)
+    enable_tracing()
+    try:
+        if spec.level == "model":
+            from repro.frontend.executor import compile_model
+
+            result = compile_model(
+                spec.build(),
+                gpu,
+                strategy="mcfuser+relay",
+                seed=args.seed,
+                cache=cache,
+                search_strategy=args.strategy,
+                search_workers=args.workers,
+                exec_backend=args.exec_backend,
+            )
+            headline = (
+                f"{args.workload}: {fmt_time(result.time)} model time, "
+                f"{result.mbci_subgraphs} fused sub-graph(s), "
+                f"{fmt_time(result.tuning_seconds)} simulated tuning"
+            )
+        else:
+            report = MCFuserTuner(
+                gpu,
+                seed=args.seed,
+                cache=cache,
+                strategy=args.strategy,
+                workers=args.workers,
+                exec_backend=args.exec_backend,
+            ).tune(spec.build())
+            headline = (
+                f"{args.workload}: best {fmt_time(report.best_time)}, "
+                f"{report.search.num_measurements} measurement(s), "
+                f"{fmt_time(report.tuning_seconds)} simulated tuning"
+            )
+    finally:
+        tracer = disable_tracing()
+    spans = tracer.recorder.spans()
+    if not spans:
+        print("no spans recorded")
+        return 1
+    coverage = trace_coverage(spans)
+    out = save_chrome_trace(spans, args.out)
+    jsonl = save_trace_jsonl(
+        spans, os.path.join(args.cache_dir or default_cache_dir(), TRACE_FILENAME)
+    )
+    print(headline)
+    for line in _trace_summary_lines(spans, coverage):
+        print(line)
+    if tracer.recorder.dropped:
+        print(f"flight recorder dropped {tracer.recorder.dropped} span(s) "
+              "(ring buffer full)")
+    print(f"chrome trace written to {out}  "
+          "(load in https://ui.perfetto.dev or chrome://tracing)")
+    print(f"raw spans written to {jsonl}")
     return 0
 
 
@@ -713,6 +844,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override Algorithm-1 round limit for cold tunes")
     p_serve.add_argument("--no-cache", action="store_true",
                          help="serve from a memory-only cache (cold every run)")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="trace the whole session (admission through "
+                              "kernel execution) and write serve_trace.json "
+                              "+ traces.jsonl to the cache dir")
     p_serve.add_argument("--cache-dir", default=None)
     p_serve.set_defaults(fn=cmd_serve)
 
@@ -745,8 +880,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics = sub.add_parser(
         "metrics", help="print the last serving session's telemetry snapshot"
     )
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="Prometheus text exposition format instead "
+                                "of JSON")
     p_metrics.add_argument("--cache-dir", default=None)
     p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="trace one workload end to end and export a Chrome-trace file",
+    )
+    p_trace.add_argument("workload",
+                         help="chain workload (one tune) or model workload "
+                              "(full compile_model)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome-trace output path (Perfetto-loadable)")
+    p_trace.add_argument("--gpu", default="a100")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--strategy", default="evolutionary",
+                         choices=strategy_names())
+    p_trace.add_argument("--workers", type=int, default=1,
+                         help="measurement thread-pool width (per-candidate "
+                              "spans land on the pool threads)")
+    p_trace.add_argument("--exec-backend", default="auto", choices=EXEC_BACKENDS)
+    p_trace.add_argument("--no-cache", action="store_true",
+                         help="skip the schedule cache (a cache hit traces "
+                              "the lookup, not a search)")
+    p_trace.add_argument("--cache-dir", default=None)
+    p_trace.set_defaults(fn=cmd_trace)
     return parser
 
 

@@ -40,6 +40,7 @@ import numpy as np
 from repro.cache.store import LRUCache
 from repro.codegen.program import TileProgram
 from repro.codegen.render_c import RenderedKernel, RenderError, render_program
+from repro.obs.tracer import NOOP_SPAN, get_tracer
 
 __all__ = [
     "CompileError",
@@ -222,7 +223,12 @@ class ClangRuntime:
         )
 
     def _build(self, meta: RenderedKernel) -> CompiledKernel:
-        """Disk-tier lookup, then a real compile. Caller holds no locks."""
+        """Disk-tier lookup, then a real compile. Caller holds no locks.
+
+        Subclass override point — the signature must stay ``(self, meta)``;
+        trace annotations go to the ambient ``compile.kernel`` span.
+        """
+        span = get_tracer().current() or NOOP_SPAN
         cc = require_compiler()
         kdir = self.kernel_dir()
         so_path = os.path.join(kdir, f"{meta.source_hash}.so")
@@ -236,6 +242,7 @@ class ClangRuntime:
                 kernel = _load_kernel(meta, so_path)
                 with self._lock:
                     self._stats.disk_hits += 1
+                span.set(tier="disk")
                 return kernel
             except OSError:
                 # Corrupted artifact: quarantine and fall through to a
@@ -246,6 +253,7 @@ class ClangRuntime:
                     pass
         with self._lock:
             self._stats.compiles += 1
+        span.set(tier="compile", cc=cc)
         if have_dir:
             src_path = os.path.join(kdir, f"{meta.source_hash}.c")
             tmp_so = os.path.join(kdir, f".{meta.source_hash}.{os.getpid()}.tmp.so")
@@ -271,7 +279,17 @@ class ClangRuntime:
     def compile(self, meta: RenderedKernel) -> CompiledKernel:
         """Return a callable kernel for ``meta``, from the fastest tier
         available. Concurrent calls for the same hash coalesce into one
-        compile."""
+        compile. The traced span's ``tier`` attribute records which tier
+        served it: ``memory`` / ``disk`` / ``compile`` / ``coalesced``."""
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._compile_cached(meta, NOOP_SPAN)
+        with tracer.span(
+            "compile.kernel", source_hash=meta.source_hash, entry=meta.entry
+        ) as span:
+            return self._compile_cached(meta, span)
+
+    def _compile_cached(self, meta: RenderedKernel, span) -> CompiledKernel:
         key = meta.source_hash
         while True:
             with self._lock:
@@ -279,6 +297,7 @@ class ClangRuntime:
                 if kernel is not None:
                     self._stats.memory_hits += 1
                     self._strong.put(key, kernel)  # refresh recency
+                    span.set(tier="memory")
                     return kernel
                 pending = self._inflight.get(key)
                 if pending is None:
@@ -289,6 +308,7 @@ class ClangRuntime:
                     self._stats.waits += 1
                     owner = False
             if not owner:
+                span.set(tier="coalesced")
                 pending.event.wait()
                 if pending.error is not None:
                     raise pending.error

@@ -19,6 +19,7 @@ expressions and tile sizes.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.utils import prod
 __all__ = [
     "execute_schedule",
     "resolve_exec_backend",
+    "explain_exec_backend",
     "validate_exec_backend",
     "InterpreterError",
     "EXEC_BACKENDS",
@@ -410,41 +412,112 @@ def execute_schedule(
     :class:`InterpreterError` for schedules the pruning rules should have
     rejected (invalid orders, multi-copy buffers).
     """
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _execute(schedule, inputs, backend)
+    with tracer.span("exec", backend=backend) as span:
+        out = _execute(schedule, inputs, backend)
+        span.set(resolved=_LAST_RESOLVED.value or backend)
+        return out
+
+
+class _LastResolved(threading.local):
+    value: str | None = None
+
+
+#: Per-thread breadcrumb so the traced `exec` span can report the backend
+#: that actually ran, without re-deriving the (memoized but not free)
+#: resolution a second time.
+_LAST_RESOLVED = _LastResolved()
+
+
+def _execute(
+    schedule: Schedule, inputs: dict[str, np.ndarray], backend: str
+) -> dict[str, np.ndarray]:
     validate_exec_backend(backend)
+    _LAST_RESOLVED.value = None
     if backend != "scalar":
         from repro.codegen.program import try_lower
         from repro.codegen.vectorized import execute_program
 
         program = try_lower(schedule, backend)
         if program is not None:
-            if backend == "compiled" or (
-                backend == "auto" and _auto_prefers_compiled(schedule)
-            ):
+            prefer_compiled = backend == "compiled"
+            if backend == "auto":
+                reason = _auto_compiled_reason(schedule)
+                if reason is None:
+                    prefer_compiled = True
+                else:
+                    _record_fallback("compiled", "vectorized", reason)
+            if prefer_compiled:
                 from repro.codegen.clang_runtime import execute_program_compiled
                 from repro.codegen.render_c import RenderError
 
                 try:
+                    _LAST_RESOLVED.value = "compiled"
                     return execute_program_compiled(program, inputs)
-                except RenderError:
+                except RenderError as exc:
                     if backend == "compiled":
                         raise
                     # auto: graceful fallback to the vectorized executor.
+                    _record_fallback(
+                        "compiled", "vectorized", "render-error", detail=str(exc)
+                    )
+            _LAST_RESOLVED.value = "vectorized"
             return execute_program(program, inputs)
+        if backend == "auto":
+            _record_fallback("vectorized", "scalar", "not-lowerable")
+    _LAST_RESOLVED.value = "scalar"
     return _Executor(schedule, inputs).run()
+
+
+def _record_fallback(frm: str, to: str, reason: str, detail: str = "") -> None:
+    """Count a backend fallback and attach it to the live span (if any).
+
+    The counters land in the process-global obs registry:
+    ``exec.fallback`` totals every fallback, and
+    ``exec.fallback.<from>.<reason>`` breaks them down per skipped backend
+    and reason token (``no-compiler`` / ``flops-threshold`` /
+    ``not-renderable`` / ``not-lowerable`` / ``render-error``).
+    """
+    from repro.obs import get_metrics, get_tracer
+    from repro.serving.telemetry import labeled
+
+    registry = get_metrics()
+    registry.counter(
+        "exec.fallback", "executions that fell back to a slower backend"
+    ).inc()
+    registry.counter(labeled("exec.fallback", frm, reason)).inc()
+    tracer = get_tracer()
+    if tracer.enabled:
+        attrs = {"from": frm, "to": to, "reason": reason}
+        if detail:
+            attrs["detail"] = detail
+        tracer.event("exec.fallback", **attrs)
+
+
+def _auto_compiled_reason(schedule: Schedule) -> str | None:
+    """Why ``auto`` skips the compiled backend for a lowerable schedule —
+    ``None`` when compiled is preferred, else the fallback reason token."""
+    from repro.codegen.clang_runtime import compiler_available
+    from repro.codegen.render_c import schedule_renderable
+
+    if not compiler_available():
+        return "no-compiler"
+    if schedule.total_flops() < _compiled_min_flops():
+        return "flops-threshold"
+    if not schedule_renderable(schedule):
+        return "not-renderable"
+    return None
 
 
 def _auto_prefers_compiled(schedule: Schedule) -> bool:
     """Whether ``auto`` routes a (lowerable) schedule to the compiled
     backend: compiler present, workload big enough to amortize a compile,
     and the program passes the render-time verifier."""
-    from repro.codegen.clang_runtime import compiler_available
-    from repro.codegen.render_c import schedule_renderable
-
-    if not compiler_available():
-        return False
-    if schedule.total_flops() < _compiled_min_flops():
-        return False
-    return schedule_renderable(schedule)
+    return _auto_compiled_reason(schedule) is None
 
 
 def resolve_exec_backend(schedule: Schedule, backend: str = "auto") -> str:
@@ -483,3 +556,55 @@ def resolve_exec_backend(schedule: Schedule, backend: str = "auto") -> str:
         lower_schedule(schedule)  # re-raise the descriptive LoweringError
         raise AssertionError("lowerable verdict disagreed with lowering")
     return "scalar"
+
+
+def explain_exec_backend(schedule: Schedule, backend: str = "auto") -> dict:
+    """Like :func:`resolve_exec_backend`, plus *why*: the fallback chain.
+
+    Returns ``{"requested", "resolved", "fallbacks"}`` where ``fallbacks``
+    is the ordered list of backends ``auto`` stepped past, each as
+    ``{"from", "to", "reason"}`` with the same reason tokens the
+    ``exec.fallback.*`` counters use (``no-compiler``,
+    ``flops-threshold``, ``not-renderable``, ``not-lowerable``). Unlike
+    :func:`resolve_exec_backend` this never raises for an explicitly
+    pinned backend that cannot run — the failure becomes the resolution's
+    ``reason`` with ``resolved`` set to ``None`` — so callers building
+    diagnostics (``compile_model`` detail, span attributes) can always get
+    an answer.
+    """
+    validate_exec_backend(backend)
+    out: dict = {"requested": backend, "resolved": None, "fallbacks": []}
+
+    def fall(frm: str, to: str, reason: str) -> None:
+        out["fallbacks"].append({"from": frm, "to": to, "reason": reason})
+
+    if backend == "scalar":
+        out["resolved"] = "scalar"
+        return out
+    from repro.codegen.program import schedule_lowerable
+
+    if not schedule_lowerable(schedule):
+        if backend == "auto":
+            fall("compiled", "vectorized", "not-lowerable")
+            fall("vectorized", "scalar", "not-lowerable")
+            out["resolved"] = "scalar"
+        else:
+            fall(backend, "none", "not-lowerable")
+        return out
+    if backend == "vectorized":
+        out["resolved"] = "vectorized"
+        return out
+    reason = _auto_compiled_reason(schedule)
+    if reason is None:
+        out["resolved"] = "compiled"
+    elif backend == "compiled":
+        # Pinned compiled ignores the FLOPs amortization threshold; only a
+        # missing toolchain or an unrenderable program actually stops it.
+        if reason == "flops-threshold":
+            out["resolved"] = "compiled"
+        else:
+            fall("compiled", "none", reason)
+    else:
+        fall("compiled", "vectorized", reason)
+        out["resolved"] = "vectorized"
+    return out

@@ -156,6 +156,27 @@ def lower_schedule(
             if hit.schedule is schedule:
                 return hit
             return replace(hit, schedule=schedule)
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
+    attrs = (
+        {"chain": schedule.chain.name, "expr": schedule.expr.render()}
+        if tracer.enabled
+        else {}
+    )
+    with tracer.span("lower", **attrs) as span:
+        program = _lower_uncached(schedule, max_ops, max_gather_bytes)
+        span.set(ops=len(program.ops), cells=program.n_cells)
+    if memo_key is not None:
+        if len(_LOWER_MEMO) >= _LOWER_MEMO_CAP:
+            _LOWER_MEMO.clear()
+        _LOWER_MEMO[memo_key] = program
+    return program
+
+
+def _lower_uncached(
+    schedule: Schedule, max_ops: int, max_gather_bytes: int
+) -> TileProgram:
     schedule.check_valid()
     _check_expressible(schedule)
     grid_loops = tuple(schedule.grid_dims)
@@ -192,12 +213,7 @@ def lower_schedule(
                 del idx[item.loop]
 
     walk(schedule.root, {})
-    program = TileProgram(schedule=schedule, ops=tuple(ops), grid_loops=grid_loops)
-    if memo_key is not None:
-        if len(_LOWER_MEMO) >= _LOWER_MEMO_CAP:
-            _LOWER_MEMO.clear()
-        _LOWER_MEMO[memo_key] = program
-    return program
+    return TileProgram(schedule=schedule, ops=tuple(ops), grid_loops=grid_loops)
 
 
 def try_lower(schedule: Schedule, backend: str = "auto") -> TileProgram | None:

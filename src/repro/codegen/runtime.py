@@ -114,10 +114,15 @@ class OperatorModule:
 
                 try:
                     return execute_program_compiled(self.program, inputs)
-                except RenderError:
+                except RenderError as exc:
                     if self.exec_backend == "compiled":
                         raise
                     # auto: graceful fallback to the vectorized executor.
+                    from repro.codegen.interpreter import _record_fallback
+
+                    _record_fallback(
+                        "compiled", "vectorized", "render-error", detail=str(exc)
+                    )
             return execute_program(self.program, inputs)
         return execute_schedule(self.schedule, inputs, backend="scalar")
 
@@ -169,17 +174,27 @@ def compile_schedule(
     per backend so a scalar-pinned module is never served to an ``auto``
     caller).
     """
-    if not memoize:
-        return OperatorModule(schedule=schedule, gpu=gpu, exec_backend=exec_backend)
-    key = (schedule_signature(schedule, gpu), exec_backend)
-    module = _KERNEL_MEMO.get(key)
-    if module is None:
-        _KERNEL_STATS.misses += 1
-        module = OperatorModule(schedule=schedule, gpu=gpu, exec_backend=exec_backend)
-        _KERNEL_MEMO.put(key, module)
-    else:
-        _KERNEL_STATS.hits += 1
-    return module
+    from repro.obs import get_tracer
+
+    with get_tracer().span("compile.schedule", backend=exec_backend) as span:
+        if not memoize:
+            span.set(memo="bypass")
+            return OperatorModule(
+                schedule=schedule, gpu=gpu, exec_backend=exec_backend
+            )
+        key = (schedule_signature(schedule, gpu), exec_backend)
+        module = _KERNEL_MEMO.get(key)
+        if module is None:
+            _KERNEL_STATS.misses += 1
+            span.set(memo="miss")
+            module = OperatorModule(
+                schedule=schedule, gpu=gpu, exec_backend=exec_backend
+            )
+            _KERNEL_MEMO.put(key, module)
+        else:
+            _KERNEL_STATS.hits += 1
+            span.set(memo="hit")
+        return module
 
 
 def kernel_cache_stats() -> KernelCacheStats:

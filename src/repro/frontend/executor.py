@@ -252,6 +252,29 @@ def compile_model(
         from repro.cache.signature import DEFAULT_DYNAMIC_LOOPS
 
         dynamic_loops = DEFAULT_DYNAMIC_LOOPS
+    from repro.obs import get_tracer
+
+    with get_tracer().span(
+        "compile.model", model=graph.name, strategy=strategy
+    ) as span:
+        return _compile_model(
+            graph, gpu, strategy, seed, tuner_kwargs, cache, search_strategy,
+            search_workers, service, exec_backend, cost_model, measure_topk,
+            dynamic, dynamic_loops, span,
+        )
+
+
+def _compile_model(
+    graph, gpu, strategy, seed, tuner_kwargs, cache, search_strategy,
+    search_workers, service, exec_backend, cost_model, measure_topk,
+    dynamic, dynamic_loops, span,
+):
+    """The validated body of :func:`compile_model`, running inside its
+    ``compile.model`` root span (``span`` — the no-op singleton when
+    tracing is disabled)."""
+    from repro.obs import get_tracer
+
+    tracer = get_tracer()
     clock = TuningClock()
     module = GraphExecutorFactoryModule(name=f"{graph.name}:{strategy}", gpu=gpu)
     sim = GPUSimulator(gpu, seed=seed)
@@ -285,8 +308,10 @@ def compile_model(
                 f"was built with dynamic={service.dynamic!r}; bucketing changes "
                 "the service's cache keys and coalescing, so configure it there"
             )
-        clock.charge("graph_partition")
-        partition = partition_graph(graph, gpu)
+        with tracer.span("partition", clock=clock, model=graph.name) as psp:
+            clock.charge("graph_partition")
+            partition = partition_graph(graph, gpu)
+            psp.set(subgraphs=len(partition.subgraphs))
         rejections = partition.rejection_reasons()
         # Submit every group up front (identical shapes coalesce or hit the
         # service's tiered cache), then collect in partition order.
@@ -318,8 +343,10 @@ def compile_model(
             n_subgraphs += 1
         residual_nodes = [n for n in graph.nodes if n.output not in mbci_nodes]
     elif use_mcfuser:
-        clock.charge("graph_partition")
-        partition: Partition = partition_graph(graph, gpu)
+        with tracer.span("partition", clock=clock, model=graph.name) as psp:
+            clock.charge("graph_partition")
+            partition: Partition = partition_graph(graph, gpu)
+            psp.set(subgraphs=len(partition.subgraphs))
         rejections = partition.rejection_reasons()
         tuned: dict[str, OperatorModule] = {}
         if cost_model is None and measure_topk > 0:
@@ -390,9 +417,11 @@ def compile_model(
         eager_ops += 1
 
     # 3. Timing.
-    time = module.time(sim)
-    if backend == "pytorch":
-        time += _EAGER_OVERHEAD * eager_ops
+    with tracer.span("execute.model", kernels=module.kernel_count()) as esp:
+        time = module.time(sim)
+        if backend == "pytorch":
+            time += _EAGER_OVERHEAD * eager_ops
+        esp.set(model_time=time)
 
     # 4. Tuning-cost accounting for the backend.
     n_ops = len([n for n in residual_nodes if not isinstance(n.op, Reshape)])
@@ -408,12 +437,27 @@ def compile_model(
         clock.charge("ansor_train_round", count=tasks * _ANSOR_TRIALS_PER_TASK / 64)
 
     # Per-module exec-backend breadcrumb: which engine `auto` resolved to
-    # for each fused kernel (resolution is memoized on the module).
+    # for each fused kernel (resolution is memoized on the module), plus
+    # why any module fell back down the compiled → vectorized → scalar
+    # chain (reason histogram, e.g. {"no-compiler": 12}).
+    from repro.codegen.interpreter import explain_exec_backend
+
     exec_backends: dict[str, int] = {}
+    fallbacks: dict[str, int] = {}
     for op_module in module.operator_modules:
         resolved = op_module.resolved_exec_backend
         exec_backends[resolved] = exec_backends.get(resolved, 0) + 1
+        for fb in explain_exec_backend(
+            op_module.schedule, op_module.exec_backend
+        )["fallbacks"]:
+            fallbacks[fb["reason"]] = fallbacks.get(fb["reason"], 0) + 1
 
+    span.set(
+        subgraphs=n_subgraphs,
+        kernels=module.kernel_count(),
+        model_time=time,
+        sim_tuning_seconds=clock.seconds,
+    )
     return E2EResult(
         strategy=strategy,
         module=module,
@@ -428,5 +472,6 @@ def compile_model(
             "rejections": rejections,
             "served": served,
             "exec_backend": exec_backends,
+            "fallbacks": fallbacks,
         },
     )

@@ -1,0 +1,65 @@
+"""Observability: span tracing, flight recorder, and exporters.
+
+``repro.obs`` is the cross-cutting layer every other subsystem reports
+into: the compile service opens a span per request, the tuner per tune
+and per search round, the evaluator per measurement batch and candidate,
+and the codegen stack per lowering/compile — all through the one
+process-wide tracer returned by :func:`get_tracer`, which defaults to a
+disabled no-op so the instrumentation costs (almost) nothing until
+``repro trace`` / ``repro serve --trace`` turns it on.
+
+This package is import-light by design: ``tracer`` is pure stdlib, and
+anything that needs the serving package (the metrics hook, the Prometheus
+exporter's registry argument) imports it lazily — codegen modules may
+import ``repro.obs`` freely without creating an import cycle.
+"""
+
+from .export import (
+    TRACE_FILENAME,
+    chrome_trace,
+    load_trace_jsonl,
+    prometheus_text,
+    save_chrome_trace,
+    save_trace_jsonl,
+    trace_coverage,
+    validate_chrome_trace,
+)
+from .metrics import get_metrics, reset_metrics, set_metrics
+from .tracer import (
+    DEFAULT_MAX_SPANS,
+    FlightRecorder,
+    Span,
+    SpanRecord,
+    Tracer,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "TRACE_FILENAME",
+    "FlightRecorder",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "chrome_trace",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "load_trace_jsonl",
+    "prometheus_text",
+    "reset_metrics",
+    "save_chrome_trace",
+    "save_trace_jsonl",
+    "set_metrics",
+    "set_tracer",
+    "trace_coverage",
+    "tracing_enabled",
+    "validate_chrome_trace",
+]

@@ -101,27 +101,52 @@ class ParallelEvaluator:
         candidates = list(candidates)
         if not candidates:
             return []
-        if self.workers == 1 or len(candidates) == 1:
-            times = [self.measure_fn(c) for c in candidates]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(self.workers, len(candidates))
-            ) as pool:
-                times = list(pool.map(self.measure_fn, candidates))
-        self.measurements += len(candidates)
-        self.batches += 1
-        if self.clock is not None:
-            # Any non-finite time (inf *or* NaN) is a launch failure and
-            # bills zero runtime: a NaN multiplied into the makespan would
-            # poison the TuningClock forever.
-            costs = [
-                COSTS[self.cost_kind]
-                + (self.repetitions * t if math.isfinite(t) else 0.0)
-                for t in times
-            ]
-            self.clock.charge(
-                self.cost_kind,
-                count=0.0,
-                runtime=batch_makespan(costs, self.workers),
-            )
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        with tracer.span(
+            "measure.batch",
+            clock=self.clock,
+            n=len(candidates),
+            workers=self.workers,
+        ) as batch:
+            if tracer.enabled:
+                # Pool threads don't inherit this thread's span stack, so
+                # each per-candidate span names the batch span explicitly.
+                def run_one(pair):
+                    i, cand = pair
+                    with tracer.span(
+                        "measure.candidate", parent=batch, idx=i
+                    ) as span:
+                        t = self.measure_fn(cand)
+                        span.set(time=t, failed=not math.isfinite(t))
+                        return t
+
+            else:
+                def run_one(pair):
+                    return self.measure_fn(pair[1])
+
+            if self.workers == 1 or len(candidates) == 1:
+                times = [run_one(p) for p in enumerate(candidates)]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(candidates))
+                ) as pool:
+                    times = list(pool.map(run_one, enumerate(candidates)))
+            self.measurements += len(candidates)
+            self.batches += 1
+            failures = sum(1 for t in times if not math.isfinite(t))
+            if self.clock is not None:
+                # Any non-finite time (inf *or* NaN) is a launch failure and
+                # bills zero runtime: a NaN multiplied into the makespan
+                # would poison the TuningClock forever.
+                costs = [
+                    COSTS[self.cost_kind]
+                    + (self.repetitions * t if math.isfinite(t) else 0.0)
+                    for t in times
+                ]
+                makespan = batch_makespan(costs, self.workers)
+                self.clock.charge(self.cost_kind, count=0.0, runtime=makespan)
+                batch.set(sim_makespan=makespan)
+            batch.set(failures=failures)
         return times

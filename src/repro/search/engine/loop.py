@@ -212,67 +212,88 @@ class SearchLoop:
 
     def run(self, strategy: "SearchStrategy") -> SearchResult:
         """Run ``strategy`` to convergence (or budget exhaustion)."""
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
         self.rng = rng_for(*strategy.rng_key(self.space, self.seed))
         strategy.begin(self)
         while self.rounds < strategy.round_budget(self):
             self.rounds += 1
-            ranked = strategy.propose(self)
-            model_guided = (
-                self.measure_topk > 0
-                and self.cost_model is not None
-                and self.cost_model.ready
-            )
-            if model_guided:
-                picked = self.pick_by_model(ranked)
-                self.model_rounds += 1
-            else:
-                picked = self.pick_unmeasured(ranked)
-            if not picked:
-                break  # every reachable candidate measured or failed
-            times = self.evaluator.measure([c for c, _ in picked])
+            with tracer.span(
+                "search.round",
+                clock=getattr(self.evaluator, "clock", None),
+                round=self.rounds,
+                strategy=strategy.name,
+            ) as span:
+                ranked = strategy.propose(self)
+                model_guided = (
+                    self.measure_topk > 0
+                    and self.cost_model is not None
+                    and self.cost_model.ready
+                )
+                if model_guided:
+                    picked = self.pick_by_model(ranked)
+                    self.model_rounds += 1
+                else:
+                    picked = self.pick_unmeasured(ranked)
+                span.set(
+                    proposed=len(ranked),
+                    pruned=len(ranked) - len(picked),
+                    measured=len(picked),
+                    model_guided=model_guided,
+                )
+                if not picked:
+                    break  # every reachable candidate measured or failed
+                times = self.evaluator.measure([c for c, _ in picked])
 
-            round_best_time = float("inf")
-            round_best: "Candidate | None" = None
-            for (cand, est), t in zip(picked, times):
-                # Normalize non-finite measurements (inf *and* NaN) to a
-                # plain launch failure: a NaN would compare False against
-                # everything and silently corrupt best-tracking and the
-                # convergence test.
-                if not math.isfinite(t):
-                    t = float("inf")
-                self.measured[cand.key] = t
-                self.num_measurements += 1
-                self.pairs.append((est, t))
-                if t == float("inf"):
-                    self.failed.add(cand.key)
-                elif self.cost_model is not None and self._feature_fn is not None:
-                    self.cost_model.observe(
-                        self.features_for(cand),
-                        est,
-                        t,
-                        workload=self.space.chain.name,
+                round_best_time = float("inf")
+                round_best: "Candidate | None" = None
+                for (cand, est), t in zip(picked, times):
+                    # Normalize non-finite measurements (inf *and* NaN) to a
+                    # plain launch failure: a NaN would compare False against
+                    # everything and silently corrupt best-tracking and the
+                    # convergence test.
+                    if not math.isfinite(t):
+                        t = float("inf")
+                    self.measured[cand.key] = t
+                    self.num_measurements += 1
+                    self.pairs.append((est, t))
+                    if t == float("inf"):
+                        self.failed.add(cand.key)
+                    elif self.cost_model is not None and self._feature_fn is not None:
+                        self.cost_model.observe(
+                            self.features_for(cand),
+                            est,
+                            t,
+                            workload=self.space.chain.name,
+                        )
+                    if round_best is None or t < round_best_time:
+                        round_best_time, round_best = t, cand
+                assert round_best is not None
+                if self.cost_model is not None and self._feature_fn is not None:
+                    self.cost_model.fit()  # no-op while starved or data-unchanged
+                    span.event(
+                        "cost_model.fit",
+                        ready=self.cost_model.ready,
+                        ranking_accuracy=self.cost_model.accuracy,
                     )
-                if round_best is None or t < round_best_time:
-                    round_best_time, round_best = t, cand
-            assert round_best is not None
-            if self.cost_model is not None and self._feature_fn is not None:
-                self.cost_model.fit()  # no-op while starved or data-unchanged
 
-            prev_best = self.best_time
-            if self.best is None or round_best_time < self.best_time:
-                self.best, self.best_time = round_best, round_best_time
-            if (
-                strategy.uses_convergence
-                and self.rounds >= self.min_rounds
-                and prev_best != float("inf")
-            ):
-                rel_improvement = (prev_best - round_best_time) / prev_best
-                if rel_improvement < self.epsilon:
-                    # A fresh round of measurements failed to improve the
-                    # best meaningfully: the search has converged.
-                    self.converged = True
-                    break
-            strategy.evolve(self)
+                prev_best = self.best_time
+                if self.best is None or round_best_time < self.best_time:
+                    self.best, self.best_time = round_best, round_best_time
+                span.set(round_best=round_best_time, best_time=self.best_time)
+                if (
+                    strategy.uses_convergence
+                    and self.rounds >= self.min_rounds
+                    and prev_best != float("inf")
+                ):
+                    rel_improvement = (prev_best - round_best_time) / prev_best
+                    if rel_improvement < self.epsilon:
+                        # A fresh round of measurements failed to improve the
+                        # best meaningfully: the search has converged.
+                        self.converged = True
+                        break
+                strategy.evolve(self)
 
         assert self.best is not None
         return SearchResult(

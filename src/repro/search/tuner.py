@@ -412,18 +412,24 @@ class MCFuserTuner:
 
     def _finalize_report(self, report: TuneReport) -> TuneReport:
         """Resolve the exec-backend breadcrumb and run best-verification."""
-        report.exec_backend = resolve_exec_backend(
-            report.best_schedule, self.exec_backend
-        )
-        if self.verify != "off":
-            if self.verify == "best" and not self.check_schedule(report.best_schedule):
-                raise VerificationError(
-                    f"best schedule {report.best_schedule.describe()} of "
-                    f"{report.chain.name!r} disagrees with the reference "
-                    f"(backend {report.exec_backend})"
-                )
-            report.verified = True
-        return report
+        from repro.obs import get_tracer
+
+        with get_tracer().span("tune.finalize", verify=self.verify) as span:
+            report.exec_backend = resolve_exec_backend(
+                report.best_schedule, self.exec_backend
+            )
+            span.set(exec_backend=report.exec_backend)
+            if self.verify != "off":
+                if self.verify == "best" and not self.check_schedule(
+                    report.best_schedule
+                ):
+                    raise VerificationError(
+                        f"best schedule {report.best_schedule.describe()} of "
+                        f"{report.chain.name!r} disagrees with the reference "
+                        f"(backend {report.exec_backend})"
+                    )
+                report.verified = True
+            return report
 
     # -- cache integration ------------------------------------------------------
 
@@ -463,16 +469,62 @@ class MCFuserTuner:
         cost. Under ``dynamic="buckets"`` the lookup ladders exact → bucket
         and a miss tunes at the bucket ceiling (see :meth:`_tune_bucketed`).
         """
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._tune(chain)
+        with tracer.span(
+            "tune",
+            chain=chain.name,
+            variant=self.variant,
+            strategy=self.strategy.name,
+            dynamic=self.dynamic,
+            verify=self.verify,
+        ) as span:
+            report = self._tune(chain)
+            span.set(
+                outcome=(
+                    "bucket-hit"
+                    if report.bucket_hit
+                    else "cache-hit" if report.cache_hit else "tuned"
+                ),
+                best_time=report.best_time,
+                sim_tuning_seconds=report.tuning_seconds,
+                rounds=report.search.rounds,
+                measurements=report.search.num_measurements,
+                exec_backend=report.exec_backend,
+            )
+            return report
+
+    def _tune(self, chain: ComputeChain) -> TuneReport:
         if self.dynamic == "buckets":
             return self._tune_bucketed(chain)
         if self.cache is not None:
-            entry = self.cache.get(chain, self.gpu, self.cache_variant)
+            entry = self._cache_lookup(chain)
             if entry is not None:
                 return self._report_from_cache(chain, entry)
         report = self._finalize_report(self._tune_uncached(chain))
         if self.cache is not None:
-            self.cache.put(chain, self.gpu, report)
+            self._cache_put(chain, report)
         return report
+
+    def _cache_lookup(self, chain: ComputeChain) -> "CacheEntry | None":
+        from repro.obs import get_tracer
+
+        with get_tracer().span("tune.cache_lookup") as span:
+            entry = self.cache.get(chain, self.gpu, self.cache_variant)
+            span.set(outcome="hit" if entry is not None else "miss")
+            return entry
+
+    def _cache_put(self, chain: ComputeChain, report: TuneReport, signature=None):
+        from repro.obs import get_tracer
+
+        with get_tracer().span("tune.cache_put"):
+            if signature is None:
+                self.cache.put(chain, self.gpu, report)
+            else:
+                self.cache.put(chain, self.gpu, report, signature=signature)
 
     def bucket_signature(self, chain: ComputeChain) -> str:
         """The bucketed cache key :meth:`tune` uses for ``chain``."""
@@ -498,7 +550,7 @@ class MCFuserTuner:
         """
         dyn = bucket_dims(chain, self.dynamic_loops)
         if self.cache is not None:
-            entry = self.cache.get(chain, self.gpu, self.cache_variant)
+            entry = self._cache_lookup(chain)
             if entry is not None:
                 report = self._report_from_cache(chain, entry)
                 report.dynamic = "buckets"
@@ -518,21 +570,26 @@ class MCFuserTuner:
             # Store the *ceiling* schedule under the bucketed key before
             # rebinding, so every in-bucket length re-expands the exact
             # tiling decision the search validated at the ceiling.
-            self.cache.put(
-                ceiling_chain, self.gpu, report, signature=self.bucket_signature(chain)
+            self._cache_put(
+                ceiling_chain, report, signature=self.bucket_signature(chain)
             )
         report = self._finalize_report(rebind_report(report, chain))
         report.dynamic = "buckets"
         report.bucket = dyn
         if self.cache is not None and not dyn:
             # No dynamic loops: nothing to bucket, cache under the exact key.
-            self.cache.put(chain, self.gpu, report)
+            self._cache_put(chain, report)
         return report
 
     def _tune_uncached(self, chain: ComputeChain) -> TuneReport:
         """The full stream → prune → search → measure pipeline."""
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
         clock = TuningClock()
-        space = self.build_space(chain, clock)
+        with tracer.span("tune.space", clock=clock, chain=chain.name) as span:
+            space = self.build_space(chain, clock)
+            span.set(candidates=len(space.candidates))
         optimize = self.variant != "chimera"
         model = (
             ChimeraModel(self.gpu) if self.variant == "chimera" else AnalyticalModel(self.gpu)
@@ -577,7 +634,18 @@ class MCFuserTuner:
             measure_topk=self.measure_topk,
             feature_fn=feature_fn,
         )
-        result = loop.run(self.strategy)
+        with tracer.span(
+            "search", clock=clock, strategy=self.strategy.name
+        ) as span:
+            result = loop.run(self.strategy)
+            span.set(
+                rounds=result.rounds,
+                estimates=result.num_estimates,
+                measurements=result.num_measurements,
+                converged=result.converged,
+                model_rounds=result.model_rounds,
+                best_time=result.best_time,
+            )
         return TuneReport(
             chain=chain,
             gpu=self.gpu,

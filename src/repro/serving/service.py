@@ -208,6 +208,10 @@ class _Job:
     measure_topk: int = 0
     bucket: dict = field(default_factory=dict)
     tickets: list[ServeTicket] = field(default_factory=list)
+    #: The admitting request's tracer span: the worker's ``serve.tune``
+    #: span names it as an explicit cross-thread parent, so a queued tune
+    #: stays on the trace of the request that created it.
+    trace_parent: object = None
 
 
 class CompileService:
@@ -389,104 +393,116 @@ class CompileService:
             raise ValueError(f"unknown lane {lane!r}; pick from {LANES}")
         if measure_topk is None:
             measure_topk = self.measure_topk
-        chain = self._resolve_chain(workload)
-        cache_variant = variant_key(variant, strategy, measure_topk)
-        signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
-        bucket = (
-            bucket_dims(chain, self.dynamic_loops)
-            if self.dynamic == "buckets"
-            else {}
-        )
-        bucket_sig = (
-            bucketed_signature(chain, self.gpu, cache_variant, self.dynamic_loops)
-            if bucket
-            else None
-        )
-        ticket = ServeTicket(signature, lane, chain.name, chain=chain)
-        self.telemetry.counter("serve.requests").inc()
-        self.telemetry.counter(f"serve.requests.{lane}").inc()
+        from repro.obs import get_tracer
 
-        def _serve_entry(entry, source: str, counter: str) -> ServeTicket:
-            report = report_from_entry(
-                chain, self.gpu, entry, variant=variant, strategy=strategy,
-                exec_backend=self.exec_backend, measure_topk=measure_topk,
+        # The admission span covers the submit call itself (signature,
+        # lookup ladder, queue/coalesce/shed decision); a queued tune
+        # continues this trace on the worker thread via ``_Job.trace_parent``.
+        with get_tracer().span("serve.request", lane=lane) as span:
+            chain = self._resolve_chain(workload)
+            cache_variant = variant_key(variant, strategy, measure_topk)
+            signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
+            bucket = (
+                bucket_dims(chain, self.dynamic_loops)
+                if self.dynamic == "buckets"
+                else {}
             )
-            if bucket:
-                report.dynamic = "buckets"
-                report.bucket = dict(bucket)
-                report.bucket_hit = source == "bucket"
-            self.telemetry.counter(counter).inc()
-            ticket._resolve(report, source, self.telemetry.histogram("serve.latency.warm"))
-            return ticket
-
-        # Fast path: resolve cache hits inline, without ever queueing —
-        # exact signature first, then (under bucketing) the bucketed one.
-        entry, tier = self.tiered.lookup(signature)
-        if entry is not None:
-            return _serve_entry(entry, tier, f"serve.hits.{tier}")
-        if bucket_sig is not None:
-            entry, _ = self.tiered.lookup(bucket_sig)
-            if entry is not None:
-                return _serve_entry(entry, "bucket", "serve.hits.bucket")
-
-        job_sig = bucket_sig if bucket_sig is not None else signature
-        with self._lock:
-            if self._closed:
-                raise ServiceClosed("CompileService is closed")
-            job = self._inflight.get(job_sig)
-            if job is not None:
-                job.tickets.append(ticket)
-                self.telemetry.counter("serve.coalesced").inc()
-                return ticket
-            # A cacheable tune may have finished between the unlocked
-            # lookup and here; the cache is written before the in-flight
-            # entry is removed, so a locked re-check closes the race
-            # without a second recorded lookup. (Non-cacheable results —
-            # chains with no finite measurement — leave nothing behind by
-            # design: their waiters were all resolved by fan-out, and a
-            # later request legitimately re-tunes.) Under bucketing the
-            # racing tune was keyed by the bucketed signature.
-            entry = self.tiered.hot.get(job_sig)
-            recheck_tier = "hot"
-            if entry is None:
-                entry, recheck_tier = self.tiered.cache.peek_tiered(job_sig)
-                if entry is not None:
-                    self.tiered.hot.put(job_sig, entry)
-            if entry is not None:
-                if bucket_sig is not None:
-                    return _serve_entry(entry, "bucket", "serve.hits.bucket")
-                return _serve_entry(entry, recheck_tier, f"serve.hits.{recheck_tier}")
-            job = _Job(
-                signature=job_sig,
-                chain=chain.with_loops(bucket) if bucket else chain,
-                variant=variant,
-                strategy=strategy,
-                seed=self.seed if seed is None else seed,
-                measure_workers=measure_workers,
-                tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
-                measure_topk=measure_topk,
-                bucket=dict(bucket),
-                tickets=[ticket],
+            bucket_sig = (
+                bucketed_signature(chain, self.gpu, cache_variant, self.dynamic_loops)
+                if bucket
+                else None
             )
-            try:
-                # Enforce the advertised bound ourselves: maxsize leaves
-                # headroom for shutdown sentinels, which must never be shed.
-                if self._queue.qsize() >= self.queue_limit:
-                    raise queue.Full
-                self._queue.put_nowait((_LANE_PRIORITY[lane], next(self._seq), job))
-            except queue.Full:
-                self.telemetry.counter("serve.shed").inc()
-                self.telemetry.counter(f"serve.shed.{lane}").inc()
-                ticket._fail(
-                    QueueFull(
-                        f"tune queue full ({self.queue_limit} pending); "
-                        f"request for {chain.name!r} shed"
-                    )
+            span.set(workload=chain.name, signature=signature, bucketed=bool(bucket))
+            ticket = ServeTicket(signature, lane, chain.name, chain=chain)
+            self.telemetry.counter("serve.requests").inc()
+            self.telemetry.counter(f"serve.requests.{lane}").inc()
+
+            def _serve_entry(entry, source: str, counter: str) -> ServeTicket:
+                report = report_from_entry(
+                    chain, self.gpu, entry, variant=variant, strategy=strategy,
+                    exec_backend=self.exec_backend, measure_topk=measure_topk,
                 )
+                if bucket:
+                    report.dynamic = "buckets"
+                    report.bucket = dict(bucket)
+                    report.bucket_hit = source == "bucket"
+                self.telemetry.counter(counter).inc()
+                span.set(outcome=source)
+                ticket._resolve(report, source, self.telemetry.histogram("serve.latency.warm"))
                 return ticket
-            self._inflight[job_sig] = job
-            self.telemetry.gauge("serve.queue.depth").inc()
-            self.telemetry.gauge("serve.inflight").inc()
+
+            # Fast path: resolve cache hits inline, without ever queueing —
+            # exact signature first, then (under bucketing) the bucketed one.
+            entry, tier = self.tiered.lookup(signature)
+            if entry is not None:
+                return _serve_entry(entry, tier, f"serve.hits.{tier}")
+            if bucket_sig is not None:
+                entry, _ = self.tiered.lookup(bucket_sig)
+                if entry is not None:
+                    return _serve_entry(entry, "bucket", "serve.hits.bucket")
+
+            job_sig = bucket_sig if bucket_sig is not None else signature
+            with self._lock:
+                if self._closed:
+                    raise ServiceClosed("CompileService is closed")
+                job = self._inflight.get(job_sig)
+                if job is not None:
+                    job.tickets.append(ticket)
+                    self.telemetry.counter("serve.coalesced").inc()
+                    span.set(outcome="coalesced")
+                    return ticket
+                # A cacheable tune may have finished between the unlocked
+                # lookup and here; the cache is written before the in-flight
+                # entry is removed, so a locked re-check closes the race
+                # without a second recorded lookup. (Non-cacheable results —
+                # chains with no finite measurement — leave nothing behind by
+                # design: their waiters were all resolved by fan-out, and a
+                # later request legitimately re-tunes.) Under bucketing the
+                # racing tune was keyed by the bucketed signature.
+                entry = self.tiered.hot.get(job_sig)
+                recheck_tier = "hot"
+                if entry is None:
+                    entry, recheck_tier = self.tiered.cache.peek_tiered(job_sig)
+                    if entry is not None:
+                        self.tiered.hot.put(job_sig, entry)
+                if entry is not None:
+                    if bucket_sig is not None:
+                        return _serve_entry(entry, "bucket", "serve.hits.bucket")
+                    return _serve_entry(entry, recheck_tier, f"serve.hits.{recheck_tier}")
+                job = _Job(
+                    signature=job_sig,
+                    chain=chain.with_loops(bucket) if bucket else chain,
+                    variant=variant,
+                    strategy=strategy,
+                    seed=self.seed if seed is None else seed,
+                    measure_workers=measure_workers,
+                    tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
+                    measure_topk=measure_topk,
+                    bucket=dict(bucket),
+                    tickets=[ticket],
+                    trace_parent=span,
+                )
+                try:
+                    # Enforce the advertised bound ourselves: maxsize leaves
+                    # headroom for shutdown sentinels, which must never be shed.
+                    if self._queue.qsize() >= self.queue_limit:
+                        raise queue.Full
+                    self._queue.put_nowait((_LANE_PRIORITY[lane], next(self._seq), job))
+                except queue.Full:
+                    self.telemetry.counter("serve.shed").inc()
+                    self.telemetry.counter(f"serve.shed.{lane}").inc()
+                    span.set(outcome="shed")
+                    ticket._fail(
+                        QueueFull(
+                            f"tune queue full ({self.queue_limit} pending); "
+                            f"request for {chain.name!r} shed"
+                        )
+                    )
+                    return ticket
+                self._inflight[job_sig] = job
+                self.telemetry.gauge("serve.queue.depth").inc()
+                self.telemetry.gauge("serve.inflight").inc()
+            span.set(outcome="queued")
         return ticket
 
     def compile(self, workload, timeout: float | None = None, **kwargs) -> ServeResult:
@@ -606,43 +622,60 @@ class CompileService:
         return report
 
     def _run_job(self, job: _Job) -> None:
-        try:
-            report = self._tune_fn(job)
-            self.tiered.put(job.chain, self.gpu, report, signature=job.signature)
-        except Exception as exc:  # noqa: BLE001 - a tune failure must fan out
-            self.telemetry.counter("serve.errors").inc()
+        from repro.obs import get_tracer
+
+        # Worker threads have no ambient span stack; the explicit parent
+        # keeps the queued tune on the admitting request's trace.
+        with get_tracer().span(
+            "serve.tune",
+            parent=job.trace_parent,
+            signature=job.signature,
+            workload=job.chain.name,
+        ) as span:
+            try:
+                report = self._tune_fn(job)
+                self.tiered.put(job.chain, self.gpu, report, signature=job.signature)
+            except Exception as exc:  # noqa: BLE001 - a tune failure must fan out
+                self.telemetry.counter("serve.errors").inc()
+                span.set(outcome="error", error=f"{type(exc).__name__}: {exc}")
+                with self._lock:
+                    self._inflight.pop(job.signature, None)
+                    tickets = list(job.tickets)
+                for ticket in tickets:
+                    ticket._fail(exc)
+                return
+            # For cacheable results the hot tier holds the entry before the
+            # in-flight record is removed, so post-removal submits hit the
+            # cache — a signature is never tuned twice. A *non-cacheable*
+            # result (no finite measurement) stores nothing: its waiters are
+            # resolved below, and later requests re-tune, which is the only
+            # sane behavior for a result the cache cannot represent.
             with self._lock:
                 self._inflight.pop(job.signature, None)
                 tickets = list(job.tickets)
-            for ticket in tickets:
-                ticket._fail(exc)
-            return
-        # For cacheable results the hot tier holds the entry before the
-        # in-flight record is removed, so post-removal submits hit the
-        # cache — a signature is never tuned twice. A *non-cacheable*
-        # result (no finite measurement) stores nothing: its waiters are
-        # resolved below, and later requests re-tune, which is the only
-        # sane behavior for a result the cache cannot represent.
-        with self._lock:
-            self._inflight.pop(job.signature, None)
-            tickets = list(job.tickets)
-        self.telemetry.counter("serve.tunes").inc()
-        self.telemetry.histogram("serve.tune.simulated_seconds").observe(
-            report.tuning_seconds
-        )
-        self.telemetry.histogram("serve.tune.measurements").observe(
-            float(report.search.num_measurements)
-        )
-        accuracy = getattr(report.search, "ranking_accuracy", None)
-        if accuracy is not None and accuracy == accuracy:  # skip None and NaN
-            self.telemetry.histogram("serve.model.ranking_accuracy").observe(accuracy)
-        cold = self.telemetry.histogram("serve.latency.cold")
-        for i, ticket in enumerate(tickets):
-            ticket._resolve(
-                self._report_for_ticket(job, report, ticket),
-                "tuned" if i == 0 else "coalesced",
-                cold,
+            self.telemetry.counter("serve.tunes").inc()
+            self.telemetry.histogram("serve.tune.simulated_seconds").observe(
+                report.tuning_seconds
             )
+            self.telemetry.histogram("serve.tune.measurements").observe(
+                float(report.search.num_measurements)
+            )
+            accuracy = getattr(report.search, "ranking_accuracy", None)
+            if accuracy is not None and accuracy == accuracy:  # skip None and NaN
+                self.telemetry.histogram("serve.model.ranking_accuracy").observe(accuracy)
+            span.set(
+                outcome="tuned",
+                waiters=len(tickets),
+                best_time=report.best_time,
+                sim_tuning_seconds=report.tuning_seconds,
+            )
+            cold = self.telemetry.histogram("serve.latency.cold")
+            for i, ticket in enumerate(tickets):
+                ticket._resolve(
+                    self._report_for_ticket(job, report, ticket),
+                    "tuned" if i == 0 else "coalesced",
+                    cold,
+                )
 
     # -- observability ---------------------------------------------------------
 

@@ -15,9 +15,22 @@ Instrument semantics:
   deltas); the stress tests assert snapshots never go backwards.
 * :class:`Gauge` — a point-in-time value (queue depth, in-flight tunes).
 * :class:`Histogram` — streaming count/sum/min/max plus a bounded sample
-  window for percentile estimates (p50/p90/p95/p99). The window keeps the
-  most recent :data:`Histogram.WINDOW` observations — at serving scale the
-  recent distribution is the one worth alerting on.
+  window for percentile estimates (p50/p90/p95/p99). Percentiles are
+  computed over the most recent :data:`Histogram.WINDOW` observations
+  (default 4096, per-instrument override via ``window=``) with linear
+  interpolation — at serving scale the recent distribution is the one
+  worth alerting on; count/sum/min/max remain lifetime-exact. Every
+  percentile consumer (``snapshot()``, ``percentile()``, the Prometheus
+  exporter) goes through the one :func:`percentile_summary`
+  implementation, so p50/p95 cannot drift apart between views.
+
+Concurrency: every instrument created through a registry shares that
+registry's single re-entrant lock. Individual updates were always atomic;
+sharing one lock additionally makes :meth:`MetricsRegistry.snapshot`
+atomic *across* instruments, so accounting identities that hold in the
+live registry (``serve.requests >= hits + coalesced + tunes + shed``)
+also hold in every persisted snapshot. Instruments constructed standalone
+(outside a registry) get a private lock and behave as before.
 
 Tuning-efficiency instruments (learned cost model):
 
@@ -26,6 +39,13 @@ Tuning-efficiency instruments (learned cost model):
 * ``serve.model.ranking_accuracy`` — histogram of the cost model's
   self-reported holdout pairwise ranking accuracy at each tune's final
   refit (only observed when a model was attached and actually fitted).
+
+Metric naming: dotted paths, most-general first (``serve.hits.hot``).
+:func:`labeled` is the label convention — a metric family plus label-like
+suffix parts (``labeled("exec.fallback", "compiled", "no-compiler")`` →
+``"exec.fallback.compiled.no-compiler"``), used by the per-backend and
+per-tier metrics so families group together in sorted output and map
+cleanly onto Prometheus names.
 
 Snapshots persist as JSON (:func:`save_snapshot` / :func:`load_snapshot`);
 ``repro serve`` writes one next to the schedule cache so a later
@@ -48,6 +68,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SNAPSHOT_FILENAME",
+    "labeled",
+    "percentile_summary",
     "save_snapshot",
     "load_snapshot",
 ]
@@ -56,16 +78,62 @@ __all__ = [
 #: the cache directory), read back by ``repro metrics``/``cache stats``.
 SNAPSHOT_FILENAME = "serve_metrics.json"
 
+#: Percentile points every histogram view reports, as ``(key, q)`` pairs.
+PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 50.0),
+    ("p90", 90.0),
+    ("p95", 95.0),
+    ("p99", 99.0),
+)
+
+
+def labeled(name: str, *parts: object) -> str:
+    """Join a metric family name with label-like suffix parts.
+
+    The registry has no first-class labels; the convention is dotted
+    suffixes on a common family prefix. ``labeled`` normalizes the parts
+    (stringified, dots collapsed to dashes so a part can't fake extra
+    hierarchy levels) and skips empty ones::
+
+        labeled("exec.fallback", "compiled", "no-compiler")
+        -> "exec.fallback.compiled.no-compiler"
+    """
+    suffix = [str(p).replace(".", "-") for p in parts if str(p)]
+    return ".".join([name, *suffix]) if suffix else name
+
+
+def _interpolated_percentile(samples: list[float], q: float) -> float | None:
+    """Linear-interpolated percentile of pre-sorted ``samples`` (None if empty)."""
+    if not samples:
+        return None
+    rank = (len(samples) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return samples[lo]
+    return samples[lo] + (samples[hi] - samples[lo]) * (rank - lo)
+
+
+def percentile_summary(samples: list[float]) -> dict[str, float | None]:
+    """The shared percentile computation: ``{"p50": ..., ..., "p99": ...}``.
+
+    Single source of truth for every percentile a histogram reports —
+    ``Histogram.percentile``, ``Histogram.snapshot``, and the Prometheus
+    exporter all reduce to this one function over the same sorted window.
+    """
+    samples = sorted(samples)
+    return {key: _interpolated_percentile(samples, q) for key, q in PERCENTILES}
+
 
 class Counter:
     """Monotonically non-decreasing event count."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", lock=None) -> None:
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
         self._value = 0
 
     def inc(self, n: int = 1) -> None:
@@ -87,10 +155,10 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", lock=None) -> None:
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self._lock = lock if lock is not None else threading.Lock()
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -113,35 +181,35 @@ class Gauge:
         return self._value
 
 
-def _interpolated_percentile(samples: list[float], q: float) -> float | None:
-    """Linear-interpolated percentile of pre-sorted ``samples`` (None if empty)."""
-    if not samples:
-        return None
-    rank = (len(samples) - 1) * q / 100.0
-    lo = math.floor(rank)
-    hi = math.ceil(rank)
-    if lo == hi:
-        return samples[lo]
-    return samples[lo] + (samples[hi] - samples[lo]) * (rank - lo)
-
-
 class Histogram:
-    """Latency/size distribution: streaming stats + recent-sample window."""
+    """Latency/size distribution: streaming stats + recent-sample window.
+
+    ``count``/``sum``/``min``/``max`` are exact over the instrument's
+    lifetime; percentiles are estimated over a bounded window of the most
+    recent ``window`` observations (default :data:`WINDOW`). The bound is
+    deliberate: it caps memory per instrument and biases percentiles
+    toward current behaviour rather than a startup transient.
+    """
 
     kind = "histogram"
 
-    #: Bounded percentile window (most recent observations).
+    #: Default percentile window (most recent observations kept).
     WINDOW = 4096
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", lock=None, window: int | None = None
+    ) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"histogram window must be >= 1, got {window}")
         self.name = name
         self.help = help
-        self._lock = threading.Lock()
+        self.window = window if window is not None else self.WINDOW
+        self._lock = lock if lock is not None else threading.Lock()
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
-        self._window: deque[float] = deque(maxlen=self.WINDOW)
+        self._window: deque[float] = deque(maxlen=self.window)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -167,24 +235,20 @@ class Histogram:
 
     def snapshot(self) -> dict:
         with self._lock:
-            samples = sorted(self._window)
-            count, total = self.count, self.sum
-            lo, hi = self.min, self.max
+            return self._snapshot_locked()
 
-        def pct(q: float) -> float | None:
-            return _interpolated_percentile(samples, q)
-
-        return {
-            "count": count,
-            "sum": total,
-            "mean": total / count if count else None,
-            "min": lo if count else None,
-            "max": hi if count else None,
-            "p50": pct(50),
-            "p90": pct(90),
-            "p95": pct(95),
-            "p99": pct(99),
+    def _snapshot_locked(self) -> dict:
+        """Snapshot body; caller must hold ``self._lock``."""
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.sum / self.count if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "window": self.window,
         }
+        out.update(percentile_summary(list(self._window)))
+        return out
 
 
 class MetricsRegistry:
@@ -194,18 +258,24 @@ class MetricsRegistry:
     load generator and the CLI read the same object. Instrument names are
     dotted paths (``"serve.hits.hot"``); re-requesting a name returns the
     same instrument, and requesting it as a different kind raises.
+
+    All instruments share the registry's re-entrant lock, which makes
+    :meth:`snapshot` a point-in-time cut across the whole registry (no
+    update can land between reading one instrument and the next).
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # Re-entrant: snapshot() holds it while calling into instrument
+        # snapshots that take the same lock.
+        self._lock = threading.RLock()
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
         self.created_at = time.time()
 
-    def _get(self, cls, name: str, help: str):
+    def _get(self, cls, name: str, help: str, **kwargs):
         with self._lock:
             inst = self._instruments.get(name)
             if inst is None:
-                inst = cls(name, help)
+                inst = cls(name, help, lock=self._lock, **kwargs)
                 self._instruments[name] = inst
             elif not isinstance(inst, cls):
                 raise TypeError(
@@ -219,8 +289,10 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get(Gauge, name, help)
 
-    def histogram(self, name: str, help: str = "") -> Histogram:
-        return self._get(Histogram, name, help)
+    def histogram(
+        self, name: str, help: str = "", window: int | None = None
+    ) -> Histogram:
+        return self._get(Histogram, name, help, window=window)
 
     def names(self) -> list[str]:
         with self._lock:
@@ -237,18 +309,21 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """JSON-able view: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
 
-        Counters in one snapshot are always >= the same counters in an
-        earlier snapshot of the same registry (monotonicity is enforced at
-        ``inc`` time), which is what lets the stress tests sample snapshots
-        mid-run.
+        Atomic across instruments: the registry lock is held for the whole
+        pass, so no concurrent update can split a multi-counter identity
+        (``serve.requests`` is incremented before any outcome counter, so
+        every snapshot satisfies ``sum(outcomes) <= requests``, with
+        equality once the service quiesces). Counters in one snapshot are
+        always >= the same counters in an earlier snapshot of the same
+        registry (monotonicity is enforced at ``inc`` time), which is what
+        lets the stress tests sample snapshots mid-run.
         """
-        with self._lock:
-            instruments = dict(self._instruments)
         out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
-        for name, inst in sorted(instruments.items()):
-            out[inst.kind + "s"][name] = inst.snapshot()
+        with self._lock:
+            for name, inst in sorted(self._instruments.items()):
+                out[inst.kind + "s"][name] = inst.snapshot()
+            out["snapshot_at"] = time.time()
         out["created_at"] = self.created_at
-        out["snapshot_at"] = time.time()
         return out
 
     def to_json(self, indent: int = 2) -> str:

@@ -13,11 +13,18 @@ from repro.search import MCFuserTuner
 def _isolated_schedule_cache(tmp_path, monkeypatch):
     """Point the default schedule-cache directory at a per-test temp dir so
     tests (CLI tests in particular) never touch ~/.cache or each other, and
-    reset the process-wide compiled-kernel memo between tests."""
+    reset the process-wide compiled-kernel memo, tracer, and obs metrics
+    registry between tests."""
     from repro.codegen import clear_kernel_cache
+    from repro.obs import disable_tracing, reset_metrics
 
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "schedule-cache"))
     clear_kernel_cache()
+    reset_metrics()
+    disable_tracing()
+    yield
+    disable_tracing()
+    reset_metrics()
 
 
 @pytest.fixture

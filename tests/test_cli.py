@@ -88,3 +88,52 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestTraceCommand:
+    def test_trace_chain_workload(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "G1", "--out", str(out_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "root-span coverage" in out
+        assert "chrome trace written" in out
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        validate_chrome_trace(doc)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "tune" in names and "search.round" in names
+        assert (tmp_path / "cache" / "traces.jsonl").exists()
+
+    def test_trace_leaves_tracing_disabled(self, tmp_path):
+        from repro.obs import tracing_enabled
+
+        assert main(["trace", "G1", "--out", str(tmp_path / "t.json"),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert not tracing_enabled()
+
+    def test_metrics_prom_after_serve(self, capsys, tmp_path):
+        assert main(["serve", "--quick", "--clients", "2", "--requests", "2",
+                     "--signatures", "2", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["metrics", "--prom", "--cache-dir", str(tmp_path)]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 4" in text
+
+    def test_serve_trace_writes_artifacts(self, capsys, tmp_path):
+        assert main(["serve", "--quick", "--trace", "--clients", "2",
+                     "--requests", "2", "--signatures", "2",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace at" in out
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        doc = json.loads((tmp_path / "serve_trace.json").read_text(encoding="utf-8"))
+        validate_chrome_trace(doc)
+        assert any(e["name"] == "serve.request" for e in doc["traceEvents"])

@@ -182,3 +182,138 @@ class TestSnapshotPersistence:
         assert load_snapshot(path) is None
         path.write_text("[1, 2]")  # valid JSON, wrong shape
         assert load_snapshot(path) is None
+
+
+class TestLabeled:
+    def test_joins_parts_with_dots(self):
+        from repro.serving.telemetry import labeled
+
+        assert labeled("exec.fallback", "compiled", "no-compiler") == (
+            "exec.fallback.compiled.no-compiler"
+        )
+
+    def test_sanitizes_dotted_parts(self):
+        from repro.serving.telemetry import labeled
+
+        # a part containing dots must not fabricate extra name segments
+        assert labeled("serve.hits", "a.b") == "serve.hits.a-b"
+
+    def test_skips_empty_parts(self):
+        from repro.serving.telemetry import labeled
+
+        assert labeled("base", "", "x") == "base.x"
+        assert labeled("base") == "base"
+
+    def test_coerces_non_strings(self):
+        from repro.serving.telemetry import labeled
+
+        assert labeled("bucket", 128) == "bucket.128"
+
+
+class TestSharedPercentiles:
+    def test_summary_matches_histogram_snapshot(self):
+        from repro.serving.telemetry import PERCENTILES, percentile_summary
+
+        values = [float(i) for i in range(1, 101)]
+        summary = percentile_summary(values)
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        for key, _ in PERCENTILES:
+            assert snap[key] == summary[key]
+
+    def test_empty_summary_is_none(self):
+        # None (not NaN) so snapshots stay plain-JSON serializable; the
+        # Prometheus exporter renders missing quantiles as NaN samples.
+        from repro.serving.telemetry import PERCENTILES, percentile_summary
+
+        summary = percentile_summary([])
+        for key, _ in PERCENTILES:
+            assert summary[key] is None
+
+    def test_window_parameter_documented_in_snapshot(self):
+        h = Histogram("h", window=8)
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["window"] == 8
+        assert snap["count"] == 100  # count/sum are exact, not windowed
+        assert snap["p50"] >= 92.0  # percentiles come from the recent window
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("h", window=0)
+
+    def test_registry_histogram_window_passthrough(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", window=16)
+        assert h.snapshot()["window"] == 16
+
+
+class TestAtomicSnapshot:
+    def test_accounting_identity_holds_in_every_snapshot(self):
+        """Regression: snapshots must be cut under one lock so cross-metric
+        identities hold. Writers bump ``serve.requests`` *before* an outcome
+        counter; a torn snapshot could read the outcome increment without
+        the request increment and show outcomes > requests."""
+        reg = MetricsRegistry()
+        outcomes = ("serve.hits.hot", "serve.coalesced", "serve.tunes", "serve.shed")
+        stop = threading.Event()
+        violations: list[dict] = []
+
+        def writer(outcome):
+            while not stop.is_set():
+                reg.counter("serve.requests").inc()
+                reg.counter(outcome).inc()
+
+        def sampler():
+            while not stop.is_set():
+                counters = reg.snapshot()["counters"]
+                served = sum(counters.get(o, 0) for o in outcomes)
+                if served > counters.get("serve.requests", 0):
+                    violations.append(counters)
+
+        threads = [threading.Thread(target=writer, args=(o,)) for o in outcomes]
+        threads += [threading.Thread(target=sampler) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not violations, violations[0]
+
+    def test_snapshot_under_concurrent_histogram_writers(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                reg.histogram("h").observe(float(i % 50))
+                i += 1
+
+        def sampler():
+            while not stop.is_set():
+                try:
+                    snap = reg.snapshot()["histograms"]["h"]
+                    assert snap["count"] >= 0
+                    json.dumps(snap)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        threads.append(threading.Thread(target=sampler))
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
