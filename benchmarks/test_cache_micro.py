@@ -12,10 +12,13 @@ Run: pytest benchmarks/test_cache_micro.py --benchmark-only -q
 import time
 
 from repro.cache import ScheduleCache
+from repro.config import SessionConfig
 from repro.gpu.specs import A100
 from repro.ir.chain import gemm_chain
 from repro.search.tuner import MCFuserTuner
 from repro.utils import fmt_time, format_table
+
+CONFIG = SessionConfig.make(seed=0)
 
 
 def _chain():
@@ -26,7 +29,7 @@ def test_cold_vs_warm_tuning(tmp_path, run_once):
     cache_dir = tmp_path / "bench-cache"
 
     def cold():
-        tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(cache_dir))
+        tuner = MCFuserTuner(A100, cache=ScheduleCache(cache_dir), config=CONFIG)
         start = time.perf_counter()
         report = tuner.tune(_chain())
         return report, time.perf_counter() - start
@@ -35,7 +38,7 @@ def test_cold_vs_warm_tuning(tmp_path, run_once):
 
     # Fresh cache instance on the same directory — a new process would see
     # exactly this: disk store only, nothing in memory.
-    warm_tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(cache_dir))
+    warm_tuner = MCFuserTuner(A100, cache=ScheduleCache(cache_dir), config=CONFIG)
     start = time.perf_counter()
     warm_report = warm_tuner.tune(_chain())
     warm_wall = time.perf_counter() - start

@@ -18,6 +18,7 @@ Run: pytest benchmarks/test_cost_model.py --benchmark-only -q
 
 from conftest import QUICK, record_bench
 
+from repro.config import SessionConfig
 from repro.gpu.specs import A100
 from repro.search.cost_model import LearnedCostModel
 from repro.search.tuner import MCFuserTuner
@@ -38,10 +39,11 @@ def _tune_pair(name: str, seed: int = 0):
     """(baseline report, guided report, model) for one workload."""
     chain = get_workload(name).build()
     model = LearnedCostModel(seed=seed, min_samples=MIN_SAMPLES)
-    baseline = MCFuserTuner(A100, seed=seed, cost_model=model).tune(chain)
+    config = SessionConfig.make(seed=seed)
+    baseline = MCFuserTuner(A100, cost_model=model, config=config).tune(chain)
     model.fit(force=True)
     guided = MCFuserTuner(
-        A100, seed=seed, cost_model=model, measure_topk=TOPK
+        A100, cost_model=model, config=config.evolve(measure_topk=TOPK)
     ).tune(chain)
     return baseline, guided, model
 

@@ -20,6 +20,7 @@ from conftest import show
 
 import repro.search.engine.pipeline as pipeline_mod
 import repro.search.space as space_mod
+from repro.config import SessionConfig
 from repro.experiments.common import ExperimentResult
 from repro.gpu.specs import A100
 from repro.ir.chain import gemm_chain
@@ -52,7 +53,9 @@ def test_schedules_built_once(run_once, monkeypatch):
     monkeypatch.setattr(SearchSpace, "schedule_for", tracking_schedule_for)
 
     chain = gemm_chain(1, 1024, 1024, 512, 512, name="engine-micro")
-    report = run_once(MCFuserTuner(A100, seed=0).tune, chain)
+    report = run_once(
+        MCFuserTuner(A100, config=SessionConfig.make(seed=0)).tune, chain
+    )
 
     new_builds = counts["pipeline"] + counts["tuner_path"]
     # What the pre-engine implementation spent: every enumerated candidate

@@ -22,6 +22,7 @@ import time
 from conftest import record_bench
 
 from repro.cache.cache import ScheduleCache
+from repro.config import SessionConfig
 from repro.gpu.specs import A100
 from repro.ir.chain import gemm_chain
 from repro.obs import disable_tracing, enable_tracing, get_tracer
@@ -31,7 +32,9 @@ from repro.search.tuner import MCFuserTuner
 MAX_OVERHEAD = 0.05
 
 #: Fast tuner budget — the cold tune only populates the cache.
-QUICK_TUNER = dict(population_size=64, top_n=4, max_rounds=3, min_rounds=2)
+QUICK_CONFIG = SessionConfig.make(
+    seed=0, population_size=64, top_n=4, max_rounds=3, min_rounds=2
+)
 
 WARM_REPEATS = 50
 NOOP_CALLS = 20_000
@@ -39,7 +42,7 @@ NOOP_CALLS = 20_000
 
 def _make_tuner():
     chain = gemm_chain(2, 96, 80, 64, 48, name="obs-warm-gemm")
-    tuner = MCFuserTuner(A100, seed=0, cache=ScheduleCache(path=None), **QUICK_TUNER)
+    tuner = MCFuserTuner(A100, cache=ScheduleCache(path=None), config=QUICK_CONFIG)
     report = tuner.tune(chain)  # cold tune populates the in-memory cache
     assert not report.cache_hit
     return tuner, chain

@@ -17,11 +17,15 @@ its time on a larger request mix instead.
 
 from conftest import QUICK, record_bench, show
 
+from repro.config import SessionConfig
 from repro.experiments import serve_load
 
 #: moderate search budget: ceiling tunes at m=1024 are still seconds, and
 #: none of the asserted serving metrics depend on schedule quality.
-TUNER_KWARGS = dict(population_size=128, top_n=4, max_rounds=3, min_rounds=1)
+CONFIG = SessionConfig.make(
+    population_size=128, top_n=4, max_rounds=3, min_rounds=1,
+    dynamic="buckets", serve_workers=4,
+)
 
 
 def test_serve_buckets(run_once):
@@ -33,10 +37,8 @@ def test_serve_buckets(run_once):
         clients=clients,
         requests_per_client=requests,
         lengths=lengths,
-        dynamic="buckets",
         quick=QUICK,
-        tuner_kwargs=TUNER_KWARGS,
-        service_workers=4,
+        config=CONFIG,
     )
     show(result)
     m = result.meta

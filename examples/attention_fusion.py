@@ -10,7 +10,7 @@ Run:  python examples/attention_fusion.py
 
 import numpy as np
 
-from repro import A100, MCFuserTuner, attention_chain, compile_schedule
+from repro import A100, MCFuserTuner, SessionConfig, attention_chain, compile_schedule
 from repro.baselines import default_baselines
 from repro.utils import fmt_time
 
@@ -34,7 +34,7 @@ def main() -> None:
               f"{fmt_time(r.tuning_seconds):>10s}")
 
     # --- what did the search find? --------------------------------------------
-    report = MCFuserTuner(A100, seed=0).tune(chain)
+    report = MCFuserTuner(A100, config=SessionConfig.make(seed=0)).tune(chain)
     best = report.best_candidate
     print(f"\nMCFuser's best candidate: {best.describe()}")
     if not best.expr.is_deep:

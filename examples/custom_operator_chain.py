@@ -11,7 +11,7 @@ Run:  python examples/custom_operator_chain.py
 
 import numpy as np
 
-from repro import A100, MCFuserTuner, compile_schedule
+from repro import A100, MCFuserTuner, SessionConfig, compile_schedule
 from repro.baselines import PyTorchBaseline
 from repro.ir import ComputeBlock, ComputeChain, TensorRef
 from repro.tiling import all_tilings
@@ -49,7 +49,7 @@ def main() -> None:
     print(f"tiling expressions: {len(exprs)} ({deep} deep = 5!, {len(exprs) - deep} flat)")
     print(f"MBCI on A100? {chain.is_mbci(A100)}\n")
 
-    report = MCFuserTuner(A100, seed=0).tune(chain)
+    report = MCFuserTuner(A100, config=SessionConfig.make(seed=0)).tune(chain)
     print(f"pruning funnel: {report.pruning.funnel()}")
     print(f"best: {report.best_candidate.describe()}")
     print(f"fused time: {fmt_time(report.best_time)}  "

@@ -8,7 +8,7 @@ while tuning in minutes instead of hours.
 Run:  python examples/end_to_end_bert.py
 """
 
-from repro import A100, bert_encoder, compile_model, partition_graph
+from repro import A100, SessionConfig, bert_encoder, compile_model, partition_graph
 from repro.frontend.executor import STRATEGIES
 from repro.utils import fmt_time, format_table
 
@@ -29,8 +29,9 @@ def main() -> None:
     # --- compile under every strategy ---------------------------------------
     rows = []
     results = {}
+    config = SessionConfig.make(seed=0)
     for strategy in STRATEGIES:
-        r = compile_model(graph, A100, strategy, seed=0)
+        r = compile_model(graph, A100, strategy, config=config)
         results[strategy] = r
         rows.append(
             [

@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import A100, MCFuserTuner, compile_schedule, gemm_chain
+from repro import A100, Session, SessionConfig, compile_schedule, gemm_chain
 from repro.baselines import PyTorchBaseline
 from repro.utils import fmt_time
 
@@ -23,8 +23,10 @@ def main() -> None:
     print(f"memory-bound compute-intensive (MBCI)? {chain.is_mbci(A100)}\n")
 
     # --- tune ---------------------------------------------------------------
-    tuner = MCFuserTuner(A100, seed=0)
-    report = tuner.tune(chain)
+    # One SessionConfig carries every knob; cache_enabled=False keeps the
+    # example self-contained (no persistent schedule cache on disk).
+    session = Session(SessionConfig.make(seed=0, cache_enabled=False))
+    report = session.tune(chain)
     print(f"searched {report.pruning.after_rule4} candidates "
           f"(pruned from {report.pruning.original:,})")
     print(f"tuning time (simulated): {fmt_time(report.tuning_seconds)}, "

@@ -10,10 +10,19 @@ Run with:  PYTHONPATH=src python examples/workload_zoo.py
 
 import numpy as np
 
-from repro import A100, MCFuserTuner, build_workload, compile_schedule, workload_names
+from repro import (
+    A100,
+    MCFuserTuner,
+    SessionConfig,
+    build_workload,
+    compile_schedule,
+    workload_names,
+)
 from repro.frontend.partition import partition_graph
 
-QUICK = dict(population_size=96, top_n=6, max_rounds=3, min_rounds=2)
+QUICK = SessionConfig.make(
+    seed=0, population_size=96, top_n=6, max_rounds=3, min_rounds=2
+)
 
 
 def main() -> None:
@@ -32,7 +41,7 @@ def main() -> None:
     graph = build_workload("lora-base")
     partition = partition_graph(graph, A100)
     sg = partition.subgraphs[0]
-    report = MCFuserTuner(A100, seed=0, **QUICK).tune(sg.chain)
+    report = MCFuserTuner(A100, config=QUICK).tune(sg.chain)
     module = compile_schedule(report.best_schedule, A100)
     env = graph.execute(graph.random_feed(seed=0, scale=0.05))
     fused = module.run(sg.bind_inputs(env))[sg.chain.output]

@@ -34,6 +34,14 @@ from repro.codegen import (
     lower_schedule,
     resolve_exec_backend,
 )
+from repro.config import (
+    CacheConfig,
+    ExecConfig,
+    ObsConfig,
+    SearchConfig,
+    ServeConfig,
+    SessionConfig,
+)
 from repro.frontend import (
     bert_encoder,
     compile_model,
@@ -55,6 +63,7 @@ from repro.search import (
     strategy_names,
 )
 from repro.serving import CompileService, MetricsRegistry, TieredCache
+from repro.session import Session
 from repro.tiling import Schedule, TilingExpr, build_schedule
 from repro.workloads import (
     attention_workload,
@@ -69,6 +78,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "SessionConfig",
+    "SearchConfig",
+    "ExecConfig",
+    "CacheConfig",
+    "ServeConfig",
+    "ObsConfig",
+    "Session",
     "A100",
     "RTX3080",
     "GPUSpec",

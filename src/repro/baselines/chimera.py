@@ -11,6 +11,7 @@ and parallelism) inside MCFuser — §VI-A. We do exactly the same via
 from __future__ import annotations
 
 from repro.baselines.base import Baseline, BaselineResult
+from repro.config import SessionConfig, search_overrides
 from repro.gpu.specs import GPUSpec
 from repro.ir.chain import ComputeChain
 from repro.search.tuner import MCFuserTuner
@@ -24,10 +25,12 @@ class MCFuserChimeraBaseline(Baseline):
     name = "MCFuser-Chimera"
 
     def __init__(self, **tuner_kwargs) -> None:
-        self.tuner_kwargs = tuner_kwargs
+        self.config = SessionConfig.make(
+            variant="chimera", **search_overrides(tuner_kwargs)
+        )
 
     def run_chain(self, chain: ComputeChain, gpu: GPUSpec, seed: int = 0) -> BaselineResult:
-        tuner = MCFuserTuner(gpu, variant="chimera", seed=seed, **self.tuner_kwargs)
+        tuner = MCFuserTuner(gpu, config=self.config.evolve(seed=seed))
         report = tuner.tune(chain)
         return BaselineResult(
             name=self.name,

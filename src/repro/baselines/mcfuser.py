@@ -4,6 +4,7 @@ experiment drivers can treat all systems uniformly."""
 from __future__ import annotations
 
 from repro.baselines.base import Baseline, BaselineResult
+from repro.config import SessionConfig, search_overrides
 from repro.gpu.specs import GPUSpec
 from repro.ir.chain import ComputeChain
 from repro.search.tuner import MCFuserTuner
@@ -17,10 +18,12 @@ class MCFuserBaseline(Baseline):
     name = "MCFuser"
 
     def __init__(self, **tuner_kwargs) -> None:
-        self.tuner_kwargs = tuner_kwargs
+        self.config = SessionConfig.make(
+            variant="mcfuser", **search_overrides(tuner_kwargs)
+        )
 
     def run_chain(self, chain: ComputeChain, gpu: GPUSpec, seed: int = 0) -> BaselineResult:
-        tuner = MCFuserTuner(gpu, variant="mcfuser", seed=seed, **self.tuner_kwargs)
+        tuner = MCFuserTuner(gpu, config=self.config.evolve(seed=seed))
         report = tuner.tune(chain)
         return BaselineResult(
             name=self.name,

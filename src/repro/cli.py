@@ -13,6 +13,10 @@ Commands:
 * ``experiments [name]``   — run one or all experiment drivers.
 * ``list``                 — list workloads (chains + model zoo), GPUs and
                              experiments.
+* ``config show``          — print the effective session config as a schema
+                             table (field, value, default, flag, env var).
+* ``config dump``          — serialize the effective config to JSON (stdout
+                             or ``--out file.json``) for ``--config`` reuse.
 * ``cache stats``          — show the persistent schedule cache (entries, hits,
                              per-variant and per-tier breakdowns).
 * ``cache clear``          — wipe the persistent schedule cache.
@@ -36,6 +40,12 @@ Commands:
                              grow it) and persist the snapshot.
 * ``model stats``          — show the measurement dataset and cost-model
                              snapshot (samples, ranking accuracy, features).
+
+Every tuning flag is one :class:`~repro.config.SessionConfig` field: the
+flag↔field mapping lives in one declarative table (:data:`FLAG_TABLE`), and
+each verb attaches the subset it supports. Verbs that tune accept
+``--config file.json`` (a ``config dump`` artifact); the precedence is
+defaults < ``--config`` file < ``REPRO_*`` environment < explicit flags.
 
 ``tune`` consults the persistent schedule cache by default: the second run
 for the same workload/GPU is a pure lookup. Disable with ``--no-cache``;
@@ -61,6 +71,8 @@ Examples::
     python -m repro tune S2 --gpu a100
     python -m repro tune G4 --strategy annealing --workers 4
     python -m repro tune G4 --cost-model --topk 2
+    python -m repro config dump --seed 3 --out run.json
+    python -m repro tune G4 --config run.json
     python -m repro model train G1 G2 S1
     python -m repro model stats
     python -m repro compare G4 --gpu rtx3080 --ansor-trials 256
@@ -74,16 +86,28 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 
 from repro.baselines import default_baselines
-from repro.cache import BatchTuner, ScheduleCache, default_cache_dir
+from repro.cache import ScheduleCache
 from repro.codegen import EXEC_BACKENDS, compile_schedule
+from repro.config import (
+    DYNAMIC_MODES,
+    FLAT_FIELDS,
+    VARIANTS,
+    VERIFY_MODES,
+    SessionConfig,
+    apply_env,
+    env_var_for,
+    field_paths,
+)
 from repro.gpu.specs import by_name
 from repro.ir.chain import ComputeChain
 from repro.search.engine.strategy import strategy_names
-from repro.search.tuner import DYNAMIC_MODES, VERIFY_MODES, MCFuserTuner
+from repro.search.tuner import MCFuserTuner
+from repro.session import Session
 from repro.utils import fmt_time, format_table
 from repro.workloads import (
     ATTENTION_CONFIGS,
@@ -92,29 +116,246 @@ from repro.workloads import (
     iter_workloads,
 )
 
-__all__ = ["main", "build_parser", "workload_by_name"]
+__all__ = [
+    "main",
+    "build_parser",
+    "workload_by_name",
+    "FLAG_TABLE",
+    "FLAGS_BY_PATH",
+    "add_config_flags",
+    "config_from_args",
+]
 
 
-def _open_cache(args: argparse.Namespace) -> ScheduleCache:
-    """The persistent cache selected by ``--cache-dir`` / environment."""
-    return ScheduleCache(args.cache_dir or default_cache_dir())
+# -- the declarative flag <-> config-field table -------------------------------
 
 
-def _metrics_path(args: argparse.Namespace) -> str:
+def _csv(text: str) -> tuple[str, ...]:
+    """``"m,n"`` → ``("m", "n")`` for tuple-valued flags."""
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+@dataclasses.dataclass(frozen=True)
+class FlagSpec:
+    """One row of :data:`FLAG_TABLE`: a CLI flag bound to a config field.
+
+    Attributes:
+        path: The dotted :class:`~repro.config.SessionConfig` path the flag
+            sets (``"search.seed"``).
+        flag: The canonical long option (verbs may attach it under an alias,
+            e.g. ``serve`` exposes ``serve.workers`` as plain ``--workers``).
+        help: The option help text.
+        kind: ``"value"`` for normal options, ``"true"``/``"false"`` for
+            presence flags (``--cost-model`` sets True, ``--no-cache`` sets
+            False). Presence flags default to ``None`` = "not passed", never
+            to a real value, so precedence stays defaults < file < env < flag.
+        type: Optional ``argparse`` type callable for value flags.
+        choices: Optional choices tuple, or a zero-arg callable resolved at
+            parser-build time (strategies can be registered at runtime).
+    """
+
+    path: str
+    flag: str
+    help: str
+    kind: str = "value"
+    type: object = None
+    choices: object = None
+
+
+#: One row per ``SessionConfig`` leaf field. The parity test asserts this
+#: table and :func:`repro.config.field_paths` cover each other exactly, so a
+#: new config field without a flag (or a flag bound to a dead field) fails CI.
+FLAG_TABLE: tuple[FlagSpec, ...] = (
+    FlagSpec("gpu", "--gpu", "target GPU (a100, rtx3080)"),
+    FlagSpec("search.variant", "--variant", choices=VARIANTS,
+             help="tuner variant (cache keys include it)"),
+    FlagSpec("search.strategy", "--strategy", choices=strategy_names,
+             help="search strategy over the pruned space "
+                  "(cached schedules are keyed per strategy)"),
+    FlagSpec("search.population_size", "--population", type=int,
+             help="Algorithm-1 population size per round. Caution under "
+                  "warmup: cached entries are keyed by workload, so later "
+                  "`tune` runs reuse whatever quality this budget found"),
+    FlagSpec("search.top_n", "--top-n", type=int,
+             help="candidates measured per search round"),
+    FlagSpec("search.epsilon", "--epsilon", type=float,
+             help="relative-improvement convergence threshold"),
+    FlagSpec("search.max_rounds", "--max-rounds", type=int,
+             help="Algorithm-1 round limit (when set below the min-rounds "
+                  "floor, the floor is lowered to match)"),
+    FlagSpec("search.min_rounds", "--min-rounds", type=int,
+             help="rounds to run before convergence may stop the search"),
+    FlagSpec("search.seed", "--seed", type=int,
+             help="search seed. Cached schedules are keyed by workload, "
+                  "not seed — pass --no-cache to force a fresh search"),
+    FlagSpec("search.workers", "--workers", type=int,
+             help="measurement thread-pool width per search round "
+                  "(results are deterministic for any width)"),
+    FlagSpec("search.cost_model", "--cost-model", kind="true",
+             help="learned-cost-model guidance: re-rank candidates with the "
+                  "persistent model (trained on past measurements) and "
+                  "hardware-measure only the predicted top --topk per round"),
+    FlagSpec("search.measure_topk", "--topk", type=int,
+             help="measurements per round under --cost-model, default 2 "
+                  "(guided schedules cache under a +topk{k} key)"),
+    FlagSpec("exec.backend", "--exec-backend", choices=EXEC_BACKENDS,
+             help="numeric execution engine for tuned schedules: compiled "
+                  "(native C kernel), vectorized (batched tile program), "
+                  "scalar (per-cell interpreter), or auto (compiled when "
+                  "available and worthwhile, then vectorized, then scalar)"),
+    FlagSpec("exec.verify", "--verify", choices=VERIFY_MODES,
+             help="numeric verification: best = execute the winning schedule "
+                  "against the unfused reference; all = execute every "
+                  "measured candidate (wrong ones count as launch failures)"),
+    FlagSpec("exec.dynamic", "--dynamic", choices=DYNAMIC_MODES,
+             help="dynamic-shape handling: buckets = tune once per "
+                  "power-of-two sequence-length bucket (at the bucket "
+                  "ceiling) and serve every in-bucket length from that "
+                  "schedule, tail tiles masked"),
+    FlagSpec("exec.dynamic_loops", "--dynamic-loops", type=_csv,
+             help="comma-separated loop names treated as dynamic under "
+                  "--dynamic buckets (default: m)"),
+    FlagSpec("cache.enabled", "--no-cache", kind="false",
+             help="skip the persistent schedule cache"),
+    FlagSpec("cache.dir", "--cache-dir",
+             help="cache directory (default: $REPRO_CACHE_DIR or "
+                  "~/.cache/mcfuser-repro)"),
+    FlagSpec("serve.workers", "--serve-workers", type=int,
+             help="service tune worker-pool width"),
+    FlagSpec("serve.queue_limit", "--queue-limit", type=int,
+             help="service admission queue depth before load shedding"),
+    FlagSpec("obs.trace", "--trace", kind="true",
+             help="trace the whole session (admission through kernel "
+                  "execution) and write serve_trace.json + traces.jsonl "
+                  "to the cache dir"),
+)
+
+FLAGS_BY_PATH: dict[str, FlagSpec] = {spec.path: spec for spec in FLAG_TABLE}
+
+#: dotted path -> flat name (``FLAT_FIELDS`` reversed; both are bijections).
+_PATH_TO_FLAT: dict[str, str] = {path: name for name, path in FLAT_FIELDS.items()}
+
+
+def _dest_of(flag: str) -> str:
+    return flag.lstrip("-").replace("-", "_")
+
+
+def add_config_flags(
+    parser: argparse.ArgumentParser,
+    paths: tuple[str, ...],
+    aliases: dict[str, str] | None = None,
+) -> None:
+    """Attach the table rows for ``paths`` to ``parser``, plus ``--config``.
+
+    Every flag defaults to ``None`` ("not passed"), so
+    :func:`config_from_args` can layer explicit flags over the config file
+    and environment. ``aliases`` renames a flag for one verb (``serve``
+    exposes ``serve.workers`` as its historical ``--workers``).
+    """
+    aliases = aliases or {}
+    dests: list[tuple[str, str]] = []
+    for path in paths:
+        spec = FLAGS_BY_PATH[path]
+        flag = aliases.get(path, spec.flag)
+        dest = _dest_of(flag)
+        if spec.kind == "value":
+            choices = spec.choices() if callable(spec.choices) else spec.choices
+            parser.add_argument(flag, dest=dest, default=None, type=spec.type,
+                                choices=choices, help=spec.help)
+        else:
+            parser.add_argument(flag, dest=dest, default=None,
+                                action="store_const",
+                                const=spec.kind == "true", help=spec.help)
+        dests.append((path, dest))
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="load a SessionConfig JSON file (see `repro "
+                             "config dump`); explicit flags override it")
+    parser.set_defaults(_config_dests=dests)
+
+
+def config_from_args(
+    args: argparse.Namespace, skip: tuple[str, ...] = ()
+) -> SessionConfig:
+    """The effective :class:`SessionConfig` for one parsed invocation.
+
+    Precedence: defaults < ``--config`` file < ``REPRO_*`` environment <
+    explicit flags. ``skip`` excludes paths a verb resolves itself (``tune``
+    owns the ``--cost-model``/``--topk`` coupling).
+
+    One historical quirk is preserved: ``--max-rounds`` below the
+    ``min_rounds`` floor lowers the floor to match (a cap of 2 means "run 2
+    rounds", not a validation error), unless ``--min-rounds`` is explicit.
+    """
+    if getattr(args, "config", None):
+        base = SessionConfig.load(args.config)
+    else:
+        base = SessionConfig()
+    cfg = apply_env(base)
+    explicit: dict[str, object] = {}
+    for path, dest in getattr(args, "_config_dests", []):
+        if path in skip:
+            continue
+        value = getattr(args, dest, None)
+        if value is not None:
+            explicit[path] = value
+    cap = explicit.get("search.max_rounds")
+    if (cap is not None and "search.min_rounds" not in explicit
+            and cap < cfg.search.min_rounds):
+        explicit["search.min_rounds"] = cap
+    if not explicit:
+        return cfg
+    return cfg.evolve(**{_PATH_TO_FLAT[p]: v for p, v in explicit.items()})
+
+
+#: The flag subset each tuning verb attaches (paths into FLAG_TABLE).
+_TUNE_PATHS = (
+    "gpu", "search.variant", "search.strategy", "search.population_size",
+    "search.top_n", "search.epsilon", "search.max_rounds",
+    "search.min_rounds", "search.seed", "search.workers",
+    "search.cost_model", "search.measure_topk", "exec.backend",
+    "exec.verify", "exec.dynamic", "exec.dynamic_loops", "cache.enabled",
+    "cache.dir",
+)
+_WARMUP_PATHS = (
+    "gpu", "search.variant", "search.strategy", "search.population_size",
+    "search.top_n", "search.epsilon", "search.max_rounds",
+    "search.min_rounds", "search.seed", "search.workers", "cache.dir",
+)
+_SERVE_PATHS = (
+    "gpu", "search.seed", "search.population_size", "search.max_rounds",
+    "search.min_rounds", "exec.dynamic", "cache.enabled", "cache.dir",
+    "serve.workers", "serve.queue_limit", "obs.trace",
+)
+_MODEL_TRAIN_PATHS = (
+    "gpu", "search.seed", "search.strategy", "search.workers", "cache.dir",
+)
+_TRACE_PATHS = (
+    "gpu", "search.seed", "search.strategy", "search.workers",
+    "exec.backend", "cache.enabled", "cache.dir",
+)
+
+
+# -- shared helpers ------------------------------------------------------------
+
+
+def _open_cache(cfg: SessionConfig) -> ScheduleCache:
+    """The persistent cache selected by the config (flag/env/default dir)."""
+    return ScheduleCache(cfg.cache.resolved_dir())
+
+
+def _metrics_path(cfg: SessionConfig) -> str:
     """Where ``serve`` persists (and ``metrics`` reads) the telemetry snapshot."""
     from repro.serving.telemetry import SNAPSHOT_FILENAME
 
-    return os.path.join(args.cache_dir or default_cache_dir(), SNAPSHOT_FILENAME)
+    return os.path.join(cfg.cache.resolved_dir(), SNAPSHOT_FILENAME)
 
 
-def _cost_model_dir(args: argparse.Namespace) -> str:
-    """Where the cost model and measurement dataset live (the cache dir —
-    even under ``--no-cache``, which disables only the *schedule* cache)."""
-    return args.cache_dir or default_cache_dir()
+def _open_cost_model(cfg: SessionConfig):
+    """Load (or initialize) the persistent cost model + dataset pair.
 
-
-def _open_cost_model(args: argparse.Namespace):
-    """Load (or initialize) the persistent cost model + dataset pair."""
+    Lives in the cache dir even under ``--no-cache``, which disables only
+    the *schedule* cache.
+    """
     from repro.search.cost_model import (
         LearnedCostModel,
         MeasurementDataset,
@@ -122,22 +363,12 @@ def _open_cost_model(args: argparse.Namespace):
         default_model_path,
     )
 
-    directory = _cost_model_dir(args)
+    directory = cfg.cache.resolved_dir()
     dataset = MeasurementDataset(default_dataset_path(directory))
     model = LearnedCostModel.load(default_model_path(directory), dataset=dataset)
     if model is None:
-        model = LearnedCostModel(dataset, seed=getattr(args, "seed", 0))
+        model = LearnedCostModel(dataset, seed=cfg.search.seed)
     return model
-
-
-def _save_cost_model(args: argparse.Namespace, model) -> str | None:
-    """Refit from any new measurements and persist the snapshot."""
-    from repro.search.cost_model import default_model_path
-
-    model.fit()
-    if not model.ready:
-        return None
-    return model.save(default_model_path(_cost_model_dir(args)))
 
 
 def workload_by_name(name: str) -> ComputeChain:
@@ -151,12 +382,35 @@ def workload_by_name(name: str) -> ComputeChain:
     return spec.build()
 
 
-def _tune_model(args: argparse.Namespace, gpu, cache, cost_model, topk) -> int:
+# -- tune ----------------------------------------------------------------------
+
+
+def _tune_config(args: argparse.Namespace) -> SessionConfig:
+    """The tune verb's config, resolving the --cost-model/--topk coupling.
+
+    Historically ``--topk`` only counts under cost-model guidance: plain
+    ``tune --topk 3`` stays a full-measurement run. Guidance turns on via
+    ``--cost-model``, or a config file/env that set ``search.cost_model``
+    or a positive ``search.measure_topk``.
+    """
+    cfg = config_from_args(
+        args, skip=("search.cost_model", "search.measure_topk")
+    )
+    guided = bool(args.cost_model) or cfg.search.cost_model \
+        or cfg.search.measure_topk > 0
+    if guided:
+        topk = args.topk if args.topk is not None \
+            else (cfg.search.measure_topk or 2)
+        return cfg.evolve(cost_model=True, measure_topk=topk)
+    return cfg
+
+
+def _tune_model(args: argparse.Namespace, session: Session) -> int:
     """Partition a model workload and tune every distinct fusion group."""
     from repro.frontend.partition import partition_graph
 
     graph = get_workload(args.workload).build()
-    partition = partition_graph(graph, gpu)
+    partition = partition_graph(graph, session.gpu)
     print(f"model: {graph}")
     print(f"fusion groups: {len(partition.subgraphs)}  "
           f"residual ops: {len(partition.rest)}  "
@@ -164,21 +418,11 @@ def _tune_model(args: argparse.Namespace, gpu, cache, cost_model, topk) -> int:
     seen: dict[str, str] = {}
     rows = []
     for sg in partition.subgraphs:
-        key = sg.signature(gpu, "mcfuser")
+        key = sg.signature(session.gpu, "mcfuser")
         if key in seen:
             rows.append([sg.output, sg.kind, "=", seen[key], "(shape dedup)"])
             continue
-        report = MCFuserTuner(
-            gpu,
-            seed=args.seed,
-            cache=cache,
-            strategy=args.strategy,
-            workers=args.workers,
-            exec_backend=args.exec_backend,
-            verify=args.verify,
-            cost_model=cost_model,
-            measure_topk=topk,
-        ).tune(sg.chain)
+        report = session.tune(sg.chain)
         seen[key] = report.best_candidate.describe()
         rows.append([
             sg.output,
@@ -188,31 +432,17 @@ def _tune_model(args: argparse.Namespace, gpu, cache, cost_model, topk) -> int:
             fmt_time(report.best_time),
         ])
     print(format_table(["group", "kind", "tuning", "best schedule", "kernel"], rows))
-    if cost_model is not None:
-        _save_cost_model(args, cost_model)
+    session.close()
     return 0
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    gpu = by_name(args.gpu)
-    cache = None if args.no_cache else _open_cache(args)
-    cost_model = _open_cost_model(args) if args.cost_model else None
-    topk = args.topk if args.cost_model else 0
+    cfg = _tune_config(args)
+    session = Session(cfg)
     if get_workload(args.workload).level == "model":
-        return _tune_model(args, gpu, cache, cost_model, topk)
+        return _tune_model(args, session)
     chain = workload_by_name(args.workload)
-    report = MCFuserTuner(
-        gpu,
-        seed=args.seed,
-        cache=cache,
-        strategy=args.strategy,
-        workers=args.workers,
-        exec_backend=args.exec_backend,
-        verify=args.verify,
-        cost_model=cost_model,
-        measure_topk=topk,
-        dynamic=args.dynamic,
-    ).tune(chain)
+    report = session.tune(chain)
     print(f"workload: {chain}")
     if report.bucket:
         ceilings = ", ".join(f"{l}<={c}" for l, c in sorted(report.bucket.items()))
@@ -233,20 +463,69 @@ def cmd_tune(args: argparse.Namespace) -> int:
           f"{report.workers} worker(s))")
     verified = "verified against reference" if report.verified else "unverified"
     print(f"exec:  {report.exec_backend} backend ({verified})")
+    cost_model = session.cost_model
     if cost_model is not None:
-        _save_cost_model(args, cost_model)
+        session.close()  # refit + persist the model snapshot
         acc = cost_model.accuracy
         acc_txt = f"{acc:.0%}" if acc is not None and acc == acc else "n/a"
         guided = report.search.model_rounds
-        print(f"model: top-{topk} guidance in {guided}/{report.search.rounds} "
+        print(f"model: top-{cfg.search.measure_topk} guidance in "
+              f"{guided}/{report.search.rounds} "
               f"round(s), {len(cost_model.dataset)} dataset sample(s), "
               f"ranking accuracy {acc_txt}")
     print()
     print(report.best_schedule.pretty())
     if args.show_ptx:
         print()
-        print(compile_schedule(report.best_schedule, gpu).ptx)
+        print(compile_schedule(report.best_schedule, session.gpu).ptx)
     return 0
+
+
+# -- config --------------------------------------------------------------------
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, tuple):
+        return ",".join(str(v) for v in value)
+    return str(value)
+
+
+def cmd_config_show(args: argparse.Namespace) -> int:
+    """Print the effective config as a schema table plus derived keys."""
+    cfg = config_from_args(args)
+    defaults = SessionConfig()
+    rows = [
+        [
+            path,
+            _fmt_value(cfg.get(path)),
+            _fmt_value(defaults.get(path)),
+            FLAGS_BY_PATH[path].flag,
+            env_var_for(path),
+        ]
+        for path in field_paths()
+    ]
+    print(format_table(["field", "value", "default", "flag", "env"], rows))
+    print(f"variant key:  {cfg.variant_key}")
+    print(f"content hash: {cfg.content_hash()}")
+    print(f"cache dir:    {cfg.cache.resolved_dir()}")
+    return 0
+
+
+def cmd_config_dump(args: argparse.Namespace) -> int:
+    """Serialize the effective config to JSON for later ``--config`` runs."""
+    cfg = config_from_args(args)
+    text = cfg.to_json()
+    if args.out:
+        cfg.save(args.out)
+        print(f"config written to {args.out}  (hash {cfg.content_hash()[:12]})")
+    else:
+        print(text)
+    return 0
+
+
+# -- compare / experiments / partition / list ----------------------------------
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -334,10 +613,14 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+# -- cache ---------------------------------------------------------------------
+
+
 def cmd_cache_stats(args: argparse.Namespace) -> int:
     from repro.serving.telemetry import load_snapshot
 
-    cache = _open_cache(args)
+    cfg = config_from_args(args)
+    cache = _open_cache(cfg)
     stats = cache.stats()
     print(f"cache: {stats.path}")
     print(f"entries: {stats.disk_entries}")
@@ -377,7 +660,7 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
                 for variant, (n, hits, cost) in sorted(by_variant.items())
             ],
         ))
-    snapshot = load_snapshot(_metrics_path(args))
+    snapshot = load_snapshot(_metrics_path(cfg))
     if snapshot is not None:
         counters = snapshot.get("counters", {})
         tiers = [
@@ -407,7 +690,8 @@ def cmd_cache_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_cache_clear(args: argparse.Namespace) -> int:
-    cache = _open_cache(args)
+    cfg = config_from_args(args)
+    cache = _open_cache(cfg)
     n = cache.stats().disk_entries
     cache.clear()
     print(f"cleared {n} cached schedule(s) from {cache.path}")
@@ -419,29 +703,17 @@ def cmd_cache_warmup(args: argparse.Namespace) -> int:
     if args.all or not names:
         names = [*GEMM_CHAIN_CONFIGS, *ATTENTION_CONFIGS]
     chains = [workload_by_name(name) for name in names]
-    cache = _open_cache(args)
-    tuner_kwargs: dict = {}
-    if args.population is not None:
-        tuner_kwargs["population_size"] = args.population
-    if args.max_rounds is not None:
-        tuner_kwargs["max_rounds"] = args.max_rounds
-        # only lower min_rounds when the requested cap is below the tuner's
-        # default of 5 — never loosen convergence for a generous cap
-        tuner_kwargs["min_rounds"] = min(args.max_rounds, 5)
-    batch = BatchTuner(
-        by_name(args.gpu),
-        cache=cache,
-        max_workers=args.jobs,
-        seed=args.seed,
-        strategy=args.strategy,
-        **tuner_kwargs,
-    )
-    result = batch.tune_all(chains)
+    session = Session(config_from_args(args))
+    result = session.tune_all(chains, max_workers=args.jobs)
     print(f"warmed {result.unique} unique workload(s) "
           f"({result.duplicates} duplicate(s), {result.cache_hits} already cached) "
           f"in {fmt_time(result.tuning_seconds)} simulated tuning time")
+    cache = session.cache
     print(f"cache now holds {cache.stats().disk_entries} entries at {cache.path}")
     return 0
+
+
+# -- serve / metrics -----------------------------------------------------------
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -450,17 +722,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.telemetry import MetricsRegistry, save_snapshot
     from repro.serving.tiers import TieredCache
 
-    cache = None if args.no_cache else _open_cache(args)
-    tuner_kwargs: dict | None = None
-    if args.population is not None or args.max_rounds is not None:
-        tuner_kwargs = {}
-        if args.population is not None:
-            tuner_kwargs["population_size"] = args.population
-        if args.max_rounds is not None:
-            tuner_kwargs["max_rounds"] = args.max_rounds
-            tuner_kwargs["min_rounds"] = min(args.max_rounds, 5)
+    cfg = config_from_args(args)
+    budget_flags = (args.population, args.max_rounds, args.min_rounds)
+    if args.quick and not args.config and all(v is None for v in budget_flags):
+        cfg = cfg.evolve(**serve_load.QUICK_TUNER_KWARGS)
+    disk = _open_cache(cfg) if cfg.cache.enabled else None
     registry = MetricsRegistry()
-    if args.trace:
+    if cfg.obs.trace:
         from repro.obs import enable_tracing
 
         enable_tracing()
@@ -471,18 +739,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workload_names=args.workloads or None,
             signatures=args.signatures,
             zipf_s=args.zipf,
-            seed=args.seed,
-            service_workers=args.workers,
-            gpu=by_name(args.gpu),
-            cache=TieredCache(cache, telemetry=registry),
-            tuner_kwargs=tuner_kwargs,
+            gpu=by_name(cfg.gpu),
+            cache=TieredCache(disk, telemetry=registry),
             telemetry=registry,
             quick=args.quick,
-            dynamic=args.dynamic,
             lengths=args.lengths,
+            config=cfg,
         )
     finally:
-        if args.trace:
+        if cfg.obs.trace:
             from repro.obs import (
                 TRACE_FILENAME,
                 disable_tracing,
@@ -493,7 +758,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             tracer = disable_tracing()
             spans = tracer.recorder.spans()
             if spans:
-                directory = args.cache_dir or default_cache_dir()
+                directory = cfg.cache.resolved_dir()
                 jsonl = save_trace_jsonl(
                     spans, os.path.join(directory, TRACE_FILENAME)
                 )
@@ -506,10 +771,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     m = result.meta
     for line in serve_load.summary_lines(m):
         print(line)
-    path = save_snapshot(m["snapshot"], _metrics_path(args))
+    path = save_snapshot(m["snapshot"], _metrics_path(cfg))
     print(f"metrics snapshot written to {path}  (view with `repro metrics`)")
     clean = m["reconciled"] and not m["errors"] and not m["failed_requests"]
     return 0 if clean else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Print the persisted telemetry snapshot of the last serving session."""
+    from repro.serving.telemetry import load_snapshot
+
+    cfg = config_from_args(args)
+    path = _metrics_path(cfg)
+    snapshot = load_snapshot(path)
+    if snapshot is None:
+        print(f"no metrics snapshot at {path}; run `repro serve` first")
+        return 1
+    if args.prom:
+        from repro.obs import prometheus_text
+
+        print(prometheus_text(snapshot), end="")
+        return 0
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+# -- model ---------------------------------------------------------------------
 
 
 def cmd_model_train(args: argparse.Namespace) -> int:
@@ -521,17 +808,12 @@ def cmd_model_train(args: argparse.Namespace) -> int:
     """
     from repro.search.cost_model import default_model_path
 
-    gpu = by_name(args.gpu)
-    model = _open_cost_model(args)
+    cfg = config_from_args(args)
+    gpu = by_name(cfg.gpu)
+    model = _open_cost_model(cfg)
     for name in args.workloads:
         chain = workload_by_name(name)
-        report = MCFuserTuner(
-            gpu,
-            seed=args.seed,
-            strategy=args.strategy,
-            workers=args.workers,
-            cost_model=model,
-        ).tune(chain)
+        report = MCFuserTuner(gpu, cost_model=model, config=cfg).tune(chain)
         print(f"measured {name}: {report.search.num_measurements} samples "
               f"({fmt_time(report.tuning_seconds)} simulated tuning)")
     if not model.fit(force=True):
@@ -539,7 +821,7 @@ def cmd_model_train(args: argparse.Namespace) -> int:
               f"need {model.min_samples} — tune with --cost-model or pass "
               f"workloads to `model train` to grow it")
         return 1
-    path = model.save(default_model_path(_cost_model_dir(args)))
+    path = model.save(default_model_path(cfg.cache.resolved_dir()))
     acc = model.accuracy
     acc_txt = f"{acc:.0%}" if acc is not None and acc == acc else "n/a"
     print(f"fitted on {model.samples} sample(s); "
@@ -558,7 +840,8 @@ def cmd_model_stats(args: argparse.Namespace) -> int:
     )
     from repro.search.features import FEATURE_NAMES, FEATURE_VERSION
 
-    directory = _cost_model_dir(args)
+    cfg = config_from_args(args)
+    directory = cfg.cache.resolved_dir()
     dataset = MeasurementDataset(default_dataset_path(directory))
     print(f"dataset: {default_dataset_path(directory)}")
     print(f"samples: {len(dataset)}"
@@ -586,33 +869,18 @@ def cmd_model_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_metrics(args: argparse.Namespace) -> int:
-    """Print the persisted telemetry snapshot of the last serving session."""
-    from repro.serving.telemetry import load_snapshot
-
-    path = _metrics_path(args)
-    snapshot = load_snapshot(path)
-    if snapshot is None:
-        print(f"no metrics snapshot at {path}; run `repro serve` first")
-        return 1
-    if args.prom:
-        from repro.obs import prometheus_text
-
-        print(prometheus_text(snapshot), end="")
-        return 0
-    print(json.dumps(snapshot, indent=2, sort_keys=True))
-    return 0
+# -- trace ---------------------------------------------------------------------
 
 
 def _trace_summary_lines(spans, coverage: float) -> list[str]:
     """Per-span-name rollup + coverage line for traced runs."""
-    by_name: dict[str, list[float]] = {}
+    by_span: dict[str, list[float]] = {}
     for r in spans:
-        by_name.setdefault(r.name, []).append(r.duration)
+        by_span.setdefault(r.name, []).append(r.duration)
     rows = [
         [name, len(durs), fmt_time(sum(durs)), fmt_time(max(durs))]
         for name, durs in sorted(
-            by_name.items(), key=lambda kv: -sum(kv[1])
+            by_span.items(), key=lambda kv: -sum(kv[1])
         )
     ]
     lines = [format_table(["span", "count", "total", "max"], rows)]
@@ -637,8 +905,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
         trace_coverage,
     )
 
-    gpu = by_name(args.gpu)
-    cache = None if args.no_cache else _open_cache(args)
+    cfg = config_from_args(args)
+    gpu = by_name(cfg.gpu)
+    cache = _open_cache(cfg) if cfg.cache.enabled else None
     spec = get_workload(args.workload)
     enable_tracing()
     try:
@@ -649,11 +918,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 spec.build(),
                 gpu,
                 strategy="mcfuser+relay",
-                seed=args.seed,
                 cache=cache,
-                search_strategy=args.strategy,
-                search_workers=args.workers,
-                exec_backend=args.exec_backend,
+                config=cfg,
             )
             headline = (
                 f"{args.workload}: {fmt_time(result.time)} model time, "
@@ -661,14 +927,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 f"{fmt_time(result.tuning_seconds)} simulated tuning"
             )
         else:
-            report = MCFuserTuner(
-                gpu,
-                seed=args.seed,
-                cache=cache,
-                strategy=args.strategy,
-                workers=args.workers,
-                exec_backend=args.exec_backend,
-            ).tune(spec.build())
+            report = MCFuserTuner(gpu, cache=cache, config=cfg).tune(spec.build())
             headline = (
                 f"{args.workload}: best {fmt_time(report.best_time)}, "
                 f"{report.search.num_measurements} measurement(s), "
@@ -683,7 +942,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     coverage = trace_coverage(spans)
     out = save_chrome_trace(spans, args.out)
     jsonl = save_trace_jsonl(
-        spans, os.path.join(args.cache_dir or default_cache_dir(), TRACE_FILENAME)
+        spans, os.path.join(cfg.cache.resolved_dir(), TRACE_FILENAME)
     )
     print(headline)
     for line in _trace_summary_lines(spans, coverage):
@@ -697,56 +956,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- parser --------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_tune = sub.add_parser("tune", help="tune one workload with MCFuser")
     p_tune.add_argument("workload")
-    p_tune.add_argument("--gpu", default="a100")
-    p_tune.add_argument("--seed", type=int, default=0,
-                        help="search seed. Cached schedules are keyed by workload, "
-                             "not seed — pass --no-cache to force a fresh search")
-    p_tune.add_argument("--strategy", default="evolutionary",
-                        choices=strategy_names(),
-                        help="search strategy over the pruned space "
-                             "(cached schedules are keyed per strategy)")
-    p_tune.add_argument("--workers", type=int, default=1,
-                        help="measurement thread-pool width per search round "
-                             "(results are deterministic for any width)")
-    p_tune.add_argument("--exec-backend", default="auto",
-                        choices=EXEC_BACKENDS,
-                        help="numeric execution engine for tuned schedules: "
-                             "compiled (native C kernel), vectorized "
-                             "(batched tile program), scalar (per-cell "
-                             "interpreter), or auto (compiled when "
-                             "available and worthwhile, then vectorized, "
-                             "then scalar)")
-    p_tune.add_argument("--verify", default="off", choices=VERIFY_MODES,
-                        help="numeric verification: best = execute the "
-                             "winning schedule against the unfused "
-                             "reference; all = execute every measured "
-                             "candidate (wrong ones count as launch "
-                             "failures)")
-    p_tune.add_argument("--cost-model", action="store_true",
-                        help="learned-cost-model guidance: re-rank candidates "
-                             "with the persistent model (trained on past "
-                             "measurements) and hardware-measure only the "
-                             "predicted top --topk per round")
-    p_tune.add_argument("--topk", type=int, default=2,
-                        help="measurements per round under --cost-model "
-                             "(guided schedules cache under a +topk{k} key)")
-    p_tune.add_argument("--dynamic", default="off", choices=DYNAMIC_MODES,
-                        help="dynamic-shape handling: buckets = tune once per "
-                             "power-of-two sequence-length bucket (at the "
-                             "bucket ceiling) and serve every in-bucket "
-                             "length from that schedule, tail tiles masked")
+    add_config_flags(p_tune, _TUNE_PATHS)
     p_tune.add_argument("--show-ptx", action="store_true")
-    p_tune.add_argument("--no-cache", action="store_true",
-                        help="skip the persistent schedule cache")
-    p_tune.add_argument("--cache-dir", default=None,
-                        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/mcfuser-repro)")
     p_tune.set_defaults(fn=cmd_tune)
+
+    p_cfg = sub.add_parser(
+        "config", help="show or dump the effective session config"
+    )
+    cfg_sub = p_cfg.add_subparsers(dest="config_command", required=True)
+
+    p_show = cfg_sub.add_parser(
+        "show",
+        help="print the effective config (defaults < --config file < "
+             "REPRO_* env < flags) as a schema table",
+    )
+    add_config_flags(p_show, tuple(field_paths()))
+    p_show.set_defaults(fn=cmd_config_show)
+
+    p_dump = cfg_sub.add_parser(
+        "dump", help="serialize the effective config to JSON for --config"
+    )
+    add_config_flags(p_dump, tuple(field_paths()))
+    p_dump.add_argument("--out", default=None,
+                        help="write to this path instead of stdout")
+    p_dump.set_defaults(fn=cmd_config_dump)
 
     p_part = sub.add_parser(
         "partition", help="partition a model workload and show fusion groups"
@@ -775,11 +1017,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
 
     p_stats = cache_sub.add_parser("stats", help="show cache contents and hit counters")
-    p_stats.add_argument("--cache-dir", default=None)
+    add_config_flags(p_stats, ("cache.dir",))
     p_stats.set_defaults(fn=cmd_cache_stats)
 
     p_clear = cache_sub.add_parser("clear", help="delete every cached schedule")
-    p_clear.add_argument("--cache-dir", default=None)
+    add_config_flags(p_clear, ("cache.dir",))
     p_clear.set_defaults(fn=cmd_cache_clear)
 
     p_warm = cache_sub.add_parser(
@@ -788,22 +1030,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_warm.add_argument("workloads", nargs="*",
                         help="workload names (G1..G12, S1..S9); empty or --all = all")
     p_warm.add_argument("--all", action="store_true")
-    p_warm.add_argument("--gpu", default="a100")
-    p_warm.add_argument("--seed", type=int, default=0)
-    p_warm.add_argument("--strategy", default="evolutionary",
-                        choices=strategy_names(),
-                        help="search strategy to warm the cache with "
-                             "(entries are keyed per strategy)")
+    add_config_flags(p_warm, _WARMUP_PATHS)
     p_warm.add_argument("--jobs", type=int, default=4,
                         help="tuning thread-pool width")
-    p_warm.add_argument("--population", type=int, default=None,
-                        help="override Algorithm-1 population size. Caution: cached "
-                             "entries are keyed by workload only, so later `tune` runs "
-                             "reuse whatever quality this budget found")
-    p_warm.add_argument("--max-rounds", type=int, default=None,
-                        help="override Algorithm-1 round limit (same caution as "
-                             "--population: the cache serves what warmup stored)")
-    p_warm.add_argument("--cache-dir", default=None)
     p_warm.set_defaults(fn=cmd_cache_warmup)
 
     p_serve = sub.add_parser(
@@ -822,33 +1051,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "(overrides --signatures)")
     p_serve.add_argument("--zipf", type=float, default=1.1,
                          help="Zipf exponent of the request skew")
-    p_serve.add_argument("--dynamic", default="off", choices=DYNAMIC_MODES,
-                         help="buckets = serve dynamic shapes from "
-                              "power-of-two sequence-length buckets (one tune "
-                              "per bucket ceiling, in-bucket requests are "
-                              "warm hits)")
     p_serve.add_argument("--lengths", type=int, default=0,
                          help="ragged-shape mix: number of distinct sequence "
                               "lengths to sample (0 = fixed-shape mix); "
                               "pairs naturally with --dynamic buckets")
-    p_serve.add_argument("--workers", type=int, default=4,
-                         help="service tune worker-pool width")
-    p_serve.add_argument("--gpu", default="a100")
-    p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--quick", action="store_true",
                          help="CI smoke mode: fewer clients/requests, reduced "
                               "tune budget")
-    p_serve.add_argument("--population", type=int, default=None,
-                         help="override Algorithm-1 population size for cold tunes")
-    p_serve.add_argument("--max-rounds", type=int, default=None,
-                         help="override Algorithm-1 round limit for cold tunes")
-    p_serve.add_argument("--no-cache", action="store_true",
-                         help="serve from a memory-only cache (cold every run)")
-    p_serve.add_argument("--trace", action="store_true",
-                         help="trace the whole session (admission through "
-                              "kernel execution) and write serve_trace.json "
-                              "+ traces.jsonl to the cache dir")
-    p_serve.add_argument("--cache-dir", default=None)
+    add_config_flags(p_serve, _SERVE_PATHS,
+                     aliases={"serve.workers": "--workers"})
     p_serve.set_defaults(fn=cmd_serve)
 
     p_model = sub.add_parser(
@@ -863,18 +1074,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_mtrain.add_argument("workloads", nargs="*",
                           help="chain workloads to measure into the dataset "
                                "first (uncached, full measurement)")
-    p_mtrain.add_argument("--gpu", default="a100")
-    p_mtrain.add_argument("--seed", type=int, default=0)
-    p_mtrain.add_argument("--strategy", default="evolutionary",
-                          choices=strategy_names())
-    p_mtrain.add_argument("--workers", type=int, default=1)
-    p_mtrain.add_argument("--cache-dir", default=None)
+    add_config_flags(p_mtrain, _MODEL_TRAIN_PATHS)
     p_mtrain.set_defaults(fn=cmd_model_train)
 
     p_mstats = model_sub.add_parser(
         "stats", help="show the measurement dataset and model snapshot"
     )
-    p_mstats.add_argument("--cache-dir", default=None)
+    add_config_flags(p_mstats, ("cache.dir",))
     p_mstats.set_defaults(fn=cmd_model_stats)
 
     p_metrics = sub.add_parser(
@@ -883,7 +1089,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--prom", action="store_true",
                            help="Prometheus text exposition format instead "
                                 "of JSON")
-    p_metrics.add_argument("--cache-dir", default=None)
+    add_config_flags(p_metrics, ("cache.dir",))
     p_metrics.set_defaults(fn=cmd_metrics)
 
     p_trace = sub.add_parser(
@@ -895,18 +1101,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(full compile_model)")
     p_trace.add_argument("--out", default="trace.json",
                          help="Chrome-trace output path (Perfetto-loadable)")
-    p_trace.add_argument("--gpu", default="a100")
-    p_trace.add_argument("--seed", type=int, default=0)
-    p_trace.add_argument("--strategy", default="evolutionary",
-                         choices=strategy_names())
-    p_trace.add_argument("--workers", type=int, default=1,
-                         help="measurement thread-pool width (per-candidate "
-                              "spans land on the pool threads)")
-    p_trace.add_argument("--exec-backend", default="auto", choices=EXEC_BACKENDS)
-    p_trace.add_argument("--no-cache", action="store_true",
-                         help="skip the schedule cache (a cache hit traces "
-                              "the lookup, not a search)")
-    p_trace.add_argument("--cache-dir", default=None)
+    add_config_flags(p_trace, _TRACE_PATHS)
     p_trace.set_defaults(fn=cmd_trace)
     return parser
 

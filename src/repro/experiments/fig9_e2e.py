@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.config import SessionConfig
 from repro.experiments.common import ExperimentResult
 from repro.frontend.executor import E2EResult, compile_model
 from repro.frontend.models import bert_encoder
@@ -38,12 +39,15 @@ def run(
 ) -> ExperimentResult:
     models = _MODELS[:1] if quick else _MODELS
     panel = E2EPanel(gpu=gpu.name)
+    config = SessionConfig.make(seed=seed)
     rows = []
     for model in models:
         graph = bert_encoder(model, seq_len)
         panel.results[model] = {}
         for strategy in _STRATEGIES:
-            panel.results[model][strategy] = compile_model(graph, gpu, strategy, seed=seed)
+            panel.results[model][strategy] = compile_model(
+                graph, gpu, strategy, config=config
+            )
         base = panel.results[model]["relay"].time
         rows.append(
             [model]

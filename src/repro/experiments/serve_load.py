@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from repro.cache.signature import bucket_dims, bucket_of
+from repro.config import SessionConfig, search_overrides
 from repro.experiments.common import ExperimentResult, print_header
 from repro.gpu.specs import A100, GPUSpec
 from repro.serving.service import CompileService, ServeResult
@@ -161,6 +162,7 @@ def run(
     dynamic: str = "off",
     lengths: int = 0,
     verify_served: bool | None = None,
+    config: SessionConfig | None = None,
 ) -> ExperimentResult:
     """Replay a Zipf workload mix from concurrent clients; report the service.
 
@@ -190,6 +192,11 @@ def run(
         verify_served: Numerically verify every distinct served schedule
             at its exact request shape under the scalar interpreter after
             the run. Defaults to on for ragged (``lengths > 0``) runs.
+        config: A :class:`~repro.config.SessionConfig` for the service —
+            the canonical way to set the tune budget. Supersedes ``seed``,
+            ``service_workers``, ``tuner_kwargs`` and ``dynamic`` (those
+            remain for older callers and are folded into a config when
+            ``config`` is omitted).
 
     Returns:
         An :class:`ExperimentResult` with one row per workload (per model
@@ -200,8 +207,18 @@ def run(
     if quick:
         clients = min(clients, 8)
         requests_per_client = min(requests_per_client, 4)
-        if tuner_kwargs is None:
+        if tuner_kwargs is None and config is None:
             tuner_kwargs = QUICK_TUNER_KWARGS
+    if config is None:
+        config = SessionConfig.make(
+            seed=seed,
+            serve_workers=service_workers,
+            dynamic=dynamic,
+            **search_overrides(tuner_kwargs or {}),
+        )
+    else:
+        seed = config.search.seed
+        dynamic = config.exec.dynamic
     if lengths:
         mix_lengths = ragged_lengths(lengths, seed)
         chains = ragged_chains(mix_lengths)
@@ -213,15 +230,7 @@ def run(
     if verify_served is None:
         verify_served = bool(lengths)
     registry = telemetry if telemetry is not None else MetricsRegistry()
-    service = CompileService(
-        gpu,
-        cache=cache,
-        workers=service_workers,
-        telemetry=registry,
-        seed=seed,
-        tuner_kwargs=tuner_kwargs or {},
-        dynamic=dynamic,
-    )
+    service = CompileService(gpu, cache=cache, telemetry=registry, config=config)
 
     pmf = _zipf_pmf(len(names), zipf_s)
     barrier = threading.Barrier(clients)

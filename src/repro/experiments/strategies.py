@@ -19,6 +19,7 @@ search matters.
 
 from __future__ import annotations
 
+from repro.config import SessionConfig
 from repro.experiments.common import ExperimentResult
 from repro.gpu.specs import A100, GPUSpec
 from repro.search.engine.strategy import strategy_names
@@ -31,8 +32,8 @@ __all__ = ["run", "main"]
 
 def _tune(name: str, gpu: GPUSpec, strategy: str, seed: int, workers: int) -> TuneReport:
     chain = gemm_workload(name) if name.startswith("G") else attention_workload(name)
-    tuner = MCFuserTuner(gpu, seed=seed, strategy=strategy, workers=workers)
-    return tuner.tune(chain)
+    config = SessionConfig.make(seed=seed, strategy=strategy, workers=workers)
+    return MCFuserTuner(gpu, config=config).tune(chain)
 
 
 def run(

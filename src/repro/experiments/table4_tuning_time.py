@@ -16,6 +16,7 @@ from repro.baselines import (
     MCFuserBaseline,
     MCFuserChimeraBaseline,
 )
+from repro.config import SessionConfig
 from repro.experiments.common import ExperimentResult
 from repro.frontend.executor import compile_model
 from repro.frontend.models import bert_encoder
@@ -58,11 +59,13 @@ def e2e_tuning_times(
 ) -> dict[str, dict[str, float]]:
     models = ("Bert-Small",) if quick else ("Bert-Small", "Bert-Base", "Bert-Large")
     strategies = ("relay", "bolt", "mcfuser+relay", "ansor", "mcfuser+ansor")
+    config = SessionConfig.make(seed=seed)
     out: dict[str, dict[str, float]] = {}
     for model in models:
         graph = bert_encoder(model, 512)
         out[model] = {
-            s: compile_model(graph, gpu, s, seed=seed).tuning_seconds for s in strategies
+            s: compile_model(graph, gpu, s, config=config).tuning_seconds
+            for s in strategies
         }
     return out
 

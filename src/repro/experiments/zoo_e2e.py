@@ -12,6 +12,7 @@ codegen unchanged.
 
 from __future__ import annotations
 
+from repro.config import SessionConfig
 from repro.experiments.common import ExperimentResult
 from repro.frontend.executor import compile_model
 from repro.frontend.partition import partition_graph
@@ -36,13 +37,12 @@ def run(
     models = list(QUICK_MODELS) if quick else workload_names(level="model")
     rows = []
     rejections: dict[str, dict[str, int]] = {}
+    config = SessionConfig.make(seed=seed, **_TUNER_KWARGS)
     for name in models:
         graph = build_workload(name)
         partition = partition_graph(graph, gpu)
-        relay = compile_model(graph, gpu, "relay", seed=seed)
-        fused = compile_model(
-            graph, gpu, "mcfuser+relay", seed=seed, tuner_kwargs=_TUNER_KWARGS
-        )
+        relay = compile_model(graph, gpu, "relay", config=config)
+        fused = compile_model(graph, gpu, "mcfuser+relay", config=config)
         kinds = sorted({sg.kind for sg in partition.subgraphs})
         rejections[name] = partition.rejection_reasons()
         rows.append(

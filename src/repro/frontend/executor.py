@@ -27,12 +27,12 @@ from repro.baselines.library import (
     softmax_kernel,
     transpose_kernel,
 )
-from repro.cache.signature import variant_key
 from repro.codegen.runtime import GraphExecutorFactoryModule, OperatorModule, compile_schedule
+from repro.config import SessionConfig, build_legacy_config, search_overrides
 from repro.frontend.partition import Partition, partition_graph
 from repro.gpu.kernel import KernelLaunch
 from repro.gpu.simulator import GPUSimulator
-from repro.gpu.specs import GPUSpec
+from repro.gpu.specs import GPUSpec, by_name
 from repro.ir.graph import Graph, GraphNode
 from repro.ir.ops import (
     Activation,
@@ -164,27 +164,43 @@ def _distinct_tuning_tasks(nodes: list[GraphNode], graph: Graph) -> int:
     return len(tasks)
 
 
+#: Sentinel distinguishing "knob not passed" from any explicit value in the
+#: deprecated keyword shim.
+_UNSET = object()
+
+
 def compile_model(
     graph: Graph | str,
-    gpu: GPUSpec,
+    gpu: "GPUSpec | None" = None,
     strategy: str = "mcfuser+relay",
-    seed: int = 0,
+    seed: int = _UNSET,
     tuner_kwargs: dict | None = None,
     cache: "ScheduleCache | None" = None,
-    search_strategy: str = "evolutionary",
-    search_workers: int = 1,
+    search_strategy: str = _UNSET,
+    search_workers: int = _UNSET,
     service: "CompileService | None" = None,
-    exec_backend: str = "auto",
+    exec_backend: str = _UNSET,
     cost_model=None,
-    measure_topk: int = 0,
-    dynamic: str = "off",
+    measure_topk: int = _UNSET,
+    dynamic: str = _UNSET,
     dynamic_loops: "tuple[str, ...] | None" = None,
+    config: "SessionConfig | None" = None,
 ) -> E2EResult:
     """Compile (and price the tuning of) a whole model under a strategy.
 
     ``graph`` may be a :class:`Graph` or the name of a model-level workload
     from the registry (``"ffn-base"``, ``"gqa-32x8"``, ``"bert-small"``,
     ...; see :mod:`repro.workloads.zoo`).
+
+    ``config`` (a validated :class:`~repro.config.SessionConfig`) is the
+    canonical way to set every tuning/execution knob; the individual
+    keywords below (``seed``, ``search_strategy``, ``search_workers``,
+    ``exec_backend``, ``measure_topk``, ``dynamic``, ``dynamic_loops``,
+    and the ``tuner_kwargs`` escape hatch) are deprecated shims that build
+    a config internally — each key must name a typed config field, and an
+    unknown ``tuner_kwargs`` key raises a :class:`ValueError` naming the
+    replacement field. The compilation *strategy* argument is not a config
+    knob: it selects which compiler stack handles which part of the graph.
 
     ``cache`` (a :class:`~repro.cache.cache.ScheduleCache`) makes MBCI
     sub-graph tuning persistent: a model recompiled in a later process pays
@@ -194,13 +210,12 @@ def compile_model(
     distinct shapes served from the cache; for MCFuser strategies,
     ``detail["rejections"]`` histograms why unfused anchors stayed residual.
 
-    ``search_strategy``/``search_workers`` select how each MBCI sub-graph
-    is tuned (the engine's registered search strategies and the per-round
-    measurement pool width); the compilation *strategy* above chooses which
-    compiler stack handles which part of the graph.
+    ``config.search.strategy``/``config.search.workers`` select how each
+    MBCI sub-graph is tuned (the engine's registered search strategies and
+    the per-round measurement pool width).
 
-    ``exec_backend`` picks the numeric execution engine compiled MBCI
-    modules run under (``"auto"``/``"compiled"``/``"vectorized"``/
+    ``config.exec.backend`` picks the numeric execution engine compiled
+    MBCI modules run under (``"auto"``/``"compiled"``/``"vectorized"``/
     ``"scalar"``; see
     :func:`repro.codegen.interpreter.execute_schedule`);
     ``detail["exec_backend"]`` histograms the backend ``auto`` resolved for
@@ -216,21 +231,22 @@ def compile_model(
     ``detail["cache_hits"]`` counts sub-graph *requests* served from a
     cache tier.
 
-    ``cost_model``/``measure_topk`` enable learned-cost-model-guided
-    tuning of the MBCI sub-graphs (measure only the model's predicted
-    top-k per search round; see
+    ``cost_model``/``config.search.measure_topk`` enable
+    learned-cost-model-guided tuning of the MBCI sub-graphs (measure only
+    the model's predicted top-k per search round; see
     :class:`~repro.search.cost_model.LearnedCostModel`). One model is
     shared across all of a model's sub-graphs, so learning compounds
     shape-to-shape within the compile. Through a ``service`` the service's
     own (shared) model is used and only ``measure_topk`` is forwarded.
 
-    ``dynamic="buckets"`` makes MBCI sub-graph tuning shape-generic over
-    power-of-two sequence-length buckets (``dynamic_loops``, default
-    ``("m", "n")``): in-bucket sub-graphs of *different* lengths dedupe to
-    one ceiling tune, and each compiled module runs the ceiling schedule
-    at its own shape with tail tiles masked. Through a ``service`` the
-    service itself must have been built with the same ``dynamic`` mode
-    (bucketing changes its cache keys and coalescing).
+    ``config.exec.dynamic="buckets"`` makes MBCI sub-graph tuning
+    shape-generic over power-of-two sequence-length buckets
+    (``config.exec.dynamic_loops``, default ``("m", "n")``): in-bucket
+    sub-graphs of *different* lengths dedupe to one ceiling tune, and each
+    compiled module runs the ceiling schedule at its own shape with tail
+    tiles masked. Through a ``service`` the service itself must have been
+    built with the same ``dynamic`` mode (bucketing changes its cache keys
+    and coalescing).
     """
     if isinstance(graph, str):
         from repro.workloads.registry import get_workload
@@ -244,36 +260,63 @@ def compile_model(
         graph = spec.build()
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
-    from repro.search.tuner import DYNAMIC_MODES
-
-    if dynamic not in DYNAMIC_MODES:
-        raise ValueError(f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}")
-    if dynamic_loops is None:
-        from repro.cache.signature import DEFAULT_DYNAMIC_LOOPS
-
-        dynamic_loops = DEFAULT_DYNAMIC_LOOPS
+    legacy = {
+        name: value
+        for name, value in (
+            ("seed", seed),
+            ("strategy", search_strategy),
+            ("workers", search_workers),
+            ("exec_backend", exec_backend),
+            ("measure_topk", measure_topk),
+            ("dynamic", dynamic),
+            ("dynamic_loops", dynamic_loops),
+        )
+        if value is not _UNSET and value is not None
+    }
+    if tuner_kwargs:
+        legacy.update(search_overrides(tuner_kwargs))
+    explicit_config = config is not None
+    if explicit_config:
+        if legacy:
+            raise ValueError(
+                "pass either config= or the deprecated keyword knobs, not "
+                f"both (got {sorted(legacy)}); set the SessionConfig fields "
+                "instead"
+            )
+    else:
+        config = build_legacy_config("compile_model", legacy)
+    if gpu is None:
+        gpu = by_name(config.gpu)
     from repro.obs import get_tracer
 
     with get_tracer().span(
         "compile.model", model=graph.name, strategy=strategy
     ) as span:
+        # An explicit config= is forwarded to a service wholesale;
+        # deprecated kwargs forward only the caller-provided knobs, so the
+        # service's own defaults keep applying to the rest — exactly what
+        # the pre-config signature did.
         return _compile_model(
-            graph, gpu, strategy, seed, tuner_kwargs, cache, search_strategy,
-            search_workers, service, exec_backend, cost_model, measure_topk,
-            dynamic, dynamic_loops, span,
+            graph, gpu, strategy, cache, service, cost_model, config,
+            None if explicit_config else legacy, span,
         )
 
 
 def _compile_model(
-    graph, gpu, strategy, seed, tuner_kwargs, cache, search_strategy,
-    search_workers, service, exec_backend, cost_model, measure_topk,
-    dynamic, dynamic_loops, span,
+    graph, gpu, strategy, cache, service, cost_model, config, request_knobs,
+    span,
 ):
     """The validated body of :func:`compile_model`, running inside its
     ``compile.model`` root span (``span`` — the no-op singleton when
-    tracing is disabled)."""
+    tracing is disabled). ``request_knobs`` is the caller's deprecated
+    flat-kwarg dict (forwarded selectively to a service) or ``None`` when
+    an explicit ``config=`` was given (forwarded wholesale)."""
     from repro.obs import get_tracer
 
+    search = config.search
+    seed = search.seed
+    exec_backend = config.exec.backend
+    dynamic = config.exec.dynamic
     tracer = get_tracer()
     clock = TuningClock()
     module = GraphExecutorFactoryModule(name=f"{graph.name}:{strategy}", gpu=gpu)
@@ -315,18 +358,35 @@ def _compile_model(
         rejections = partition.rejection_reasons()
         # Submit every group up front (identical shapes coalesce or hit the
         # service's tiered cache), then collect in partition order.
-        tickets = [
-            service.submit(
-                sg.chain,
-                strategy=search_strategy,
-                seed=seed,
-                measure_workers=search_workers,
-                tuner_kwargs=tuner_kwargs,
-                # 0 defers to the service's own default guidance setting.
-                measure_topk=measure_topk if measure_topk > 0 else None,
-            )
-            for sg in partition.subgraphs
-        ]
+        if request_knobs is None:
+            # explicit config=: the whole per-request config is forwarded.
+            tickets = [
+                service.submit(sg.chain, config=config)
+                for sg in partition.subgraphs
+            ]
+        else:
+            forward = {
+                name: value
+                for name, value in request_knobs.items()
+                if name not in (
+                    "strategy", "seed", "workers", "measure_topk",
+                    "exec_backend", "dynamic", "dynamic_loops",
+                )
+            }
+            tickets = [
+                service.submit(
+                    sg.chain,
+                    strategy=search.strategy,
+                    seed=seed,
+                    measure_workers=search.workers,
+                    tuner_kwargs=forward or None,
+                    # 0 defers to the service's own default guidance setting.
+                    measure_topk=(
+                        search.measure_topk if search.measure_topk > 0 else None
+                    ),
+                )
+                for sg in partition.subgraphs
+            ]
         for sg, ticket in zip(partition.subgraphs, tickets):
             result = ticket.result()
             served[result.source] = served.get(result.source, 0) + 1
@@ -349,7 +409,7 @@ def _compile_model(
             psp.set(subgraphs=len(partition.subgraphs))
         rejections = partition.rejection_reasons()
         tuned: dict[str, OperatorModule] = {}
-        if cost_model is None and measure_topk > 0:
+        if cost_model is None and (search.measure_topk > 0 or search.cost_model):
             from repro.search.cost_model import LearnedCostModel
 
             # one shared model: sub-graph tunes feed one dataset.
@@ -364,22 +424,10 @@ def _compile_model(
             # Compiled modules are memoized by the *exact* signature even
             # under bucketing — a module is bound to its output shapes; the
             # tuner's bucketed cache ladder dedupes the tuning instead.
-            key = sg.signature(
-                gpu, variant_key("mcfuser", search_strategy, measure_topk)
-            )
+            key = sg.signature(gpu, config.variant_key)
             if key not in tuned:
                 tuner = MCFuserTuner(
-                    gpu,
-                    seed=seed,
-                    cache=cache,
-                    strategy=search_strategy,
-                    workers=search_workers,
-                    exec_backend=exec_backend,
-                    cost_model=cost_model,
-                    measure_topk=measure_topk,
-                    dynamic=dynamic,
-                    dynamic_loops=dynamic_loops,
-                    **(tuner_kwargs or {}),
+                    gpu, cache=cache, cost_model=cost_model, config=config
                 )
                 report = tuner.tune(sg.chain)
                 clock.seconds += report.tuning_seconds

@@ -24,24 +24,25 @@ strategy is never served to another.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.cache.signature import (
-    DEFAULT_DYNAMIC_LOOPS,
     bucket_dims,
     bucketed_signature,
     variant_key,
 )
-from repro.codegen.interpreter import (
-    InterpreterError,
-    resolve_exec_backend,
-    validate_exec_backend,
+from repro.codegen.interpreter import InterpreterError, resolve_exec_backend
+from repro.config import (
+    DYNAMIC_MODES,
+    VERIFY_MODES,
+    SessionConfig,
+    build_legacy_config,
 )
 from repro.gpu.occupancy import SharedMemoryExceeded
 from repro.gpu.simulator import GPUSimulator
-from repro.gpu.specs import GPUSpec
+from repro.gpu.specs import GPUSpec, by_name
 from repro.ir.chain import ComputeChain
 from repro.search.engine.evaluator import ParallelEvaluator
 from repro.search.engine.loop import SearchLoop, SearchResult
@@ -72,23 +73,18 @@ __all__ = [
 #: Kernel repetitions per hardware measurement (billed to the tuning clock).
 MEASURE_REPETITIONS = 100
 
-#: Numeric verification modes: ``"off"`` (no checking), ``"best"`` (execute
-#: the winning schedule once against the unfused reference), ``"all"``
-#: (execute every hardware-measured candidate — numerically wrong programs
-#: count as launch failures and are blacklisted). ``"all"`` is affordable
-#: because measurement-time execution runs on the vectorized backend.
-VERIFY_MODES = ("off", "best", "all")
-
-#: Dynamic-shape handling: ``"off"`` keys the cache by exact extents;
-#: ``"buckets"`` tunes once per power-of-two sequence-length bucket (at the
-#: bucket ceiling) and replays the schedule — tail tiles masked — on every
-#: in-bucket length.
-DYNAMIC_MODES = ("off", "buckets")
+# VERIFY_MODES and DYNAMIC_MODES now live in :mod:`repro.config` (the
+# single home of knob validation) and are re-exported here for backward
+# compatibility.
 
 #: fp32 tolerance for measurement-time verification (looser than the unit
 #: tests: long reduction chains accumulate more rounding).
 _VERIFY_RTOL = 1e-3
 _VERIFY_ATOL = 1e-4
+
+#: Sentinel distinguishing "knob not passed" from any explicit value in the
+#: deprecated keyword shims.
+_UNSET: Any = object()
 
 
 class VerificationError(RuntimeError):
@@ -281,63 +277,100 @@ class MCFuserTuner:
             the actual request shape.
         dynamic_loops: Loop names treated as dynamic under bucketing
             (default: the sequence-length dims ``("m", "n")``).
+        config: A validated :class:`~repro.config.SessionConfig` — the
+            canonical way to configure a tuner. Mutually exclusive with
+            the deprecated knob keywords above (``cache``, ``cost_model``,
+            and ``gpu`` are live resources, not knobs, and always
+            combine with ``config``). ``gpu=None`` resolves the registered
+            spec named by ``config.gpu``.
     """
+
+    #: Deprecated keyword knobs in declaration order (all now live on
+    #: :class:`~repro.config.SessionConfig`).
+    _LEGACY_KNOBS = (
+        "variant", "population_size", "top_n", "epsilon", "max_rounds",
+        "min_rounds", "seed", "strategy", "workers", "exec_backend",
+        "verify", "measure_topk", "dynamic", "dynamic_loops",
+    )
 
     def __init__(
         self,
-        gpu: GPUSpec,
-        variant: str = "mcfuser",
-        population_size: int = 512,
-        top_n: int = 8,
-        epsilon: float = 0.01,
-        max_rounds: int = 16,
-        min_rounds: int = 5,
-        seed: int = 0,
+        gpu: "GPUSpec | None" = None,
+        variant: str = _UNSET,
+        population_size: int = _UNSET,
+        top_n: int = _UNSET,
+        epsilon: float = _UNSET,
+        max_rounds: int = _UNSET,
+        min_rounds: int = _UNSET,
+        seed: int = _UNSET,
         cache: "ScheduleCache | None" = None,
-        strategy: "str | SearchStrategy" = "evolutionary",
-        workers: int = 1,
-        exec_backend: str = "auto",
-        verify: str = "off",
+        strategy: "str | SearchStrategy" = _UNSET,
+        workers: int = _UNSET,
+        exec_backend: str = _UNSET,
+        verify: str = _UNSET,
         cost_model: "LearnedCostModel | None" = None,
-        measure_topk: int = 0,
-        dynamic: str = "off",
-        dynamic_loops: tuple[str, ...] = DEFAULT_DYNAMIC_LOOPS,
+        measure_topk: int = _UNSET,
+        dynamic: str = _UNSET,
+        dynamic_loops: tuple[str, ...] = _UNSET,
+        config: "SessionConfig | None" = None,
     ) -> None:
-        if variant not in ("mcfuser", "chimera"):
-            raise ValueError(f"unknown tuner variant {variant!r}")
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if measure_topk < 0:
-            raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
-        validate_exec_backend(exec_backend)
-        if verify not in VERIFY_MODES:
-            raise ValueError(f"unknown verify mode {verify!r}; pick from {VERIFY_MODES}")
-        if dynamic not in DYNAMIC_MODES:
-            raise ValueError(
-                f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}"
-            )
-        if cost_model is None and measure_topk > 0:
+        scope = locals()
+        legacy = {
+            name: scope[name] for name in self._LEGACY_KNOBS
+            if scope[name] is not _UNSET
+        }
+        strategy_obj: "SearchStrategy | None" = None
+        if "strategy" in legacy and not isinstance(legacy["strategy"], str):
+            # A live SearchStrategy instance: used directly; the config
+            # records its name only when it is a registered one (an
+            # unregistered ad-hoc instance cannot be validated by name).
+            from repro.search.engine.strategy import strategy_names
+
+            strategy_obj = make_strategy(legacy["strategy"])
+            if strategy_obj.name in strategy_names():
+                legacy["strategy"] = strategy_obj.name
+            else:
+                del legacy["strategy"]
+        if config is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either config= or the deprecated keyword knobs, not "
+                    f"both (got {sorted(legacy)}); set the SessionConfig "
+                    "fields instead"
+                )
+        else:
+            # Validation happens inside SessionConfig construction — the
+            # single home of every knob check.
+            config = build_legacy_config("MCFuserTuner", legacy)
+        search = config.search
+        if cost_model is None and (search.measure_topk > 0 or search.cost_model):
             from repro.search.cost_model import LearnedCostModel
 
-            cost_model = LearnedCostModel(seed=seed)
-        self.gpu = gpu
-        self.variant = variant
-        self.population_size = population_size
-        self.top_n = top_n
-        self.epsilon = epsilon
-        self.max_rounds = max_rounds
-        self.min_rounds = min_rounds
-        self.seed = seed
+            cost_model = LearnedCostModel(seed=search.seed)
+        self.config = config
+        self.gpu = gpu if gpu is not None else by_name(config.gpu)
+        self.variant = search.variant
+        self.population_size = search.population_size
+        self.top_n = search.top_n
+        self.epsilon = search.epsilon
+        self.max_rounds = search.max_rounds
+        self.min_rounds = search.min_rounds
+        self.seed = search.seed
         self.cache = cache
-        self.strategy = make_strategy(strategy)
-        self.workers = workers
-        self.exec_backend = exec_backend
-        self.verify = verify
+        self.strategy = (
+            strategy_obj if strategy_obj is not None
+            else make_strategy(search.strategy)
+        )
+        self.workers = search.workers
+        self.exec_backend = config.exec.backend
+        self.verify = config.exec.verify
         self.cost_model = cost_model
-        self.measure_topk = measure_topk
-        self.dynamic = dynamic
-        self.dynamic_loops = tuple(dynamic_loops)
-        self.simulator = GPUSimulator(gpu, seed=seed, exec_backend=exec_backend)
+        self.measure_topk = search.measure_topk
+        self.dynamic = config.exec.dynamic
+        self.dynamic_loops = tuple(config.exec.dynamic_loops)
+        self.simulator = GPUSimulator(
+            self.gpu, seed=search.seed, exec_backend=config.exec.backend
+        )
         #: chain content fingerprint -> (inputs, reference output); lazily
         #: built when a verification mode is active. Keyed by content, not
         #: name — two differently shaped chains may share a name.

@@ -51,15 +51,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.signature import (
-    DEFAULT_DYNAMIC_LOOPS,
-    bucket_dims,
-    bucketed_signature,
-    variant_key,
-)
-from repro.gpu.specs import GPUSpec
+from repro.cache.signature import bucket_dims, bucketed_signature
+from repro.config import SessionConfig, build_legacy_config, search_overrides
+from repro.gpu.specs import GPUSpec, by_name
 from repro.search.tuner import (
-    DYNAMIC_MODES,
     MCFuserTuner,
     TuneReport,
     rebind_report,
@@ -89,6 +84,10 @@ LANES = ("interactive", "background")
 
 _LANE_PRIORITY = {"interactive": 0, "background": 1}
 _SENTINEL_PRIORITY = 9
+
+#: Sentinel distinguishing "knob not passed" from any explicit value in the
+#: deprecated keyword shim.
+_UNSET = object()
 
 
 class QueueFull(RuntimeError):
@@ -193,6 +192,13 @@ class ModelTicket:
 class _Job:
     """One in-flight tune: a signature plus every ticket waiting on it.
 
+    ``config`` is the fully resolved, *serializable*
+    :class:`~repro.config.SessionConfig` the tune runs under (service
+    defaults + per-request overrides, with ``exec.dynamic`` forced to
+    ``"off"`` — the service layer owns bucketing). Because the whole job
+    spec is one JSON-able object, a future multi-process serving tier can
+    ship jobs to worker processes wholesale.
+
     Under dynamic bucketing ``signature`` is the *bucketed* key, ``chain``
     is the bucket-ceiling chain the tune runs at, and ``bucket`` maps each
     dynamic loop to its ceiling (empty for exact jobs).
@@ -200,12 +206,7 @@ class _Job:
 
     signature: str
     chain: "ComputeChain"
-    variant: str
-    strategy: str
-    seed: int
-    measure_workers: int
-    tuner_kwargs: dict
-    measure_topk: int = 0
+    config: SessionConfig
     bucket: dict = field(default_factory=dict)
     tickets: list[ServeTicket] = field(default_factory=list)
     #: The admitting request's tracer span: the worker's ``serve.tune``
@@ -218,21 +219,24 @@ class CompileService:
     """In-process fusion compile service (coalescing + tiers + lanes).
 
     Args:
-        gpu: Target hardware description shared by every request.
+        gpu: Target hardware description shared by every request (``None``
+            resolves the spec named by ``config.gpu``).
         cache: A :class:`TieredCache`, a bare
             :class:`~repro.cache.cache.ScheduleCache` (wrapped in a tiered
             cache), or ``None`` for a fresh memory-only tiered cache.
-        workers: Tune worker-thread count.
-        queue_limit: Bounded tune-queue depth; submits beyond it load-shed
-            (the ticket fails with :class:`QueueFull`).
+        workers: Deprecated — set ``config.serve.workers`` (tune
+            worker-thread count).
+        queue_limit: Deprecated — set ``config.serve.queue_limit``
+            (bounded tune-queue depth; submits beyond it load-shed, the
+            ticket failing with :class:`QueueFull`).
         telemetry: Metrics registry; one is created when omitted.
-        seed: Default search seed for tunes triggered by this service.
-        exec_backend: Numeric execution backend threaded into every tuner
-            this service constructs (``"auto"``/``"compiled"``/
-            ``"vectorized"``/``"scalar"``) and stamped on served reports.
-        tuner_kwargs: Default :class:`MCFuserTuner` overrides
-            (``population_size``, ``max_rounds``, ``verify``, ...) for
-            every tune.
+        seed: Deprecated — set ``config.search.seed``.
+        exec_backend: Deprecated — set ``config.exec.backend`` (the
+            numeric execution backend threaded into every tuner this
+            service constructs and stamped on served reports).
+        tuner_kwargs: Deprecated escape hatch; every key must name a typed
+            tuner knob (``population_size``, ``max_rounds``, ``verify``,
+            ...) and is routed into the config.
         tune_fn: Override for the tune step itself (tests inject slow or
             instrumented tunes); receives the internal job and must return
             a :class:`TuneReport`. Defaults to a fresh ``MCFuserTuner``
@@ -241,60 +245,81 @@ class CompileService:
         cost_model: A :class:`~repro.search.cost_model.LearnedCostModel`
             shared by every tune this service runs (its dataset accumulates
             across jobs and workers; the model is thread-safe). Created
-            automatically when ``measure_topk > 0`` and none is given.
-        measure_topk: Default cost-model guidance for tunes (measure only
-            the model's predicted-best ``k`` per round; 0 = classic
-            measure-the-top-n). Overridable per :meth:`submit`. Guided
-            tunes are cached under a distinct ``+topk{k}`` variant key.
-        dynamic: :data:`~repro.search.tuner.DYNAMIC_MODES` member.
-            ``"buckets"`` serves ragged sequence lengths shape-generically:
-            the lookup ladder becomes exact hit → bucket hit → miss, misses
-            tune once at the power-of-two bucket ceiling (concurrent
-            in-bucket requests of *different* lengths coalesce onto that
-            one tune), and every served report is rebuilt at the request's
-            actual shape. Bucket hits surface as source ``"bucket"`` and
-            counter ``serve.hits.bucket``.
-        dynamic_loops: Loop names treated as dynamic under bucketing.
+            automatically when the config asks for cost-model guidance and
+            none is given.
+        measure_topk: Deprecated — set ``config.search.measure_topk``
+            (measure only the model's predicted-best ``k`` per round;
+            0 = classic measure-the-top-n). Overridable per :meth:`submit`.
+            Guided tunes are cached under a distinct ``+topk{k}`` variant
+            key.
+        dynamic: Deprecated — set ``config.exec.dynamic``. ``"buckets"``
+            serves ragged sequence lengths shape-generically: the lookup
+            ladder becomes exact hit → bucket hit → miss, misses tune once
+            at the power-of-two bucket ceiling (concurrent in-bucket
+            requests of *different* lengths coalesce onto that one tune),
+            and every served report is rebuilt at the request's actual
+            shape. Bucket hits surface as source ``"bucket"`` and counter
+            ``serve.hits.bucket``.
+        dynamic_loops: Deprecated — set ``config.exec.dynamic_loops``.
+        config: A validated :class:`~repro.config.SessionConfig` — the
+            canonical way to configure the service. Mutually exclusive
+            with the deprecated keyword knobs (``cache``, ``telemetry``,
+            ``tune_fn``, ``cost_model``, and ``gpu`` are live resources,
+            not knobs, and always combine with ``config``).
     """
 
     def __init__(
         self,
-        gpu: GPUSpec,
+        gpu: "GPUSpec | None" = None,
         cache=None,
-        workers: int = 4,
-        queue_limit: int = 256,
+        workers: int = _UNSET,
+        queue_limit: int = _UNSET,
         telemetry: MetricsRegistry | None = None,
-        seed: int = 0,
-        exec_backend: str = "auto",
+        seed: int = _UNSET,
+        exec_backend: str = _UNSET,
         tuner_kwargs: dict | None = None,
         tune_fn=None,
         cost_model: "LearnedCostModel | None" = None,
-        measure_topk: int = 0,
-        dynamic: str = "off",
-        dynamic_loops: tuple[str, ...] = DEFAULT_DYNAMIC_LOOPS,
+        measure_topk: int = _UNSET,
+        dynamic: str = _UNSET,
+        dynamic_loops: tuple[str, ...] = _UNSET,
+        config: "SessionConfig | None" = None,
     ) -> None:
-        from repro.codegen.interpreter import validate_exec_backend
-
-        validate_exec_backend(exec_backend)
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if queue_limit < 1:
-            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
-        if measure_topk < 0:
-            raise ValueError(f"measure_topk must be >= 0, got {measure_topk}")
-        if dynamic not in DYNAMIC_MODES:
-            raise ValueError(
-                f"unknown dynamic mode {dynamic!r}; pick from {DYNAMIC_MODES}"
+        legacy: dict = {
+            name: value
+            for name, value in (
+                ("serve_workers", workers),
+                ("queue_limit", queue_limit),
+                ("seed", seed),
+                ("exec_backend", exec_backend),
+                ("measure_topk", measure_topk),
+                ("dynamic", dynamic),
+                ("dynamic_loops", dynamic_loops),
             )
-        self.dynamic = dynamic
-        self.dynamic_loops = tuple(dynamic_loops)
-        if cost_model is None and measure_topk > 0:
+            if value is not _UNSET
+        }
+        if tuner_kwargs:
+            legacy.update(search_overrides(tuner_kwargs))
+        if config is not None:
+            if legacy:
+                raise ValueError(
+                    "pass either config= or the deprecated keyword knobs, not "
+                    f"both (got {sorted(legacy)}); set the SessionConfig "
+                    "fields instead"
+                )
+        else:
+            config = build_legacy_config("CompileService", legacy)
+        self.config = config
+        search = config.search
+        self.dynamic = config.exec.dynamic
+        self.dynamic_loops = tuple(config.exec.dynamic_loops)
+        if cost_model is None and (search.measure_topk > 0 or search.cost_model):
             from repro.search.cost_model import LearnedCostModel
 
-            cost_model = LearnedCostModel(seed=seed)
+            cost_model = LearnedCostModel(seed=search.seed)
         self.cost_model = cost_model
-        self.measure_topk = measure_topk
-        self.gpu = gpu
+        self.measure_topk = search.measure_topk
+        self.gpu = gpu if gpu is not None else by_name(config.gpu)
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         if isinstance(cache, TieredCache):
             self.tiered = cache
@@ -302,15 +327,14 @@ class CompileService:
                 self.tiered.telemetry = self.telemetry
         else:  # a bare ScheduleCache or None
             self.tiered = TieredCache(cache, telemetry=self.telemetry)
-        self.seed = seed
-        self.exec_backend = exec_backend
-        self.tuner_kwargs = dict(tuner_kwargs or {})
+        self.seed = search.seed
+        self.exec_backend = config.exec.backend
         self._tune_fn = tune_fn if tune_fn is not None else self._default_tune
-        self.queue_limit = queue_limit
+        self.queue_limit = config.serve.queue_limit
         # maxsize is queue_limit plus room for one shutdown sentinel per
         # worker, so close() can never be shed by a full queue.
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue(
-            maxsize=queue_limit + workers
+            maxsize=self.queue_limit + config.serve.workers
         )
         self._seq = itertools.count()
         self._lock = threading.Lock()
@@ -320,7 +344,7 @@ class CompileService:
             threading.Thread(
                 target=self._worker_loop, name=f"compile-worker-{i}", daemon=True
             )
-            for i in range(workers)
+            for i in range(config.serve.workers)
         ]
         for thread in self._workers:
             thread.start()
@@ -364,12 +388,13 @@ class CompileService:
         self,
         workload,
         lane: str = "interactive",
-        variant: str = "mcfuser",
-        strategy: str = "evolutionary",
+        variant: str | None = None,
+        strategy: str | None = None,
         seed: int | None = None,
-        measure_workers: int = 1,
+        measure_workers: int | None = None,
         tuner_kwargs: dict | None = None,
         measure_topk: int | None = None,
+        config: "SessionConfig | None" = None,
     ) -> ServeTicket:
         """Admit one chain request; returns immediately with a ticket.
 
@@ -379,8 +404,15 @@ class CompileService:
         in flight coalesces onto the running tune, and only genuinely new
         work is queued. A full queue fails the ticket with
         :class:`QueueFull` (load shedding) rather than blocking.
-        ``measure_topk=None`` inherits the service default; guided requests
-        key (and therefore hit) the cache separately from exhaustive ones.
+
+        Every knob defaults to ``None`` = "inherit the service config";
+        explicit per-request values override it for this request only
+        (e.g. guided ``measure_topk`` requests key — and therefore hit —
+        the cache separately from exhaustive ones). Alternatively
+        ``config`` supplies a complete per-request
+        :class:`~repro.config.SessionConfig` (mutually exclusive with the
+        individual knobs) — the form a multi-process front-end forwards
+        wholesale.
 
         With ``dynamic="buckets"`` the lookup ladders exact signature →
         bucketed signature; a bucket hit rebuilds the ceiling-tuned
@@ -391,8 +423,35 @@ class CompileService:
         """
         if lane not in LANES:
             raise ValueError(f"unknown lane {lane!r}; pick from {LANES}")
-        if measure_topk is None:
-            measure_topk = self.measure_topk
+        # The per-job config: service defaults + per-request overrides
+        # (evolve skips None = inherit), or a caller-supplied complete
+        # config. The tune itself always runs dynamic="off" — the
+        # *service* owns bucketing (ceiling chain, bucketed signature,
+        # rebinding); the tuner must not re-bucket.
+        knobs = (variant, strategy, seed, measure_workers, measure_topk)
+        if config is not None:
+            if tuner_kwargs or any(v is not None for v in knobs):
+                raise ValueError(
+                    "pass either config= or the per-request knobs, not both"
+                )
+            job_config = config
+        else:
+            overrides = search_overrides(tuner_kwargs or {})
+            for name, value in (
+                ("variant", variant),
+                ("strategy", strategy),
+                ("seed", seed),
+                ("workers", measure_workers),
+                ("measure_topk", measure_topk),
+            ):
+                if value is not None:
+                    overrides[name] = value
+            job_config = self.config.evolve(**overrides)
+        if job_config.exec.dynamic != "off":
+            job_config = job_config.evolve(dynamic="off")
+        variant = job_config.search.variant
+        strategy = job_config.search.strategy
+        measure_topk = job_config.search.measure_topk
         from repro.obs import get_tracer
 
         # The admission span covers the submit call itself (signature,
@@ -400,7 +459,7 @@ class CompileService:
         # continues this trace on the worker thread via ``_Job.trace_parent``.
         with get_tracer().span("serve.request", lane=lane) as span:
             chain = self._resolve_chain(workload)
-            cache_variant = variant_key(variant, strategy, measure_topk)
+            cache_variant = job_config.variant_key
             signature = self.tiered.signature_for(chain, self.gpu, cache_variant)
             bucket = (
                 bucket_dims(chain, self.dynamic_loops)
@@ -472,12 +531,7 @@ class CompileService:
                 job = _Job(
                     signature=job_sig,
                     chain=chain.with_loops(bucket) if bucket else chain,
-                    variant=variant,
-                    strategy=strategy,
-                    seed=self.seed if seed is None else seed,
-                    measure_workers=measure_workers,
-                    tuner_kwargs={**self.tuner_kwargs, **(tuner_kwargs or {})},
-                    measure_topk=measure_topk,
+                    config=job_config,
                     bucket=dict(bucket),
                     tickets=[ticket],
                     trace_parent=span,
@@ -513,7 +567,7 @@ class CompileService:
         self,
         model,
         lane: str = "interactive",
-        strategy: str = "evolutionary",
+        strategy: str | None = None,
         tuner_kwargs: dict | None = None,
     ) -> ModelTicket:
         """Admit a whole model: partition, then submit every fusion group.
@@ -546,7 +600,7 @@ class CompileService:
         self,
         workloads: "Sequence[str | ComputeChain] | None" = None,
         lane: str = "background",
-        strategy: str = "evolutionary",
+        strategy: str | None = None,
         tuner_kwargs: dict | None = None,
     ) -> list[ServeTicket]:
         """Warm the cache over the workload registry on the background lane.
@@ -579,17 +633,7 @@ class CompileService:
     # -- the worker side -------------------------------------------------------
 
     def _default_tune(self, job: _Job) -> TuneReport:
-        tuner = MCFuserTuner(
-            self.gpu,
-            variant=job.variant,
-            seed=job.seed,
-            strategy=job.strategy,
-            workers=job.measure_workers,
-            exec_backend=self.exec_backend,
-            cost_model=self.cost_model,
-            measure_topk=job.measure_topk,
-            **job.tuner_kwargs,
-        )
+        tuner = MCFuserTuner(self.gpu, cost_model=self.cost_model, config=job.config)
         return tuner.tune(job.chain)
 
     def _worker_loop(self) -> None:

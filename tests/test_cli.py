@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main, workload_by_name
+from repro.cli import (
+    FLAG_TABLE,
+    FLAGS_BY_PATH,
+    build_parser,
+    main,
+    workload_by_name,
+)
+from repro.config import SessionConfig, field_paths
 
 
 class TestWorkloadResolution:
@@ -88,6 +97,91 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestFlagTableParity:
+    """The declarative flag table must stay in lockstep with the config
+    schema: every SessionConfig leaf has exactly one flag and vice versa."""
+
+    def test_table_covers_schema_exactly(self):
+        assert {spec.path for spec in FLAG_TABLE} == set(field_paths())
+
+    def test_one_row_per_path(self):
+        assert len(FLAG_TABLE) == len(FLAGS_BY_PATH) == len(field_paths())
+
+    def test_flags_unique(self):
+        flags = [spec.flag for spec in FLAG_TABLE]
+        assert len(flags) == len(set(flags))
+
+    def test_rows_are_well_formed(self):
+        for spec in FLAG_TABLE:
+            assert spec.flag.startswith("--"), spec
+            assert spec.kind in ("value", "true", "false"), spec
+            assert spec.help, spec
+
+    def test_presence_flags_are_booleans(self):
+        defaults = SessionConfig()
+        for spec in FLAG_TABLE:
+            if spec.kind in ("true", "false"):
+                assert isinstance(defaults.get(spec.path), bool), spec
+
+    def test_config_show_lists_every_field(self, capsys):
+        assert main(["config", "show"]) == 0
+        out = capsys.readouterr().out
+        for path in field_paths():
+            assert path in out
+        assert "variant key" in out
+
+    def test_config_dump_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "cfg.json"
+        assert main(["config", "dump", "--seed", "7", "--strategy", "random",
+                     "--out", str(path)]) == 0
+        cfg = SessionConfig.load(str(path))
+        assert cfg.search.seed == 7
+        assert cfg.search.strategy == "random"
+
+
+class TestConfigFile:
+    def _tune_args(self):
+        return ["tune", "G1", "--seed", "3", "--strategy", "random",
+                "--max-rounds", "2", "--no-cache"]
+
+    def test_config_file_tune_bit_identical(self, capsys, tmp_path, monkeypatch):
+        for var in ("REPRO_SEARCH_SEED", "REPRO_SEARCH_STRATEGY",
+                    "REPRO_SEARCH_MAX_ROUNDS", "REPRO_CACHE_ENABLED"):
+            monkeypatch.delenv(var, raising=False)
+        assert main(self._tune_args()) == 0
+        via_flags = capsys.readouterr().out
+
+        path = tmp_path / "cfg.json"
+        assert main(["config", "dump", "--seed", "3", "--strategy", "random",
+                     "--max-rounds", "2", "--no-cache",
+                     "--out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["tune", "G1", "--config", str(path)]) == 0
+        via_file = capsys.readouterr().out
+        assert via_file == via_flags
+
+    def test_flags_override_config_file(self, capsys, tmp_path):
+        path = tmp_path / "cfg.json"
+        SessionConfig.make(strategy="random", max_rounds=2, min_rounds=1,
+                           cache_enabled=False).save(str(path))
+        assert main(["tune", "G1", "--config", str(path),
+                     "--strategy", "annealing"]) == 0
+        out = capsys.readouterr().out
+        assert "annealing strategy" in out
+
+    def test_env_overrides_config_file(self, capsys, tmp_path, monkeypatch):
+        path = tmp_path / "cfg.json"
+        SessionConfig.make(seed=3).save(str(path))
+        monkeypatch.setenv("REPRO_SEARCH_SEED", "9")
+        assert main(["config", "dump", "--config", str(path)]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["search"]["seed"] == 9
+
+    def test_missing_config_file_fails(self, tmp_path, capsys):
+        with pytest.raises((SystemExit, OSError)):
+            main(["tune", "G1", "--config", str(tmp_path / "nope.json")])
 
 
 class TestTraceCommand:
